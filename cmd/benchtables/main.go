@@ -1,0 +1,438 @@
+// Command benchtables regenerates the Dragoon paper's evaluation tables
+// (§VI, Tables I–III) and the headline comparison, printing each in the
+// paper's own format next to the paper's reported values.
+//
+//	benchtables -table 1      off-chain proving cost (ours vs generic ZKP)
+//	benchtables -table 2      on-chain verification cost
+//	benchtables -table 3      gas usage and USD handling fees
+//	benchtables -headline     the Dragoon-vs-MTurk handling-fee claim
+//	benchtables -sweep        Groth16 scaling sweep (the cost of generality)
+//	benchtables -all          everything
+//
+// The generic-ZKP rows run the real Groth16 implementation at
+// bench-friendly circuit sizes (-steps to change); the sweep prints the
+// scaling series from which the paper-scale extrapolation in EXPERIMENTS.md
+// is derived.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"dragoon/internal/elgamal"
+	"dragoon/internal/gadget"
+	"dragoon/internal/gas"
+	"dragoon/internal/groth16"
+	"dragoon/internal/group"
+	"dragoon/internal/poqoea"
+	"dragoon/internal/protocol"
+	"dragoon/internal/r1cs"
+	"dragoon/internal/sim"
+	"dragoon/internal/task"
+	"dragoon/internal/vpke"
+	"dragoon/internal/worker"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate table 1, 2 or 3")
+		headline = flag.Bool("headline", false, "print the Dragoon-vs-MTurk headline")
+		sweep    = flag.Bool("sweep", false, "Groth16 scaling sweep")
+		all      = flag.Bool("all", false, "regenerate everything")
+		steps    = flag.Int("steps", 1024, "generic-ZKP circuit size (chain steps per decryption)")
+	)
+	flag.Parse()
+
+	run := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	did := false
+	if *all || *table == 1 {
+		run(tableI(*steps))
+		did = true
+	}
+	if *all || *table == 2 {
+		run(tableII(*steps))
+		did = true
+	}
+	if *all || *table == 3 {
+		run(tableIII())
+		did = true
+	}
+	if *all || *headline {
+		run(headlineClaim())
+		did = true
+	}
+	if *all || *sweep {
+		run(groth16Sweep())
+		did = true
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// fixture builds the paper's ImageNet proving workload over BN254.
+type fixture struct {
+	sk    *elgamal.PrivateKey
+	st    poqoea.Statement
+	cts   []elgamal.Ciphertext
+	chi   int
+	proof *poqoea.Proof
+	ct0   elgamal.Ciphertext
+	pi0   *vpke.Proof
+	val0  int64
+}
+
+func newFixture() (*fixture, error) {
+	g := group.BN254G1()
+	sk, err := elgamal.KeyGen(g, nil)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(2020))
+	inst, err := task.NewImageNet(4000, rng)
+	if err != nil {
+		return nil, err
+	}
+	st := inst.Golden.Statement(2)
+	answers := append([]int64{}, inst.GroundTruth...)
+	for _, gi := range inst.Golden.Indices[:3] {
+		answers[gi] = 1 - answers[gi]
+	}
+	cts, err := poqoea.EncryptAnswers(&sk.PublicKey, answers, nil)
+	if err != nil {
+		return nil, err
+	}
+	chi, proof, err := poqoea.Prove(sk, cts, st, nil)
+	if err != nil {
+		return nil, err
+	}
+	plain, pi, err := vpke.Prove(sk, cts[0], 2, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &fixture{sk: sk, st: st, cts: cts, chi: chi, proof: proof,
+		ct0: cts[0], pi0: pi, val0: plain.Value}, nil
+}
+
+// measure runs fn repeatedly for at least minDuration and returns the mean
+// per-op time and the allocation volume of one op.
+func measure(fn func()) (time.Duration, uint64) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < 200*time.Millisecond || iters < 3 {
+		fn()
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return elapsed / time.Duration(iters), (m1.TotalAlloc - m0.TotalAlloc) / uint64(iters)
+}
+
+func tableI(steps int) error {
+	fmt.Println("TABLE I — OFF-CHAIN PROVING COST (paper values in parentheses)")
+	f, err := newFixture()
+	if err != nil {
+		return err
+	}
+	t, mem := measure(func() {
+		if _, _, err := vpke.Prove(f.sk, f.ct0, 2, nil); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Printf("  Ours     VPKE    %10v %8s   (paper: 3 ms, 53 MB peak)\n", t, fmtMem(mem))
+	t, mem = measure(func() {
+		if _, _, err := poqoea.Prove(f.sk, f.cts, f.st, nil); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Printf("  Ours     PoQoEA  %10v %8s   (paper: 10 ms, 53 MB peak)\n", t, fmtMem(mem))
+
+	// Generic baseline: one decryption circuit, then the 6-golden quality
+	// circuit, at the configured size.
+	gv, err := buildGeneric(steps, false)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if _, err := groth16.Prove(gv.cs, gv.pk, gv.w, nil); err != nil {
+		return err
+	}
+	fmt.Printf("  Generic  VPKE    %10v  (circuit %d constraints; paper: 37 s, 3.9 GB at RSA-OAEP scale)\n",
+		time.Since(start).Round(time.Millisecond), gv.cs.NumConstraints())
+
+	gp, err := buildGeneric(steps/2, true)
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	if _, err := groth16.Prove(gp.cs, gp.pk, gp.w, nil); err != nil {
+		return err
+	}
+	fmt.Printf("  Generic  PoQoEA  %10v  (circuit %d constraints; paper: 112 s, 10.3 GB)\n\n",
+		time.Since(start).Round(time.Millisecond), gp.cs.NumConstraints())
+	return nil
+}
+
+func tableII(steps int) error {
+	fmt.Println("TABLE II — ON-CHAIN VERIFICATION COST (paper values in parentheses)")
+	f, err := newFixture()
+	if err != nil {
+		return err
+	}
+	t, _ := measure(func() {
+		if !vpke.VerifyValue(&f.sk.PublicKey, f.val0, f.ct0, f.pi0) {
+			panic("verify failed")
+		}
+	})
+	fmt.Printf("  Ours     VPKE    %10v   (paper: 1 ms)\n", t)
+	t, _ = measure(func() {
+		if !poqoea.Verify(&f.sk.PublicKey, f.cts, f.chi, f.proof, f.st) {
+			panic("verify failed")
+		}
+	})
+	fmt.Printf("  Ours     PoQoEA  %10v   (paper: 2 ms)\n", t)
+
+	gv, err := buildGeneric(steps, false)
+	if err != nil {
+		return err
+	}
+	proof, err := groth16.Prove(gv.cs, gv.pk, gv.w, nil)
+	if err != nil {
+		return err
+	}
+	t, _ = measure(func() {
+		ok, err := groth16.Verify(gv.vk, gv.cs.PublicInputs(gv.w), proof)
+		if err != nil || !ok {
+			panic("verify failed")
+		}
+	})
+	fmt.Printf("  Generic  VPKE    %10v   (paper: 11 ms with libsnark pairings)\n", t)
+
+	gp, err := buildGeneric(steps/2, true)
+	if err != nil {
+		return err
+	}
+	proof, err = groth16.Prove(gp.cs, gp.pk, gp.w, nil)
+	if err != nil {
+		return err
+	}
+	t, _ = measure(func() {
+		ok, err := groth16.Verify(gp.vk, gp.cs.PublicInputs(gp.w), proof)
+		if err != nil || !ok {
+			panic("verify failed")
+		}
+	})
+	fmt.Printf("  Generic  PoQoEA  %10v   (paper: 17 ms)\n\n", t)
+	return nil
+}
+
+type generic struct {
+	cs *r1cs.System
+	pk *groth16.ProvingKey
+	vk *groth16.VerifyingKey
+	w  r1cs.Witness
+}
+
+func buildGeneric(steps int, quality bool) (*generic, error) {
+	cs := r1cs.NewSystem(groth16.FieldOf())
+	w := cs.NewWitness
+	var wit r1cs.Witness
+	if quality {
+		c, err := gadget.BuildPoQoEA(cs, 6, steps)
+		if err != nil {
+			return nil, err
+		}
+		wit = w()
+		golden := make([]*big.Int, 6)
+		answers := make([]*big.Int, 6)
+		for i := range golden {
+			golden[i] = big.NewInt(1)
+			answers[i] = big.NewInt(int64(i % 2))
+		}
+		c.AssignPoQoEA(wit, big.NewInt(42), answers, golden)
+	} else {
+		c, err := gadget.BuildVPKE(cs, steps)
+		if err != nil {
+			return nil, err
+		}
+		wit = w()
+		c.AssignVPKE(wit, big.NewInt(42), big.NewInt(1), steps)
+	}
+	pk, vk, err := groth16.Setup(cs, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &generic{cs: cs, pk: pk, vk: vk, w: wit}, nil
+}
+
+func tableIII() error {
+	fmt.Println("TABLE III — ON-CHAIN HANDLING FEES, ImageNet task (paper values in parentheses)")
+	prices := gas.PaperPrices()
+	row := func(label string, g uint64, paper string) {
+		fmt.Printf("  %-42s %-10s %-7s (paper: %s)\n",
+			label, gas.FormatGas(g), gas.FormatUSD(prices.USD(g)), paper)
+	}
+	best, err := runImageNet("best")
+	if err != nil {
+		return err
+	}
+	worst, err := runImageNet("worst")
+	if err != nil {
+		return err
+	}
+	row("Publish task (by requester)",
+		best.GasByMethod["deploy"]+best.GasByMethod["publish"], "~1293 k, $0.22")
+	row("Submit answers (by worker)",
+		(best.GasByMethod["commit"]+best.GasByMethod["reveal"])/4, "~2830 k, $0.48")
+	row("Verify PoQoEA to reject an answer",
+		worst.GasByMethod["evaluate"]/4, "~180 k, $0.03")
+	row("Overall (best-case: reject no submission)", best.GasTotal, "~12164 k, $2.09")
+	row("Overall (worst-case: reject all submissions)", worst.GasTotal, "~12877 k, $2.22")
+	fmt.Println()
+	return nil
+}
+
+func runImageNet(scenario string) (*sim.Result, error) {
+	rng := rand.New(rand.NewSource(2020))
+	inst, err := task.NewImageNet(4000, rng)
+	if err != nil {
+		return nil, err
+	}
+	var models []worker.Model
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("w%d", i)
+		if scenario == "best" {
+			models = append(models, worker.Perfect(name, inst.GroundTruth))
+			continue
+		}
+		bad := append([]int64{}, inst.GroundTruth...)
+		for _, gi := range inst.Golden.Indices[:3] {
+			bad[gi] = 1 - bad[gi]
+		}
+		golden := make(map[int]bool)
+		for _, gi := range inst.Golden.Indices {
+			golden[gi] = true
+		}
+		flip, skipped := 0, 0
+		for ; ; flip++ {
+			if !golden[flip] {
+				if skipped == i {
+					break
+				}
+				skipped++
+			}
+		}
+		bad[flip] = 1 - bad[flip]
+		badCopy := bad
+		models = append(models, worker.Model{
+			Name:     name,
+			Strategy: protocol.StrategyHonest,
+			Answers: func(qs []task.Question, rangeSize int64) []int64 {
+				out := make([]int64, len(badCopy))
+				copy(out, badCopy)
+				return out
+			},
+		})
+	}
+	res, err := sim.Run(sim.Config{
+		Instance: inst,
+		Group:    group.BN254G1(),
+		Workers:  models,
+		Seed:     2020,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Finalized {
+		return nil, fmt.Errorf("scenario %s did not finalize", scenario)
+	}
+	return res, nil
+}
+
+func headlineClaim() error {
+	fmt.Println("HEADLINE — decentralized handling cost vs MTurk's fee")
+	best, err := runImageNet("best")
+	if err != nil {
+		return err
+	}
+	worst, err := runImageNet("worst")
+	if err != nil {
+		return err
+	}
+	prices := gas.PaperPrices()
+	lo, hi := prices.USD(best.GasTotal), prices.USD(worst.GasTotal)
+	fmt.Printf("  Dragoon on-chain handling cost: %s – %s per ImageNet task\n",
+		gas.FormatUSD(lo), gas.FormatUSD(hi))
+	fmt.Println("  MTurk handling fee for the same task: ≥ $4.00 (paper §VI)")
+	if hi < 4 {
+		fmt.Println("  ⇒ headline claim REPRODUCED: decentralization is cheaper for the users")
+	} else {
+		fmt.Println("  ⇒ headline claim NOT reproduced")
+	}
+	fmt.Println()
+	return nil
+}
+
+func groth16Sweep() error {
+	fmt.Println("SWEEP — Groth16 cost vs circuit size (the cost of generality)")
+	fmt.Println("  constraints  setup      prove      verify")
+	for _, steps := range []int{128, 512, 2048, 8192} {
+		cs := r1cs.NewSystem(groth16.FieldOf())
+		c, err := gadget.BuildVPKE(cs, steps)
+		if err != nil {
+			return err
+		}
+		w := cs.NewWitness()
+		c.AssignVPKE(w, big.NewInt(7), big.NewInt(1), steps)
+		t0 := time.Now()
+		pk, vk, err := groth16.Setup(cs, nil)
+		if err != nil {
+			return err
+		}
+		setup := time.Since(t0)
+		t0 = time.Now()
+		proof, err := groth16.Prove(cs, pk, w, nil)
+		if err != nil {
+			return err
+		}
+		prove := time.Since(t0)
+		t0 = time.Now()
+		ok, err := groth16.Verify(vk, cs.PublicInputs(w), proof)
+		if err != nil || !ok {
+			return fmt.Errorf("verify failed at %d steps", steps)
+		}
+		verify := time.Since(t0)
+		fmt.Printf("  %10d  %-9s  %-9s  %-9s\n", cs.NumConstraints(),
+			setup.Round(time.Millisecond), prove.Round(time.Millisecond),
+			verify.Round(time.Millisecond))
+	}
+	fmt.Println("  (prove time is ~linear in constraints: extrapolate to the paper's")
+	fmt.Println("   RSA-OAEP-scale circuit to recover the 37 s / 112 s of Table I)")
+	fmt.Println()
+	return nil
+}
+
+func fmtMem(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%d MB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%d KB", b>>10)
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

@@ -1,0 +1,121 @@
+// Command calibrate reproduces the gas and timing calibration runs used to
+// tune the constants in internal/contract and internal/gadget against the
+// paper's Tables I–III. It is a developer tool; the regenerating harness
+// users should run is cmd/benchtables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"dragoon/internal/gadget"
+	"dragoon/internal/gas"
+	"dragoon/internal/groth16"
+	"dragoon/internal/group"
+	"dragoon/internal/r1cs"
+	"dragoon/internal/sim"
+	"dragoon/internal/task"
+	"dragoon/internal/worker"
+)
+
+func main() {
+	snark := flag.Bool("snark", false, "measure Groth16 timing instead of gas")
+	flag.Parse()
+	if *snark {
+		if err := snarkTiming(); err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := gasTables(); err != nil {
+		fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func gasTables() error {
+	for _, scenario := range []string{"best", "worst"} {
+		rng := rand.New(rand.NewSource(42))
+		inst, err := task.NewImageNet(4000, rng)
+		if err != nil {
+			return err
+		}
+		var models []worker.Model
+		for i := 0; i < 4; i++ {
+			if scenario == "best" {
+				models = append(models, worker.Perfect(fmt.Sprintf("w%d", i), inst.GroundTruth))
+			} else {
+				models = append(models, worker.Bot(fmt.Sprintf("b%d", i), rng))
+			}
+		}
+		res, err := sim.Run(sim.Config{
+			Instance: inst,
+			Group:    group.BN254G1(),
+			Workers:  models,
+			Seed:     42,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %s case (finalized=%v rounds=%d)\n", scenario, res.Finalized, res.Rounds)
+		for _, m := range []string{"deploy", "publish", "commit", "reveal", "golden", "outrange", "evaluate", "finalize"} {
+			fmt.Printf("  %-10s %8d\n", m, res.GasByMethod[m])
+		}
+		fmt.Printf("  TOTAL      %8d  (%s)\n", res.GasTotal, gas.FormatUSD(gas.PaperPrices().USD(res.GasTotal)))
+		perWorkerSubmit := (res.GasByMethod["commit"] + res.GasByMethod["reveal"]) / 4
+		fmt.Printf("  publish row (deploy+publish): %d\n", res.GasByMethod["deploy"]+res.GasByMethod["publish"])
+		fmt.Printf("  submit row (per worker):      %d\n", perWorkerSubmit)
+		if scenario == "worst" {
+			fmt.Printf("  evaluate row (per reject):    %d\n", res.GasByMethod["evaluate"]/4)
+		}
+	}
+	return nil
+}
+
+func snarkTiming() error {
+	for _, steps := range []int{256, 1024, 4096} {
+		cs := r1cs.NewSystem(groth16.FieldOf())
+		c, err := gadget.BuildVPKE(cs, steps)
+		if err != nil {
+			return err
+		}
+		w := cs.NewWitness()
+		c.AssignVPKE(w, big.NewInt(123), big.NewInt(1), steps)
+
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		pk, vk, err := groth16.Setup(cs, nil)
+		if err != nil {
+			return err
+		}
+		setup := time.Since(t0)
+
+		t0 = time.Now()
+		proof, err := groth16.Prove(cs, pk, w, nil)
+		if err != nil {
+			return err
+		}
+		prove := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+
+		t0 = time.Now()
+		ok, err := groth16.Verify(vk, cs.PublicInputs(w), proof)
+		if err != nil || !ok {
+			return fmt.Errorf("verify failed: %v %v", ok, err)
+		}
+		verify := time.Since(t0)
+		fmt.Printf("steps=%6d constraints=%6d setup=%8s prove=%8s verify=%8s heapΔ=%dMB\n",
+			steps, cs.NumConstraints(), setup.Round(time.Millisecond),
+			prove.Round(time.Millisecond), verify.Round(time.Millisecond),
+			(m1.TotalAlloc-m0.TotalAlloc)/1024/1024)
+	}
+	return nil
+}

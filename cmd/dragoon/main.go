@@ -1,0 +1,165 @@
+// Command dragoon runs a configurable decentralized HIT end-to-end on the
+// simulated chain and prints a full outcome and cost report. It is the
+// top-level CLI for exploring the protocol:
+//
+//	dragoon -n 106 -golden 6 -workers 4 -threshold 4 -budget 4000 \
+//	        -mix perfect,perfect,accurate:0.9,bot
+//
+// The -mix flag lists worker behaviours (comma separated): perfect,
+// accurate:<p>, bot, outrange, noreveal, copypaste.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"dragoon"
+	"dragoon/internal/ledger"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "dragoon: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dragoon", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 106, "number of questions")
+		rangeSize = fs.Int64("range", 2, "options per question")
+		golden    = fs.Int("golden", 6, "number of golden-standard questions")
+		workers   = fs.Int("workers", 4, "worker quota K")
+		threshold = fs.Int("threshold", 4, "quality threshold Θ")
+		budget    = fs.Uint64("budget", 4000, "total budget B (coins)")
+		mix       = fs.String("mix", "perfect,perfect,accurate:0.9,bot", "worker behaviours")
+		seed      = fs.Int64("seed", 1, "deterministic seed")
+		policy    = fs.String("policy", "honest", "requester policy: honest|silent|nogolden|falsereport")
+		testGroup = fs.Bool("testgroup", false, "use the fast insecure test group instead of BN254")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	inst, err := dragoon.NewTask(dragoon.TaskParams{
+		ID:        "cli-task",
+		N:         *n,
+		RangeSize: *rangeSize,
+		NumGolden: *golden,
+		Workers:   *workers,
+		Threshold: *threshold,
+		Budget:    ledger.Amount(*budget),
+	}, rng)
+	if err != nil {
+		return err
+	}
+
+	models, err := parseMix(*mix, inst, rng)
+	if err != nil {
+		return err
+	}
+	if len(models) != *workers {
+		return fmt.Errorf("-mix lists %d workers, task wants %d", len(models), *workers)
+	}
+
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+
+	g := dragoon.BN254()
+	if *testGroup {
+		g = dragoon.TestGroup()
+	}
+	res, err := dragoon.Simulate(dragoon.SimulationConfig{
+		Instance: inst,
+		Group:    g,
+		Workers:  models,
+		Policy:   pol,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("task: %d questions (range %d), %d golden standards, K=%d, Θ=%d, B=%d\n",
+		*n, *rangeSize, *golden, *workers, *threshold, *budget)
+	fmt.Printf("finished in %d rounds: finalized=%v cancelled=%v\n\n",
+		res.Rounds, res.Finalized, res.Cancelled)
+
+	fmt.Println("worker outcomes:")
+	for _, o := range res.Outcomes {
+		status := "not paid"
+		switch {
+		case o.Paid:
+			status = "PAID"
+		case o.Rejected:
+			status = "REJECTED"
+		case !o.Revealed:
+			status = "no reveal"
+		}
+		fmt.Printf("  %-24s quality=%2d/%d  %s\n", o.Name, o.Quality, *golden, status)
+	}
+
+	prices := dragoon.PaperPrices()
+	fmt.Println("\non-chain gas by method:")
+	for _, m := range []string{"deploy", "publish", "commit", "reveal", "golden", "outrange", "evaluate", "finalize"} {
+		if g := res.GasByMethod[m]; g > 0 {
+			fmt.Printf("  %-9s %10d  %s\n", m, g, dragoon.FormatUSD(prices.USD(g)))
+		}
+	}
+	fmt.Printf("  %-9s %10d  %s\n", "TOTAL", res.GasTotal, dragoon.FormatUSD(prices.USD(res.GasTotal)))
+	fmt.Printf("\nrequester final balance: %d coins\n", res.RequesterBalance)
+	return nil
+}
+
+// parseMix builds worker models from the -mix specification.
+func parseMix(spec string, inst *dragoon.TaskInstance, rng *rand.Rand) ([]dragoon.WorkerModel, error) {
+	var models []dragoon.WorkerModel
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		name := fmt.Sprintf("%s-%d", strings.SplitN(part, ":", 2)[0], i)
+		switch {
+		case part == "perfect":
+			models = append(models, dragoon.PerfectWorker(name, inst.GroundTruth))
+		case strings.HasPrefix(part, "accurate:"):
+			p, err := strconv.ParseFloat(strings.TrimPrefix(part, "accurate:"), 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("bad accuracy in %q", part)
+			}
+			models = append(models, dragoon.AccurateWorker(name, inst.GroundTruth, p, rng))
+		case part == "bot":
+			models = append(models, dragoon.BotWorker(name, rng))
+		case part == "outrange":
+			models = append(models, dragoon.OutOfRangeWorker(name, inst.GroundTruth, 0, 99))
+		case part == "noreveal":
+			models = append(models, dragoon.NoRevealWorker(name, inst.GroundTruth))
+		case part == "copypaste":
+			models = append(models, dragoon.CopyPasteWorker(name))
+		default:
+			return nil, fmt.Errorf("unknown worker behaviour %q", part)
+		}
+	}
+	return models, nil
+}
+
+func parsePolicy(s string) (dragoon.RequesterPolicy, error) {
+	switch s {
+	case "honest":
+		return dragoon.HonestRequester, nil
+	case "silent":
+		return dragoon.SilentRequester, nil
+	case "nogolden":
+		return dragoon.NoGoldenRequester, nil
+	case "falsereport":
+		return dragoon.FalseReportRequester, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}

@@ -1,0 +1,151 @@
+// Package dragoon is a Go implementation of Dragoon, the practical private
+// decentralized Human Intelligence Task (HIT) protocol of Lu, Tang and Wang
+// (IEEE ICDCS 2020). It provides:
+//
+//   - the protocol cryptography: exponential ElGamal over BN254 G1,
+//     verifiable decryption (VPKE), and the paper's core contribution —
+//     PoQoEA, the special-purpose proof of the quality of encrypted
+//     answers that replaces generic zk-SNARKs;
+//   - a simulated Ethereum-like blockchain with EIP-1108-calibrated gas
+//     metering, the HIT smart contract (commit–reveal–evaluate with
+//     pay-by-default fairness), and off-chain requester/worker clients;
+//   - an end-to-end simulation harness with pluggable worker behaviours
+//     and network adversaries, plus the executable ideal functionality
+//     F_hit for differential security testing;
+//   - a full Groth16 zk-SNARK over BN254 as the "generic ZKP" baseline the
+//     paper compares against.
+//
+// The exported surface of this package is a facade over the internal
+// packages, re-exported through type aliases so downstream users need only
+// import "dragoon".
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	inst, _ := dragoon.NewImageNetTask(4000, rng)
+//	res, _ := dragoon.Simulate(dragoon.SimulationConfig{
+//	    Instance: inst,
+//	    Group:    dragoon.BN254(),
+//	    Workers:  []dragoon.WorkerModel{dragoon.PerfectWorker("w0", inst.GroundTruth), ...},
+//	})
+package dragoon
+
+import (
+	"io"
+	"math/rand"
+
+	"dragoon/internal/elgamal"
+	"dragoon/internal/group"
+	"dragoon/internal/ledger"
+	"dragoon/internal/poqoea"
+	"dragoon/internal/task"
+	"dragoon/internal/vpke"
+)
+
+// Group is a prime-order cyclic group backend for the protocol crypto.
+type Group = group.Group
+
+// BN254 returns the production group backend: the G1 subgroup of BN254
+// ("BN-128" in the paper), the same curve the authors deployed over thanks
+// to Ethereum's EIP-1108 precompiles.
+func BN254() Group { return group.BN254G1() }
+
+// TestGroup returns a small, insecure Schnorr group for fast tests and
+// experimentation. Never use it for anything but tests.
+func TestGroup() Group { return group.TestSchnorr() }
+
+// PublicKey is a requester's ElGamal encryption key.
+type PublicKey = elgamal.PublicKey
+
+// PrivateKey is a requester's ElGamal key pair. One pair serves all of a
+// requester's tasks: every protocol message is simulatable without the
+// secret key, so nothing about it leaks (§VI).
+type PrivateKey = elgamal.PrivateKey
+
+// Ciphertext is an exponential-ElGamal ciphertext of one answer.
+type Ciphertext = elgamal.Ciphertext
+
+// Plaintext is a short-range decryption result: an in-range answer value or
+// the bare group element g^m for out-of-range submissions.
+type Plaintext = elgamal.Plaintext
+
+// KeyGen creates a requester key pair over g (crypto/rand if rnd is nil).
+func KeyGen(g Group, rnd io.Reader) (*PrivateKey, error) {
+	return elgamal.KeyGen(g, rnd)
+}
+
+// EncryptAnswers encrypts a worker's answer vector to the requester.
+func EncryptAnswers(pk *PublicKey, answers []int64, rnd io.Reader) ([]Ciphertext, error) {
+	return poqoea.EncryptAnswers(pk, answers, rnd)
+}
+
+// DecryptionProof is a VPKE proof of correct decryption of one ciphertext.
+type DecryptionProof = vpke.Proof
+
+// ProveDecryption decrypts ct (over the short answer range) and proves the
+// decryption correct — the paper's ProvePKE.
+func ProveDecryption(sk *PrivateKey, ct Ciphertext, rangeSize int64, rnd io.Reader) (Plaintext, *DecryptionProof, error) {
+	return vpke.Prove(sk, ct, rangeSize, rnd)
+}
+
+// VerifyDecryption checks a VPKE proof against a claimed in-range value —
+// the paper's VerifyPKE (first branch).
+func VerifyDecryption(pk *PublicKey, value int64, ct Ciphertext, proof *DecryptionProof) bool {
+	return vpke.VerifyValue(pk, value, ct, proof)
+}
+
+// QualityStatement fixes the public parameters of a PoQoEA claim: golden
+// standard indices/answers and the per-question option range.
+type QualityStatement = poqoea.Statement
+
+// QualityProof is a PoQoEA proof: one VPKE revelation per incorrectly
+// answered golden standard, independent of the task size N.
+type QualityProof = poqoea.Proof
+
+// ProveQuality computes the quality χ of an encrypted answer vector and a
+// proof that χ upper-bounds it — the paper's ProveQuality (Fig. 3).
+func ProveQuality(sk *PrivateKey, cts []Ciphertext, st QualityStatement, rnd io.Reader) (int, *QualityProof, error) {
+	return poqoea.Prove(sk, cts, st, rnd)
+}
+
+// VerifyQuality checks a PoQoEA claim — the paper's VerifyQuality. It
+// accepts iff χ plus the valid revelations cover all golden standards
+// (upper-bound soundness: a cheating requester cannot underpay).
+func VerifyQuality(pk *PublicKey, cts []Ciphertext, chi int, proof *QualityProof, st QualityStatement) bool {
+	return poqoea.Verify(pk, cts, chi, proof, st)
+}
+
+// Quality evaluates the plaintext quality function Σ_{i∈G}[a_i ≡ s_i].
+func Quality(answers []int64, st QualityStatement) int {
+	return poqoea.Quality(answers, st)
+}
+
+// Amount is a ledger coin amount (the smallest unit, think wei).
+type Amount = ledger.Amount
+
+// Task is a HIT specification: N questions, option range, worker quota K,
+// quality threshold Θ and budget B (paying B/K per accepted answer).
+type Task = task.Task
+
+// Question is one multiple-choice question.
+type Question = task.Question
+
+// Golden holds a requester's secret golden-standard parameters (G, Gs).
+type Golden = task.Golden
+
+// TaskInstance bundles a task with its secrets for simulation.
+type TaskInstance = task.Instance
+
+// TaskParams configures the synthetic task generator.
+type TaskParams = task.GenerateParams
+
+// NewTask generates a random task instance (deterministic for a seeded
+// rng).
+func NewTask(p TaskParams, rng *rand.Rand) (*TaskInstance, error) {
+	return task.Generate(p, rng)
+}
+
+// NewImageNetTask generates the paper's §VI evaluation workload: 106 binary
+// image-annotation questions, 6 golden standards, 4 workers, Θ = 4.
+func NewImageNetTask(budget Amount, rng *rand.Rand) (*TaskInstance, error) {
+	return task.NewImageNet(budget, rng)
+}

@@ -1,0 +1,89 @@
+package dragoon_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dragoon"
+)
+
+// Example runs a minimal HIT end-to-end over the fast test group and prints
+// the payment verdicts — the canonical first contact with the API.
+func Example() {
+	rng := rand.New(rand.NewSource(1))
+	inst, err := dragoon.NewTask(dragoon.TaskParams{
+		ID:        "example",
+		N:         8,
+		RangeSize: 2,
+		NumGolden: 3,
+		Workers:   2,
+		Threshold: 3,
+		Budget:    200,
+	}, rng)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := dragoon.Simulate(dragoon.SimulationConfig{
+		Instance: inst,
+		Group:    dragoon.TestGroup(), // use dragoon.BN254() in production
+		Workers: []dragoon.WorkerModel{
+			dragoon.PerfectWorker("diligent", inst.GroundTruth),
+			dragoon.BotWorker("bot", rng),
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, o := range res.Outcomes {
+		fmt.Printf("%s paid=%v\n", o.Name, o.Paid)
+	}
+	// Output:
+	// diligent paid=true
+	// bot paid=false
+}
+
+// ExampleProveQuality shows the core cryptographic flow: encrypt answers,
+// prove their quality, verify the claim.
+func ExampleProveQuality() {
+	g := dragoon.TestGroup()
+	sk, err := dragoon.KeyGen(g, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	st := dragoon.QualityStatement{
+		GoldenIndices: []int{0, 2},
+		GoldenAnswers: []int64{1, 1},
+		RangeSize:     2,
+	}
+	cts, err := dragoon.EncryptAnswers(&sk.PublicKey, []int64{1, 0, 0, 1}, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	chi, proof, err := dragoon.ProveQuality(sk, cts, st, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("quality:", chi)
+	fmt.Println("verified:", dragoon.VerifyQuality(&sk.PublicKey, cts, chi, proof, st))
+	// Output:
+	// quality: 1
+	// verified: true
+}
+
+// ExampleHonestEffortDominates checks a task's incentive design before
+// publishing it.
+func ExampleHonestEffortDominates() {
+	params := dragoon.IncentiveParams{
+		NumGolden: 6, Threshold: 4, RangeSize: 2,
+		Reward: 1000, SubmitCost: 50,
+	}
+	fmt.Println(dragoon.HonestEffortDominates(params, 0.95, 200))
+	// Output:
+	// true
+}

@@ -1,0 +1,87 @@
+// Command parking runs the paper's §IV motivating crowd-sensing scenario:
+// Alice, a startup founder, wants street-parking availability for 60 city
+// blocks but only knows the ground truth for 5 spots she monitors herself —
+// those become her golden standards. Each question has 4 options (empty /
+// light / busy / full), exercising the protocol beyond binary answers.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dragoon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "parking: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(99))
+	occupancy := []string{"empty", "light", "busy", "full"}
+	inst, err := dragoon.NewTask(dragoon.TaskParams{
+		ID:        "street-parking",
+		N:         60,
+		RangeSize: 4,
+		NumGolden: 5,
+		Workers:   3,
+		Threshold: 4, // at least 4 of Alice's 5 known spots must match
+		Budget:    900,
+		QuestionFn: func(i int) dragoon.Question {
+			return dragoon.Question{
+				Text:    fmt.Sprintf("How occupied is the parking on block #%02d right now?", i),
+				Options: occupancy,
+			}
+		},
+	}, rng)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Alice crowdsources %d blocks; her %d monitored spots are the golden standards\n",
+		inst.Task.N(), len(inst.Golden.Indices))
+
+	res, err := dragoon.Simulate(dragoon.SimulationConfig{
+		Instance: inst,
+		Group:    dragoon.BN254(),
+		Workers: []dragoon.WorkerModel{
+			dragoon.AccurateWorker("scout-1", inst.GroundTruth, 0.95, rng),
+			dragoon.AccurateWorker("scout-2", inst.GroundTruth, 0.90, rng),
+			dragoon.BotWorker("guesser", rng), // answers at random: ~1/4 accuracy
+		},
+		Seed: 99,
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, o := range res.Outcomes {
+		fmt.Printf("  %-9s golden quality %d/5 paid=%v\n", o.Name, o.Quality, o.Paid)
+	}
+
+	// Alice's deliverable: the answers of the workers she paid for.
+	fmt.Println("\nharvested availability (first 8 blocks, paid workers only):")
+	paid := make(map[string]bool)
+	for _, o := range res.Outcomes {
+		if o.Paid {
+			paid[string(o.Addr)] = true
+		}
+	}
+	for addr, answers := range res.HarvestedAnswers {
+		if !paid[string(addr)] {
+			continue
+		}
+		fmt.Printf("  %-24s ", addr)
+		for i := 0; i < 8 && i < len(answers); i++ {
+			fmt.Printf("%-6s ", occupancy[answers[i]])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\ntotal handling cost: %s\n",
+		dragoon.FormatUSD(dragoon.PaperPrices().USD(res.GasTotal)))
+	return nil
+}

@@ -1,0 +1,70 @@
+// Command quickstart runs the smallest complete Dragoon HIT end-to-end on
+// the simulated chain: a requester publishes a 10-question task, three
+// honest workers answer it, and the protocol pays everyone who clears the
+// quality bar. It demonstrates the one-call public API.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dragoon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(1))
+
+	// A 10-question task with 3 hidden golden standards: workers must get
+	// at least 2 of them right to be paid 100 coins each.
+	inst, err := dragoon.NewTask(dragoon.TaskParams{
+		ID:        "quickstart",
+		N:         10,
+		RangeSize: 4,
+		NumGolden: 3,
+		Workers:   3,
+		Threshold: 2,
+		Budget:    300,
+	}, rng)
+	if err != nil {
+		return err
+	}
+
+	res, err := dragoon.Simulate(dragoon.SimulationConfig{
+		Instance: inst,
+		Group:    dragoon.BN254(),
+		Workers: []dragoon.WorkerModel{
+			dragoon.PerfectWorker("alice", inst.GroundTruth),
+			dragoon.AccurateWorker("bob", inst.GroundTruth, 0.9, rng),
+			dragoon.BotWorker("mallory", rng),
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("task %q finished in %d rounds (finalized=%v)\n",
+		inst.Task.ID, res.Rounds, res.Finalized)
+	for _, o := range res.Outcomes {
+		fmt.Printf("  %-8s quality=%d/%d paid=%-5v rejected=%v\n",
+			o.Name, o.Quality, len(inst.Golden.Indices), o.Paid, o.Rejected)
+	}
+	fmt.Printf("on-chain handling cost: %d gas (%s at the paper's rates)\n",
+		res.GasTotal, dragoon.FormatUSD(dragoon.PaperPrices().USD(res.GasTotal)))
+
+	harvested := 0
+	for _, answers := range res.HarvestedAnswers {
+		harvested += len(answers)
+	}
+	fmt.Printf("requester harvested %d answers from %d workers\n",
+		harvested, len(res.HarvestedAnswers))
+	return nil
+}

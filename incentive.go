@@ -1,0 +1,49 @@
+package dragoon
+
+import "dragoon/internal/incentive"
+
+// IncentiveParams fixes a task's incentive environment for game-theoretic
+// analysis (the paper's concluding open problem on incentive
+// compatibility).
+type IncentiveParams = incentive.Params
+
+// WorkerStrategy is a rational worker's choice of effort in the incentive
+// analysis.
+type WorkerStrategy = incentive.Strategy
+
+// HonestStrategy is honest effort at the given accuracy and cost.
+func HonestStrategy(accuracy, effortCost float64) WorkerStrategy {
+	return incentive.Honest(accuracy, effortCost)
+}
+
+// BotStrategy is zero-effort uniform guessing.
+func BotStrategy(rangeSize int64) WorkerStrategy { return incentive.Bot(rangeSize) }
+
+// CopyPasteStrategy is the free-riding strategy, which Dragoon's
+// confidentiality and duplicate-commitment rejection reduce to zero payoff.
+func CopyPasteStrategy() WorkerStrategy { return incentive.CopyPaste() }
+
+// AcceptProbability is the probability a worker of the given accuracy
+// clears the golden-standard quality bar (binomial tail).
+func AcceptProbability(p IncentiveParams, accuracy float64) float64 {
+	return incentive.AcceptProbability(p, accuracy)
+}
+
+// ExpectedUtility is a strategy's expected payoff under the task's payment
+// rule.
+func ExpectedUtility(p IncentiveParams, s WorkerStrategy) float64 {
+	return incentive.ExpectedUtility(p, s)
+}
+
+// HonestEffortDominates reports whether honest effort strictly beats both
+// the bot and the copy-paster — the condition a requester should check
+// when choosing Θ, |G| and the reward.
+func HonestEffortDominates(p IncentiveParams, accuracy, effortCost float64) bool {
+	return incentive.HonestDominates(p, accuracy, effortCost)
+}
+
+// MinimalDominantReward returns the smallest reward making honest effort
+// strictly dominant.
+func MinimalDominantReward(p IncentiveParams, accuracy, effortCost float64) (float64, error) {
+	return incentive.MinimalReward(p, accuracy, effortCost)
+}

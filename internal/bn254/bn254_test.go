@@ -1,0 +1,274 @@
+package bn254
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func randScalar(t testing.TB) *big.Int {
+	t.Helper()
+	s, err := rand.Int(rand.Reader, Order())
+	if err != nil {
+		t.Fatalf("rand: %v", err)
+	}
+	return s
+}
+
+func TestG1GeneratorOnCurve(t *testing.T) {
+	g := G1Generator()
+	if !g.IsOnCurve() {
+		t.Fatal("G1 generator not on curve")
+	}
+	if !g.ScalarMul(Order()).IsInfinity() {
+		t.Fatal("G1 generator does not have order r")
+	}
+}
+
+func TestG2GeneratorOnCurve(t *testing.T) {
+	g := G2Generator()
+	if !g.IsOnCurve() {
+		t.Fatal("G2 generator not on twist")
+	}
+	if !g.IsInSubgroup() {
+		t.Fatal("G2 generator does not have order r")
+	}
+}
+
+func TestG1GroupLaws(t *testing.T) {
+	g := G1Generator()
+	a := g.ScalarMul(big.NewInt(7))
+	b := g.ScalarMul(big.NewInt(11))
+	c := g.ScalarMul(big.NewInt(13))
+
+	if !a.Add(b).Equal(b.Add(a)) {
+		t.Error("G1 addition is not commutative")
+	}
+	if !a.Add(b).Add(c).Equal(a.Add(b.Add(c))) {
+		t.Error("G1 addition is not associative")
+	}
+	if !a.Add(G1Infinity()).Equal(a) {
+		t.Error("G1 identity law fails")
+	}
+	if !a.Add(a.Neg()).IsInfinity() {
+		t.Error("G1 inverse law fails")
+	}
+	if !a.Double().Equal(a.Add(a)) {
+		t.Error("G1 double != add self")
+	}
+	if !g.ScalarMul(big.NewInt(18)).Equal(a.Add(b)) {
+		t.Error("7G + 11G != 18G")
+	}
+}
+
+func TestG1ScalarMulProperties(t *testing.T) {
+	g := G1Generator()
+	f := func(a, b uint32) bool {
+		ka := big.NewInt(int64(a))
+		kb := big.NewInt(int64(b))
+		sum := new(big.Int).Add(ka, kb)
+		return g.ScalarMul(ka).Add(g.ScalarMul(kb)).Equal(g.ScalarMul(sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestG1ScalarMulNegAndMod(t *testing.T) {
+	g := G1Generator()
+	k := randScalar(t)
+	negK := new(big.Int).Neg(k)
+	if !g.ScalarMul(negK).Equal(g.ScalarMul(k).Neg()) {
+		t.Error("(-k)G != -(kG)")
+	}
+	kPlusR := new(big.Int).Add(k, Order())
+	if !g.ScalarMul(kPlusR).Equal(g.ScalarMul(k)) {
+		t.Error("(k+r)G != kG")
+	}
+}
+
+func TestG1Marshal(t *testing.T) {
+	pts := []*G1{G1Generator(), G1Generator().ScalarMul(randScalar(t)), G1Infinity()}
+	for _, pt := range pts {
+		enc := pt.Marshal()
+		dec, err := UnmarshalG1(enc)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !dec.Equal(pt) {
+			t.Errorf("roundtrip mismatch for %v", pt)
+		}
+	}
+	if _, err := UnmarshalG1(make([]byte, 63)); err == nil {
+		t.Error("expected length error")
+	}
+	bad := make([]byte, 64)
+	bad[31] = 5 // x=5, y=0: not on curve
+	if _, err := UnmarshalG1(bad); err == nil {
+		t.Error("expected off-curve error")
+	}
+}
+
+func TestG2GroupLaws(t *testing.T) {
+	g := G2Generator()
+	a := g.ScalarMul(big.NewInt(5))
+	b := g.ScalarMul(big.NewInt(9))
+	if !a.Add(b).Equal(g.ScalarMul(big.NewInt(14))) {
+		t.Error("5H + 9H != 14H")
+	}
+	if !a.Add(a.Neg()).IsInfinity() {
+		t.Error("G2 inverse law fails")
+	}
+	if !a.Double().Equal(a.Add(a)) {
+		t.Error("G2 double != add self")
+	}
+	if !a.Sub(a).IsInfinity() {
+		t.Error("G2 a-a != 0")
+	}
+}
+
+func TestG2Marshal(t *testing.T) {
+	pts := []*G2{G2Generator(), G2Generator().ScalarMul(big.NewInt(12345)), G2Infinity()}
+	for _, pt := range pts {
+		dec, err := UnmarshalG2(pt.Marshal())
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !dec.Equal(pt) {
+			t.Error("G2 roundtrip mismatch")
+		}
+	}
+}
+
+func TestFp2Arithmetic(t *testing.T) {
+	p := params().P
+	a := fp2Elem{A0: big.NewInt(3), A1: big.NewInt(4)}
+	inv := fp2InvP(a, p)
+	if !fp2Equal(fp2MulP(a, inv, p), fp2One()) {
+		t.Error("fp2 inverse fails")
+	}
+	if !fp2Equal(fp2SquareP(a, p), fp2MulP(a, a, p)) {
+		t.Error("fp2 square != mul self")
+	}
+	// ξ·a must match generic multiplication by (9+i).
+	xi := params().xi
+	if !fp2Equal(fp2MulXiP(a, p), fp2MulP(xi, a, p)) {
+		t.Error("mulXi mismatch")
+	}
+}
+
+func TestFp6Fp12Inverse(t *testing.T) {
+	p := params().P
+	a := fp6Elem{
+		B0: fp2Elem{A0: big.NewInt(3), A1: big.NewInt(1)},
+		B1: fp2Elem{A0: big.NewInt(7), A1: big.NewInt(2)},
+		B2: fp2Elem{A0: big.NewInt(9), A1: big.NewInt(5)},
+	}
+	if !fp6Equal(fp6MulP(a, fp6InvP(a, p), p), fp6One()) {
+		t.Error("fp6 inverse fails")
+	}
+	x := fp12Elem{C0: a, C1: fp6Elem{
+		B0: fp2Elem{A0: big.NewInt(11), A1: big.NewInt(13)},
+		B1: fp2Elem{A0: big.NewInt(17), A1: big.NewInt(19)},
+		B2: fp2Elem{A0: big.NewInt(23), A1: big.NewInt(29)},
+	}}
+	if !fp12Equal(fp12MulP(x, fp12InvP(x, p), p), fp12One()) {
+		t.Error("fp12 inverse fails")
+	}
+}
+
+func TestFp6MulByV(t *testing.T) {
+	p := params().P
+	a := fp6Elem{
+		B0: fp2Elem{A0: big.NewInt(3), A1: big.NewInt(1)},
+		B1: fp2Elem{A0: big.NewInt(7), A1: big.NewInt(2)},
+		B2: fp2Elem{A0: big.NewInt(9), A1: big.NewInt(5)},
+	}
+	v := fp6Elem{B0: fp2Zero(), B1: fp2One(), B2: fp2Zero()}
+	if !fp6Equal(fp6MulByVP(a, p), fp6MulP(a, v, p)) {
+		t.Error("mulByV mismatch")
+	}
+}
+
+// TestPairingBilinearity is the critical correctness test for the whole
+// pairing stack: e(aP, bQ) = e(P, Q)^(ab) = e(abP, Q) = e(P, abQ).
+func TestPairingBilinearity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pairing test is slow")
+	}
+	g1 := G1Generator()
+	g2 := G2Generator()
+	a := big.NewInt(6)
+	b := big.NewInt(7)
+	ab := new(big.Int).Mul(a, b)
+
+	base := Pair(g1, g2)
+	if base.IsOne() {
+		t.Fatal("e(G1, G2) is degenerate")
+	}
+	lhs := Pair(g1.ScalarMul(a), g2.ScalarMul(b))
+	rhs := base.Exp(ab)
+	if !lhs.Equal(rhs) {
+		t.Fatal("bilinearity fails: e(aP,bQ) != e(P,Q)^ab")
+	}
+	if !lhs.Equal(Pair(g1.ScalarMul(ab), g2)) {
+		t.Fatal("bilinearity fails: e(abP,Q) mismatch")
+	}
+}
+
+func TestPairingCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pairing test is slow")
+	}
+	g1 := G1Generator()
+	g2 := G2Generator()
+	// e(aG, bH) · e(−abG, H) = 1.
+	a := big.NewInt(3)
+	b := big.NewInt(5)
+	ab := new(big.Int).Mul(a, b)
+	ok := PairingCheck(
+		[]*G1{g1.ScalarMul(a), g1.ScalarMul(ab).Neg()},
+		[]*G2{g2.ScalarMul(b), g2},
+	)
+	if !ok {
+		t.Fatal("valid pairing product rejected")
+	}
+	bad := PairingCheck(
+		[]*G1{g1.ScalarMul(a), g1.ScalarMul(ab)},
+		[]*G2{g2.ScalarMul(b), g2},
+	)
+	if bad {
+		t.Fatal("invalid pairing product accepted")
+	}
+}
+
+func TestPairingWithInfinity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pairing test is slow")
+	}
+	if !Pair(G1Infinity(), G2Generator()).IsOne() {
+		t.Error("e(0, Q) != 1")
+	}
+	if !Pair(G1Generator(), G2Infinity()).IsOne() {
+		t.Error("e(P, 0) != 1")
+	}
+}
+
+func BenchmarkG1ScalarMul(b *testing.B) {
+	k := mustBig("12345678901234567890123456789012345678901234567890")
+	g := G1Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ScalarMul(k)
+	}
+}
+
+func BenchmarkPairing(b *testing.B) {
+	g1 := G1Generator()
+	g2 := G2Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pair(g1, g2)
+	}
+}

@@ -1,0 +1,104 @@
+package bn254
+
+import (
+	"math/big"
+	"sync"
+)
+
+// Fixed-base precomputation for the two generators. Scalar-times-generator
+// is by far the hottest operation in the Groth16 trusted setup (four base
+// multiplications per circuit wire) and in the protocol crypto (every
+// ElGamal encryption and every VPKE verification does base multiplications),
+// so both generators get a windowed table: with 4-bit windows over 256-bit
+// scalars, a base multiplication becomes ≤ 64 mixed additions and no
+// doublings.
+
+const (
+	fixedWindowBits = 4
+	fixedWindows    = 256/fixedWindowBits + 1 // scalars are < 2^255 after reduction
+	fixedTableSize  = 1 << fixedWindowBits
+)
+
+var (
+	g1TableOnce sync.Once
+	g1Table     [][fixedTableSize]*G1 // g1Table[w][d] = d·16^w·G
+
+	g2TableOnce sync.Once
+	g2Table     [][fixedTableSize]*G2
+)
+
+func buildG1Table() {
+	base := params().g1.Clone()
+	g1Table = make([][fixedTableSize]*G1, fixedWindows)
+	for w := 0; w < fixedWindows; w++ {
+		g1Table[w][0] = G1Infinity()
+		for d := 1; d < fixedTableSize; d++ {
+			g1Table[w][d] = g1Table[w][d-1].Add(base)
+		}
+		// base <<= windowBits.
+		for b := 0; b < fixedWindowBits; b++ {
+			base = base.Double()
+		}
+	}
+}
+
+func buildG2Table() {
+	base := params().g2.Clone()
+	g2Table = make([][fixedTableSize]*G2, fixedWindows)
+	for w := 0; w < fixedWindows; w++ {
+		g2Table[w][0] = G2Infinity()
+		for d := 1; d < fixedTableSize; d++ {
+			g2Table[w][d] = g2Table[w][d-1].Add(base)
+		}
+		for b := 0; b < fixedWindowBits; b++ {
+			base = base.Double()
+		}
+	}
+}
+
+// g1FixedBaseMul computes k·G using the precomputed window table.
+func g1FixedBaseMul(k *big.Int) *G1 {
+	g1TableOnce.Do(buildG1Table)
+	s := new(big.Int).Mod(k, params().R)
+	if s.Sign() == 0 {
+		return G1Infinity()
+	}
+	p := params().P
+	jac := g1Jac{X: big.NewInt(1), Y: big.NewInt(1), Z: new(big.Int)} // infinity
+	for w := 0; w*fixedWindowBits < s.BitLen(); w++ {
+		if d := windowDigit(s, w); d != 0 {
+			jac = jacAddMixed(jac, g1Table[w][d], p)
+		}
+	}
+	return jac.affine()
+}
+
+// g2FixedBaseMul computes k·H using the precomputed window table.
+func g2FixedBaseMul(k *big.Int) *G2 {
+	g2TableOnce.Do(buildG2Table)
+	s := new(big.Int).Mod(k, params().R)
+	if s.Sign() == 0 {
+		return G2Infinity()
+	}
+	acc := G2Infinity()
+	for w := 0; w*fixedWindowBits < s.BitLen(); w++ {
+		d := windowDigit(s, w)
+		if d == 0 {
+			continue
+		}
+		acc = acc.Add(g2Table[w][d])
+	}
+	return acc
+}
+
+// windowDigit extracts the w-th base-16 digit of s.
+func windowDigit(s *big.Int, w int) int {
+	d := 0
+	base := w * fixedWindowBits
+	for b := 0; b < fixedWindowBits; b++ {
+		if s.Bit(base+b) == 1 {
+			d |= 1 << b
+		}
+	}
+	return d
+}

@@ -1,0 +1,53 @@
+package bn254
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestG1FixedBaseMatchesGeneric(t *testing.T) {
+	g := G1Generator()
+	f := func(raw uint64) bool {
+		k := new(big.Int).SetUint64(raw)
+		return G1ScalarBaseMul(k).Equal(g.ScalarMul(k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+	// Large scalars and edge cases.
+	for _, k := range []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		new(big.Int).Sub(Order(), big.NewInt(1)),
+		Order(),
+		mustBig("12345678901234567890123456789012345678901234567890123456789012345678901234"),
+	} {
+		if !G1ScalarBaseMul(k).Equal(g.ScalarMul(k)) {
+			t.Errorf("fixed-base mismatch at k=%v", k)
+		}
+	}
+}
+
+func TestG2FixedBaseMatchesGeneric(t *testing.T) {
+	g := G2Generator()
+	for _, raw := range []int64{0, 1, 2, 255, 65537, 1 << 40} {
+		k := big.NewInt(raw)
+		if !G2ScalarBaseMul(k).Equal(g.ScalarMul(k)) {
+			t.Errorf("G2 fixed-base mismatch at k=%d", raw)
+		}
+	}
+	big1 := new(big.Int).Sub(Order(), big.NewInt(7))
+	if !G2ScalarBaseMul(big1).Equal(g.ScalarMul(big1)) {
+		t.Error("G2 fixed-base mismatch at r-7")
+	}
+}
+
+func BenchmarkG1ScalarBaseMulFixed(b *testing.B) {
+	k := mustBig("9876543210987654321098765432109876543210987654321098765432109876")
+	G1ScalarBaseMul(k) // warm the table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		G1ScalarBaseMul(k)
+	}
+}

@@ -1,0 +1,94 @@
+package bn254
+
+import "math/big"
+
+// fp12Elem is an element c0 + c1·w of Fp12 = Fp6[w]/(w² − v).
+type fp12Elem struct {
+	C0, C1 fp6Elem
+}
+
+func fp12Zero() fp12Elem { return fp12Elem{C0: fp6Zero(), C1: fp6Zero()} }
+
+func fp12One() fp12Elem { return fp12Elem{C0: fp6One(), C1: fp6Zero()} }
+
+func (e fp12Elem) clone() fp12Elem { return fp12Elem{C0: e.C0.clone(), C1: e.C1.clone()} }
+
+func (e fp12Elem) isZero() bool { return e.C0.isZero() && e.C1.isZero() }
+
+func (e fp12Elem) isOne() bool {
+	return fp12Equal(e, fp12One())
+}
+
+func fp12Equal(a, b fp12Elem) bool {
+	return fp6Equal(a.C0, b.C0) && fp6Equal(a.C1, b.C1)
+}
+
+func fp12AddP(a, b fp12Elem, p *big.Int) fp12Elem {
+	return fp12Elem{C0: fp6AddP(a.C0, b.C0, p), C1: fp6AddP(a.C1, b.C1, p)}
+}
+
+func fp12SubP(a, b fp12Elem, p *big.Int) fp12Elem {
+	return fp12Elem{C0: fp6SubP(a.C0, b.C0, p), C1: fp6SubP(a.C1, b.C1, p)}
+}
+
+func fp12NegP(a fp12Elem, p *big.Int) fp12Elem {
+	return fp12Elem{C0: fp6NegP(a.C0, p), C1: fp6NegP(a.C1, p)}
+}
+
+// fp12MulP multiplies two Fp12 elements (Karatsuba over Fp6, w² → v):
+//
+//	c0 = a0b0 + v·a1b1
+//	c1 = (a0+a1)(b0+b1) − a0b0 − a1b1
+func fp12MulP(a, b fp12Elem, p *big.Int) fp12Elem {
+	t0 := fp6MulP(a.C0, b.C0, p)
+	t1 := fp6MulP(a.C1, b.C1, p)
+	c0 := fp6AddP(t0, fp6MulByVP(t1, p), p)
+	s := fp6MulP(fp6AddP(a.C0, a.C1, p), fp6AddP(b.C0, b.C1, p), p)
+	c1 := fp6SubP(fp6SubP(s, t0, p), t1, p)
+	return fp12Elem{C0: c0, C1: c1}
+}
+
+func fp12SquareP(a fp12Elem, p *big.Int) fp12Elem {
+	return fp12MulP(a, a, p)
+}
+
+// fp12InvP inverts a nonzero Fp12 element: 1/(a0+a1 w) = (a0 − a1 w)/(a0² − v a1²).
+func fp12InvP(a fp12Elem, p *big.Int) fp12Elem {
+	t := fp6SubP(fp6SquareP(a.C0, p), fp6MulByVP(fp6SquareP(a.C1, p), p), p)
+	ti := fp6InvP(t, p)
+	return fp12Elem{C0: fp6MulP(a.C0, ti, p), C1: fp6NegP(fp6MulP(a.C1, ti, p), p)}
+}
+
+// fp12ExpP raises a to the power e (e ≥ 0) by square-and-multiply.
+func fp12ExpP(a fp12Elem, e, p *big.Int) fp12Elem {
+	result := fp12One()
+	base := a.clone()
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		result = fp12SquareP(result, p)
+		if e.Bit(i) == 1 {
+			result = fp12MulP(result, base, p)
+		}
+	}
+	return result
+}
+
+// fp12FromFp embeds a base-field element into Fp12.
+func fp12FromFp(x *big.Int) fp12Elem {
+	e := fp12Zero()
+	e.C0.B0.A0 = new(big.Int).Set(x)
+	return e
+}
+
+// fp12FromFp2 embeds an Fp2 element into Fp12 (as the constant coefficient).
+func fp12FromFp2(x fp2Elem) fp12Elem {
+	e := fp12Zero()
+	e.C0.B0 = x.clone()
+	return e
+}
+
+// fp12MulByW multiplies by the tower generator w (used by the untwist map
+// ψ(x, y) = (x·w², y·w³), since w⁶ = ξ).
+func fp12MulByW(a fp12Elem, p *big.Int) fp12Elem {
+	// (c0 + c1 w)·w = v·c1 + c0·w.
+	return fp12Elem{C0: fp6MulByVP(a.C1, p), C1: a.C0.clone()}
+}

@@ -1,0 +1,93 @@
+package bn254
+
+import "math/big"
+
+// fp2Elem is an element a0 + a1·i of Fp2 = Fp[i]/(i²+1). Both coordinates
+// are kept reduced in [0, p). The zero value is not valid; use fp2Zero/fp2One.
+type fp2Elem struct {
+	A0, A1 *big.Int
+}
+
+func fp2Zero() fp2Elem { return fp2Elem{A0: new(big.Int), A1: new(big.Int)} }
+
+func fp2One() fp2Elem { return fp2Elem{A0: big.NewInt(1), A1: new(big.Int)} }
+
+func fp2FromInt(v int64) fp2Elem { return fp2Elem{A0: big.NewInt(v), A1: new(big.Int)} }
+
+func (e fp2Elem) clone() fp2Elem {
+	return fp2Elem{A0: new(big.Int).Set(e.A0), A1: new(big.Int).Set(e.A1)}
+}
+
+func (e fp2Elem) isZero() bool { return e.A0.Sign() == 0 && e.A1.Sign() == 0 }
+
+func fp2Equal(a, b fp2Elem) bool { return a.A0.Cmp(b.A0) == 0 && a.A1.Cmp(b.A1) == 0 }
+
+func fp2AddP(a, b fp2Elem, p *big.Int) fp2Elem {
+	return fp2Elem{A0: fpAdd(a.A0, b.A0, p), A1: fpAdd(a.A1, b.A1, p)}
+}
+
+func fp2SubP(a, b fp2Elem, p *big.Int) fp2Elem {
+	return fp2Elem{A0: fpSub(a.A0, b.A0, p), A1: fpSub(a.A1, b.A1, p)}
+}
+
+func fp2NegP(a fp2Elem, p *big.Int) fp2Elem {
+	return fp2Elem{A0: fpNeg(a.A0, p), A1: fpNeg(a.A1, p)}
+}
+
+// fp2MulP multiplies two Fp2 elements: (a0+a1 i)(b0+b1 i) with i² = −1.
+func fp2MulP(a, b fp2Elem, p *big.Int) fp2Elem {
+	t0 := fpMul(a.A0, b.A0, p)
+	t1 := fpMul(a.A1, b.A1, p)
+	c0 := fpSub(t0, t1, p)
+	// c1 = (a0+a1)(b0+b1) − t0 − t1 (Karatsuba).
+	s := fpMul(fpAdd(a.A0, a.A1, p), fpAdd(b.A0, b.A1, p), p)
+	c1 := fpSub(fpSub(s, t0, p), t1, p)
+	return fp2Elem{A0: c0, A1: c1}
+}
+
+func fp2SquareP(a fp2Elem, p *big.Int) fp2Elem {
+	// (a0+a1 i)² = (a0−a1)(a0+a1) + 2 a0 a1 i.
+	c0 := fpMul(fpSub(a.A0, a.A1, p), fpAdd(a.A0, a.A1, p), p)
+	c1 := fpMul(a.A0, a.A1, p)
+	c1 = fpAdd(c1, c1, p)
+	return fp2Elem{A0: c0, A1: c1}
+}
+
+// fp2InvP inverts a nonzero Fp2 element: 1/(a0+a1 i) = (a0−a1 i)/(a0²+a1²).
+func fp2InvP(a fp2Elem, p *big.Int) fp2Elem {
+	norm := fpAdd(fpMul(a.A0, a.A0, p), fpMul(a.A1, a.A1, p), p)
+	ni := fpInv(norm, p)
+	return fp2Elem{A0: fpMul(a.A0, ni, p), A1: fpMul(fpNeg(a.A1, p), ni, p)}
+}
+
+// fp2Conj returns the conjugate a0 − a1 i (the p-power Frobenius on Fp2).
+func fp2Conj(a fp2Elem, p *big.Int) fp2Elem {
+	return fp2Elem{A0: new(big.Int).Set(a.A0), A1: fpNeg(a.A1, p)}
+}
+
+// fp2MulXiP multiplies by the sextic non-residue ξ = 9 + i:
+// (9a0 − a1) + (9a1 + a0)i.
+func fp2MulXiP(a fp2Elem, p *big.Int) fp2Elem {
+	nine := big.NewInt(9)
+	c0 := fpSub(fpMul(nine, a.A0, p), a.A1, p)
+	c1 := fpAdd(fpMul(nine, a.A1, p), a.A0, p)
+	return fp2Elem{A0: c0, A1: c1}
+}
+
+// fp2MulScalarP multiplies an Fp2 element by a base-field scalar.
+func fp2MulScalarP(a fp2Elem, s, p *big.Int) fp2Elem {
+	return fp2Elem{A0: fpMul(a.A0, s, p), A1: fpMul(a.A1, s, p)}
+}
+
+// fp2ExpP raises a to the power e (e ≥ 0) by square-and-multiply.
+func fp2ExpP(a fp2Elem, e, p *big.Int) fp2Elem {
+	result := fp2One()
+	base := a.clone()
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		result = fp2SquareP(result, p)
+		if e.Bit(i) == 1 {
+			result = fp2MulP(result, base, p)
+		}
+	}
+	return result
+}

@@ -1,0 +1,93 @@
+package bn254
+
+import "math/big"
+
+// fp6Elem is an element b0 + b1·v + b2·v² of Fp6 = Fp2[v]/(v³ − ξ).
+type fp6Elem struct {
+	B0, B1, B2 fp2Elem
+}
+
+func fp6Zero() fp6Elem { return fp6Elem{B0: fp2Zero(), B1: fp2Zero(), B2: fp2Zero()} }
+
+func fp6One() fp6Elem { return fp6Elem{B0: fp2One(), B1: fp2Zero(), B2: fp2Zero()} }
+
+func (e fp6Elem) clone() fp6Elem {
+	return fp6Elem{B0: e.B0.clone(), B1: e.B1.clone(), B2: e.B2.clone()}
+}
+
+func (e fp6Elem) isZero() bool { return e.B0.isZero() && e.B1.isZero() && e.B2.isZero() }
+
+func fp6Equal(a, b fp6Elem) bool {
+	return fp2Equal(a.B0, b.B0) && fp2Equal(a.B1, b.B1) && fp2Equal(a.B2, b.B2)
+}
+
+func fp6AddP(a, b fp6Elem, p *big.Int) fp6Elem {
+	return fp6Elem{
+		B0: fp2AddP(a.B0, b.B0, p),
+		B1: fp2AddP(a.B1, b.B1, p),
+		B2: fp2AddP(a.B2, b.B2, p),
+	}
+}
+
+func fp6SubP(a, b fp6Elem, p *big.Int) fp6Elem {
+	return fp6Elem{
+		B0: fp2SubP(a.B0, b.B0, p),
+		B1: fp2SubP(a.B1, b.B1, p),
+		B2: fp2SubP(a.B2, b.B2, p),
+	}
+}
+
+func fp6NegP(a fp6Elem, p *big.Int) fp6Elem {
+	return fp6Elem{B0: fp2NegP(a.B0, p), B1: fp2NegP(a.B1, p), B2: fp2NegP(a.B2, p)}
+}
+
+// fp6MulP multiplies two Fp6 elements (schoolbook, reducing v³ → ξ):
+//
+//	c0 = a0b0 + ξ(a1b2 + a2b1)
+//	c1 = a0b1 + a1b0 + ξ a2b2
+//	c2 = a0b2 + a1b1 + a2b0
+func fp6MulP(a, b fp6Elem, p *big.Int) fp6Elem {
+	t00 := fp2MulP(a.B0, b.B0, p)
+	t01 := fp2MulP(a.B0, b.B1, p)
+	t02 := fp2MulP(a.B0, b.B2, p)
+	t10 := fp2MulP(a.B1, b.B0, p)
+	t11 := fp2MulP(a.B1, b.B1, p)
+	t12 := fp2MulP(a.B1, b.B2, p)
+	t20 := fp2MulP(a.B2, b.B0, p)
+	t21 := fp2MulP(a.B2, b.B1, p)
+	t22 := fp2MulP(a.B2, b.B2, p)
+
+	c0 := fp2AddP(t00, fp2MulXiP(fp2AddP(t12, t21, p), p), p)
+	c1 := fp2AddP(fp2AddP(t01, t10, p), fp2MulXiP(t22, p), p)
+	c2 := fp2AddP(fp2AddP(t02, t11, p), t20, p)
+	return fp6Elem{B0: c0, B1: c1, B2: c2}
+}
+
+func fp6SquareP(a fp6Elem, p *big.Int) fp6Elem {
+	return fp6MulP(a, a, p)
+}
+
+// fp6MulByVP multiplies by v: (b0, b1, b2) → (ξ·b2, b0, b1).
+func fp6MulByVP(a fp6Elem, p *big.Int) fp6Elem {
+	return fp6Elem{B0: fp2MulXiP(a.B2, p), B1: a.B0.clone(), B2: a.B1.clone()}
+}
+
+// fp6InvP inverts a nonzero Fp6 element using the standard norm method.
+func fp6InvP(a fp6Elem, p *big.Int) fp6Elem {
+	// c0 = a0² − ξ a1 a2, c1 = ξ a2² − a0 a1, c2 = a1² − a0 a2.
+	c0 := fp2SubP(fp2SquareP(a.B0, p), fp2MulXiP(fp2MulP(a.B1, a.B2, p), p), p)
+	c1 := fp2SubP(fp2MulXiP(fp2SquareP(a.B2, p), p), fp2MulP(a.B0, a.B1, p), p)
+	c2 := fp2SubP(fp2SquareP(a.B1, p), fp2MulP(a.B0, a.B2, p), p)
+	// t = a0 c0 + ξ(a1 c2 + a2 c1).
+	t := fp2AddP(
+		fp2MulP(a.B0, c0, p),
+		fp2MulXiP(fp2AddP(fp2MulP(a.B1, c2, p), fp2MulP(a.B2, c1, p), p), p),
+		p,
+	)
+	ti := fp2InvP(t, p)
+	return fp6Elem{
+		B0: fp2MulP(c0, ti, p),
+		B1: fp2MulP(c1, ti, p),
+		B2: fp2MulP(c2, ti, p),
+	}
+}

@@ -1,0 +1,63 @@
+package bn254
+
+import (
+	"math/big"
+	"testing"
+)
+
+// GT group tests: the pairing target group must behave as a prime-order
+// multiplicative group, and exponent arithmetic must match the scalar field.
+func TestGTGroupLaws(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pairing test is slow")
+	}
+	e := Pair(G1Generator(), G2Generator())
+	if e.IsOne() {
+		t.Fatal("pairing degenerate")
+	}
+	a := e.Exp(big.NewInt(3))
+	b := e.Exp(big.NewInt(4))
+	if !a.Mul(b).Equal(e.Exp(big.NewInt(7))) {
+		t.Error("e^3·e^4 != e^7")
+	}
+	if !a.Mul(a.Inv()).IsOne() {
+		t.Error("a·a⁻¹ != 1")
+	}
+	if !e.Exp(Order()).IsOne() {
+		t.Error("e^r != 1: GT element not of order dividing r")
+	}
+	if !e.Exp(new(big.Int).Neg(big.NewInt(2))).Equal(e.Exp(big.NewInt(2)).Inv()) {
+		t.Error("negative exponent mismatch")
+	}
+	if !GTOne().Mul(e).Equal(e) {
+		t.Error("identity law fails")
+	}
+}
+
+// The pairing must be independent of which side carries the scalar —
+// checked against a non-generator pair of points.
+func TestPairingScalarMobility(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pairing test is slow")
+	}
+	p := G1Generator().ScalarMul(big.NewInt(11))
+	q := G2Generator().ScalarMul(big.NewInt(13))
+	k := big.NewInt(5)
+	lhs := Pair(p.ScalarMul(k), q)
+	rhs := Pair(p, q.ScalarMul(k))
+	if !lhs.Equal(rhs) {
+		t.Fatal("e(kP, Q) != e(P, kQ)")
+	}
+	if !lhs.Equal(Pair(p, q).Exp(k)) {
+		t.Fatal("e(kP, Q) != e(P, Q)^k")
+	}
+}
+
+func TestPairingCheckEmptyAndMismatched(t *testing.T) {
+	if !PairingCheck(nil, nil) {
+		t.Error("empty pairing product should be 1")
+	}
+	if PairingCheck([]*G1{G1Generator()}, nil) {
+		t.Error("mismatched slice lengths accepted")
+	}
+}

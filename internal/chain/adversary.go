@@ -1,0 +1,65 @@
+package chain
+
+import "math/rand"
+
+// This file provides a library of network-adversary strategies for
+// experiments and security tests. All of them respect the model of §IV of
+// the paper: the adversary may reorder the so-far-undelivered messages of a
+// round ("rushing") and delay any message by at most one clock period
+// (synchrony), which the chain enforces regardless.
+
+// RushingScheduler is the canonical strongest adversary: it reverses every
+// round's execution order and delays every fresh transaction once.
+type RushingScheduler struct{}
+
+// Schedule implements Scheduler.
+func (RushingScheduler) Schedule(_ int, mandatory, fresh []*Tx) (order, delay []*Tx) {
+	order = make([]*Tx, len(mandatory))
+	for i, tx := range mandatory {
+		order[len(mandatory)-1-i] = tx
+	}
+	return order, fresh
+}
+
+// TargetedDelayScheduler delays (once) every fresh transaction from one
+// address — e.g. to try to push a specific worker's reveal or the
+// requester's golden opening toward its window boundary.
+type TargetedDelayScheduler struct {
+	Victim Address
+}
+
+// Schedule implements Scheduler.
+func (s TargetedDelayScheduler) Schedule(_ int, mandatory, fresh []*Tx) (order, delay []*Tx) {
+	order = append(order, mandatory...)
+	for _, tx := range fresh {
+		if tx.From == s.Victim {
+			delay = append(delay, tx)
+		} else {
+			order = append(order, tx)
+		}
+	}
+	return order, delay
+}
+
+// RandomScheduler permutes each round's transactions and delays a random
+// subset of the fresh ones, driven by a seeded source for reproducible
+// randomized testing.
+type RandomScheduler struct {
+	Rng *rand.Rand
+	// DelayProbability is the per-transaction chance of a one-round delay.
+	DelayProbability float64
+}
+
+// Schedule implements Scheduler.
+func (s *RandomScheduler) Schedule(_ int, mandatory, fresh []*Tx) (order, delay []*Tx) {
+	order = append(order, mandatory...)
+	for _, tx := range fresh {
+		if s.Rng.Float64() < s.DelayProbability {
+			delay = append(delay, tx)
+		} else {
+			order = append(order, tx)
+		}
+	}
+	s.Rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order, delay
+}

@@ -1,0 +1,87 @@
+package chain_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/ledger"
+)
+
+func pump(t *testing.T, c *chain.Chain, rounds int) (executed int) {
+	t.Helper()
+	for i := 0; i < rounds; i++ {
+		rs, err := c.MineRound()
+		if err != nil {
+			t.Fatalf("MineRound: %v", err)
+		}
+		executed += len(rs)
+	}
+	return executed
+}
+
+func TestRushingSchedulerReversesAndDelays(t *testing.T) {
+	l := ledger.New()
+	c := chain.New(l, chain.RushingScheduler{})
+	if _, err := c.Deploy("ctr", counterContract{}, 1, "d"); err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(&chain.Tx{From: "a", Contract: "ctr", Method: "inc"})
+	c.Submit(&chain.Tx{From: "b", Contract: "ctr", Method: "inc"})
+	rs, err := c.MineRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Fatal("rushing scheduler executed fresh txs immediately")
+	}
+	rs, err = c.MineRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Tx.From != "b" {
+		t.Fatalf("expected reversed mandatory execution, got %d txs first=%v", len(rs), rs[0].Tx.From)
+	}
+}
+
+func TestTargetedDelayScheduler(t *testing.T) {
+	l := ledger.New()
+	c := chain.New(l, chain.TargetedDelayScheduler{Victim: "victim"})
+	if _, err := c.Deploy("ctr", counterContract{}, 1, "d"); err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(&chain.Tx{From: "victim", Contract: "ctr", Method: "inc"})
+	c.Submit(&chain.Tx{From: "other", Contract: "ctr", Method: "inc"})
+	rs, err := c.MineRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Tx.From != "other" {
+		t.Fatalf("round 0: %v", rs)
+	}
+	rs, err = c.MineRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synchrony: the victim's tx cannot be delayed a second time.
+	if len(rs) != 1 || rs[0].Tx.From != "victim" {
+		t.Fatalf("victim tx not force-included: %v", rs)
+	}
+}
+
+func TestRandomSchedulerDeliversEverything(t *testing.T) {
+	l := ledger.New()
+	s := &chain.RandomScheduler{Rng: rand.New(rand.NewSource(5)), DelayProbability: 0.6}
+	c := chain.New(l, s)
+	if _, err := c.Deploy("ctr", counterContract{}, 1, "d"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		c.Submit(&chain.Tx{From: chain.Address(rune('a' + i%5)), Contract: "ctr", Method: "inc"})
+	}
+	// Within two rounds every tx must have executed exactly once.
+	if got := pump(t, c, 2); got != n {
+		t.Fatalf("executed %d txs in 2 rounds, want %d (synchrony bound)", got, n)
+	}
+}

@@ -1,0 +1,281 @@
+// Package chain simulates the permissionless blockchain environment the
+// Dragoon contract runs on. It reproduces the three properties the paper's
+// contract functionality C_hit (Fig. 4) extracts from a real blockchain:
+//
+//  1. transparent, deterministic execution of a stateful program, with gas
+//     metering calibrated to Ethereum's Istanbul schedule (package gas), so
+//     the handling-fee experiments of Table III can be regenerated;
+//  2. access to the cryptocurrency ledger (package ledger) for conditional
+//     payments, with transactional semantics (a reverted call moves no
+//     coins and writes no state);
+//  3. the synchronous network model with a rushing adversary: time advances
+//     in clock rounds, and a pluggable Scheduler — the adversary — may
+//     reorder the transactions of a round and delay any transaction by at
+//     most one round, exactly the power the paper grants the adversary.
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dragoon/internal/gas"
+	"dragoon/internal/ledger"
+)
+
+// Address identifies an externally-owned account (a protocol party).
+type Address string
+
+// Tx is a transaction invoking a contract method.
+type Tx struct {
+	From     Address
+	Contract ledger.ContractID
+	Method   string
+	Data     []byte
+
+	arrivalRound int
+	delayed      bool
+}
+
+// Event is an emitted contract log entry. As on Ethereum, events are not
+// readable by contracts, only by off-chain clients; Dragoon stores workers'
+// ciphertexts in events while the contract keeps only their hashes (§VI,
+// on-chain optimization (ii)).
+type Event struct {
+	Contract ledger.ContractID
+	Name     string
+	Data     []byte
+	Round    int
+}
+
+// Receipt records the outcome of an executed transaction.
+type Receipt struct {
+	Tx      *Tx
+	Round   int
+	GasUsed uint64
+	Err     error // non-nil if the call reverted
+	Events  []Event
+}
+
+// Reverted reports whether the transaction reverted.
+func (r *Receipt) Reverted() bool { return r.Err != nil }
+
+// Contract is a stateful on-chain program. Execute must perform all state
+// access through env so that gas is metered and reverts roll back cleanly.
+type Contract interface {
+	Execute(env *Env, from Address, method string, data []byte) error
+}
+
+// Scheduler is the network adversary. Each round it is consulted with the
+// transactions that must be executed this round (those already delayed
+// once — synchrony forbids delaying further) and the fresh arrivals; it
+// returns the execution order and the set of fresh transactions to delay
+// into the next round. Implementations must return a permutation of
+// mandatory ∪ (fresh − delay).
+type Scheduler interface {
+	Schedule(round int, mandatory, fresh []*Tx) (order, delay []*Tx)
+}
+
+// FIFOScheduler is the honest network: everything executes in arrival order.
+type FIFOScheduler struct{}
+
+// Schedule implements Scheduler.
+func (FIFOScheduler) Schedule(_ int, mandatory, fresh []*Tx) (order, delay []*Tx) {
+	return append(append([]*Tx{}, mandatory...), fresh...), nil
+}
+
+// Chain is the simulated blockchain. It is safe for concurrent use.
+type Chain struct {
+	mu        sync.Mutex
+	ledger    *ledger.Ledger
+	round     int
+	contracts map[ledger.ContractID]Contract
+	storage   map[ledger.ContractID]map[string][]byte
+	mempool   []*Tx
+	receipts  []*Receipt
+	events    []Event
+	scheduler Scheduler
+	gasByAddr map[Address]uint64
+}
+
+// New creates a chain over l with the given adversary (FIFO if nil).
+func New(l *ledger.Ledger, s Scheduler) *Chain {
+	if s == nil {
+		s = FIFOScheduler{}
+	}
+	return &Chain{
+		ledger:    l,
+		contracts: make(map[ledger.ContractID]Contract),
+		storage:   make(map[ledger.ContractID]map[string][]byte),
+		scheduler: s,
+		gasByAddr: make(map[Address]uint64),
+	}
+}
+
+// Ledger returns the underlying coin functionality.
+func (c *Chain) Ledger() *ledger.Ledger { return c.ledger }
+
+// Round returns the current clock round.
+func (c *Chain) Round() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.round
+}
+
+// Deploy installs a contract and charges the deployer realistic deployment
+// gas (intrinsic create cost plus per-byte code deposit for codeSize bytes).
+func (c *Chain) Deploy(id ledger.ContractID, contract Contract, codeSize int, from Address) (*Receipt, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.contracts[id]; exists {
+		return nil, fmt.Errorf("chain: contract %q already deployed", id)
+	}
+	c.contracts[id] = contract
+	c.storage[id] = make(map[string][]byte)
+	used := uint64(gas.TxBase + gas.TxCreate + gas.CodeDepositPerByte*codeSize)
+	c.gasByAddr[from] += used
+	rcpt := &Receipt{
+		Tx:      &Tx{From: from, Contract: id, Method: "deploy"},
+		Round:   c.round,
+		GasUsed: used,
+	}
+	c.receipts = append(c.receipts, rcpt)
+	return rcpt, nil
+}
+
+// Submit queues a transaction for the current round's mempool.
+func (c *Chain) Submit(tx *Tx) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tx.arrivalRound = c.round
+	c.mempool = append(c.mempool, tx)
+}
+
+// MineRound consults the adversary, executes the scheduled transactions in
+// order, advances the clock, and returns the round's receipts. It returns an
+// error only if the Scheduler violates its contract.
+func (c *Chain) MineRound() ([]*Receipt, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var mandatory, fresh []*Tx
+	for _, tx := range c.mempool {
+		if tx.delayed {
+			mandatory = append(mandatory, tx)
+		} else {
+			fresh = append(fresh, tx)
+		}
+	}
+	order, delay := c.scheduler.Schedule(c.round, mandatory, fresh)
+	if err := validateSchedule(mandatory, fresh, order, delay); err != nil {
+		return nil, err
+	}
+
+	var receipts []*Receipt
+	for _, tx := range order {
+		receipts = append(receipts, c.execute(tx))
+	}
+	for _, tx := range delay {
+		tx.delayed = true
+	}
+	c.mempool = append([]*Tx{}, delay...)
+	c.round++
+	return receipts, nil
+}
+
+// validateSchedule checks that the adversary returned a legal schedule:
+// order ∪ delay is exactly mandatory ∪ fresh, delay ⊆ fresh, no duplicates.
+func validateSchedule(mandatory, fresh, order, delay []*Tx) error {
+	seen := make(map[*Tx]bool, len(order)+len(delay))
+	for _, tx := range append(append([]*Tx{}, order...), delay...) {
+		if seen[tx] {
+			return errors.New("chain: scheduler returned a duplicate transaction")
+		}
+		seen[tx] = true
+	}
+	if len(seen) != len(mandatory)+len(fresh) {
+		return fmt.Errorf("chain: scheduler returned %d txs, expected %d",
+			len(seen), len(mandatory)+len(fresh))
+	}
+	for _, tx := range mandatory {
+		if !seen[tx] {
+			return errors.New("chain: scheduler dropped a transaction")
+		}
+	}
+	for _, tx := range delay {
+		if tx.delayed {
+			return errors.New("chain: scheduler delayed a transaction twice (synchrony violation)")
+		}
+	}
+	for _, tx := range fresh {
+		if !seen[tx] {
+			return errors.New("chain: scheduler dropped a transaction")
+		}
+	}
+	return nil
+}
+
+// execute runs one transaction with transactional (revert-on-error)
+// semantics. Caller holds c.mu.
+func (c *Chain) execute(tx *Tx) *Receipt {
+	rcpt := &Receipt{Tx: tx, Round: c.round}
+	contract, ok := c.contracts[tx.Contract]
+	if !ok {
+		rcpt.GasUsed = gas.TxBase
+		rcpt.Err = fmt.Errorf("chain: no contract %q", tx.Contract)
+	} else {
+		env := newEnv(c, tx.Contract)
+		env.UseGas(gas.TxBase + gas.CalldataCost(tx.Data))
+		err := contract.Execute(env, tx.From, tx.Method, tx.Data)
+		rcpt.GasUsed = env.gasUsed
+		if err != nil {
+			rcpt.Err = err // revert: discard journal
+		} else {
+			if applyErr := env.commit(); applyErr != nil {
+				rcpt.Err = applyErr
+			} else {
+				rcpt.Events = env.events
+				c.events = append(c.events, env.events...)
+			}
+		}
+	}
+	c.gasByAddr[tx.From] += rcpt.GasUsed
+	c.receipts = append(c.receipts, rcpt)
+	return rcpt
+}
+
+// Receipts returns all receipts so far, in execution order.
+func (c *Chain) Receipts() []*Receipt {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Receipt, len(c.receipts))
+	copy(out, c.receipts)
+	return out
+}
+
+// Events returns all events emitted so far, in emission order.
+func (c *Chain) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// GasUsedBy returns the cumulative gas paid by an address.
+func (c *Chain) GasUsedBy(a Address) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gasByAddr[a]
+}
+
+// TotalGas returns the cumulative gas used by all transactions.
+func (c *Chain) TotalGas() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t uint64
+	for _, g := range c.gasByAddr {
+		t += g
+	}
+	return t
+}

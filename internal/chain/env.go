@@ -1,0 +1,226 @@
+package chain
+
+import (
+	"fmt"
+	"math/big"
+
+	"dragoon/internal/gas"
+	"dragoon/internal/group"
+	"dragoon/internal/keccak"
+	"dragoon/internal/ledger"
+)
+
+// Env is the metered execution environment handed to a contract call. All
+// state effects (storage writes, events, ledger transfers) are journaled and
+// applied only if the call completes without error, giving EVM-style revert
+// semantics.
+type Env struct {
+	chain      *Chain
+	contractID ledger.ContractID
+	gasUsed    uint64
+
+	// Journals.
+	storeWrites map[string][]byte
+	events      []Event
+	freezes     []ledgerOp
+	pays        []ledgerOp
+
+	// Pending balance deltas so validation sees intra-call effects.
+	pendingFrozen map[ledger.AccountID]ledger.Amount
+	pendingEscrow int64 // net escrow change within this call
+}
+
+type ledgerOp struct {
+	party  ledger.AccountID
+	amount ledger.Amount
+}
+
+func newEnv(c *Chain, id ledger.ContractID) *Env {
+	return &Env{
+		chain:         c,
+		contractID:    id,
+		storeWrites:   make(map[string][]byte),
+		pendingFrozen: make(map[ledger.AccountID]ledger.Amount),
+	}
+}
+
+// Round returns the current clock round.
+func (e *Env) Round() int { return e.chain.round }
+
+// GasUsed returns the gas consumed so far in this call.
+func (e *Env) GasUsed() uint64 { return e.gasUsed }
+
+// UseGas charges raw gas (used for calibrated execution overheads).
+func (e *Env) UseGas(n uint64) { e.gasUsed += n }
+
+// Keccak computes keccak256 over data, charging the SHA3 opcode cost.
+func (e *Env) Keccak(data []byte) [32]byte {
+	e.UseGas(gas.KeccakCost(len(data)))
+	return keccak.Sum256(data)
+}
+
+// ChargeMemory charges linear memory-expansion cost for processing n bytes
+// of bulk payload.
+func (e *Env) ChargeMemory(n int) {
+	e.UseGas(gas.MemoryWord * uint64((n+31)/32))
+}
+
+// StoreSet writes a storage slot (journaled; charged as SSTORE).
+func (e *Env) StoreSet(key string, val []byte) {
+	if _, exists := e.loadRaw(key); exists {
+		e.UseGas(gas.SStoreReset)
+	} else {
+		e.UseGas(gas.SStoreSet)
+	}
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	e.storeWrites[key] = cp
+}
+
+// StoreGet reads a storage slot (charged as SLOAD), observing journaled
+// writes from earlier in the same call.
+func (e *Env) StoreGet(key string) ([]byte, bool) {
+	e.UseGas(gas.SLoad)
+	return e.loadRaw(key)
+}
+
+func (e *Env) loadRaw(key string) ([]byte, bool) {
+	if v, ok := e.storeWrites[key]; ok {
+		return append([]byte{}, v...), true
+	}
+	v, ok := e.chain.storage[e.contractID][key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte{}, v...), true
+}
+
+// Emit records an event (journaled; charged as LOG with the given topics).
+func (e *Env) Emit(name string, topics int, data []byte) {
+	e.UseGas(gas.LogCost(topics, len(data)))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	e.events = append(e.events, Event{
+		Contract: e.contractID,
+		Name:     name,
+		Data:     cp,
+		Round:    e.chain.round,
+	})
+}
+
+// Freeze escrows amount coins from party p into this contract (the ledger's
+// FreezeCoins oracle). Insufficient funds fail immediately — the "nofund"
+// branch of the ideal functionality — reverting the call if propagated.
+func (e *Env) Freeze(p ledger.AccountID, amount ledger.Amount) error {
+	available := e.chain.ledger.Balance(p) - e.pendingFrozen[p]
+	if e.chain.ledger.Balance(p) < e.pendingFrozen[p] || available < amount {
+		return fmt.Errorf("chain: nofund freezing %d from %s", amount, p)
+	}
+	e.pendingFrozen[p] += amount
+	e.pendingEscrow += int64(amount)
+	e.freezes = append(e.freezes, ledgerOp{party: p, amount: amount})
+	return nil
+}
+
+// Pay releases amount escrowed coins to party p (the ledger's PayCoins
+// oracle), validated against the contract's escrow including intra-call
+// freezes and payments.
+func (e *Env) Pay(p ledger.AccountID, amount ledger.Amount) error {
+	escrow := int64(e.chain.ledger.Escrow(e.contractID)) + e.pendingEscrow
+	if escrow < int64(amount) {
+		return fmt.Errorf("chain: escrow %d cannot pay %d to %s", escrow, amount, p)
+	}
+	e.pendingEscrow -= int64(amount)
+	e.pays = append(e.pays, ledgerOp{party: p, amount: amount})
+	return nil
+}
+
+// commit applies the journal. The ledger operations were validated when
+// queued, so failures here indicate a chain bug and are surfaced as errors.
+func (e *Env) commit() error {
+	for _, op := range e.freezes {
+		if err := e.chain.ledger.FreezeCoins(e.contractID, op.party, op.amount); err != nil {
+			return fmt.Errorf("chain: journaled freeze failed: %w", err)
+		}
+	}
+	for _, op := range e.pays {
+		if err := e.chain.ledger.PayCoins(e.contractID, op.party, op.amount); err != nil {
+			return fmt.Errorf("chain: journaled pay failed: %w", err)
+		}
+	}
+	for k, v := range e.storeWrites {
+		e.chain.storage[e.contractID][k] = v
+	}
+	return nil
+}
+
+// MeteredGroup wraps a group backend so that every algebraic operation a
+// contract performs is charged at the corresponding EVM precompile price
+// (EIP-1108: ECADD 150 gas, ECMUL 6000 gas). Handing a MeteredGroup-backed
+// public key to the vpke/poqoea verifiers yields exactly the gas a Solidity
+// verifier paying for precompile calls would incur — the paper's on-chain
+// optimization (i).
+type MeteredGroup struct {
+	inner group.Group
+	env   *Env
+}
+
+// NewMeteredGroup wraps g with per-operation gas charging against env.
+func NewMeteredGroup(env *Env, g group.Group) *MeteredGroup {
+	return &MeteredGroup{inner: g, env: env}
+}
+
+var _ group.Group = (*MeteredGroup)(nil)
+
+// Name implements group.Group.
+func (m *MeteredGroup) Name() string { return m.inner.Name() + "+metered" }
+
+// Order implements group.Group.
+func (m *MeteredGroup) Order() *big.Int { return m.inner.Order() }
+
+// Generator implements group.Group.
+func (m *MeteredGroup) Generator() group.Element { return m.inner.Generator() }
+
+// Identity implements group.Group.
+func (m *MeteredGroup) Identity() group.Element { return m.inner.Identity() }
+
+// Add implements group.Group, charging the ECADD precompile price.
+func (m *MeteredGroup) Add(a, b group.Element) group.Element {
+	m.env.UseGas(gas.EcAdd)
+	return m.inner.Add(a, b)
+}
+
+// Neg implements group.Group (negation is an ECADD-class operation).
+func (m *MeteredGroup) Neg(a group.Element) group.Element {
+	m.env.UseGas(gas.EcAdd)
+	return m.inner.Neg(a)
+}
+
+// ScalarMul implements group.Group, charging the ECMUL precompile price.
+func (m *MeteredGroup) ScalarMul(a group.Element, k *big.Int) group.Element {
+	m.env.UseGas(gas.EcMul)
+	return m.inner.ScalarMul(a, k)
+}
+
+// ScalarBaseMul implements group.Group, charging the ECMUL precompile price.
+func (m *MeteredGroup) ScalarBaseMul(k *big.Int) group.Element {
+	m.env.UseGas(gas.EcMul)
+	return m.inner.ScalarBaseMul(k)
+}
+
+// Equal implements group.Group (comparison is free, as on the EVM).
+func (m *MeteredGroup) Equal(a, b group.Element) bool { return m.inner.Equal(a, b) }
+
+// IsIdentity implements group.Group.
+func (m *MeteredGroup) IsIdentity(a group.Element) bool { return m.inner.IsIdentity(a) }
+
+// Marshal implements group.Group.
+func (m *MeteredGroup) Marshal(a group.Element) []byte { return m.inner.Marshal(a) }
+
+// Unmarshal implements group.Group.
+func (m *MeteredGroup) Unmarshal(data []byte) (group.Element, error) {
+	return m.inner.Unmarshal(data)
+}
+
+// ElementLen implements group.Group.
+func (m *MeteredGroup) ElementLen() int { return m.inner.ElementLen() }

@@ -1,0 +1,136 @@
+package contract_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/commit"
+	"dragoon/internal/contract"
+	"dragoon/internal/ledger"
+)
+
+// Property: every message type roundtrips through its wire encoding, and
+// the decoders reject truncation and trailing garbage. Deterministic
+// encodings matter doubly here: commitments are computed over encoded
+// payloads, and calldata gas is charged per byte.
+
+func TestPublishMsgRoundtripQuick(t *testing.T) {
+	f := func(n uint16, budget uint64, workers uint8, rng uint8, thr uint8, pk []byte, cg, qd [32]byte, cr uint8) bool {
+		msg := &contract.PublishMsg{
+			N:               int(n),
+			Budget:          ledger.Amount(budget),
+			Workers:         int(workers),
+			RangeSize:       int64(rng),
+			Threshold:       int(thr),
+			PubKey:          pk,
+			CommGolden:      commit.Commitment(cg),
+			QuestionsDigest: qd,
+			CommitRounds:    int(cr),
+		}
+		enc := msg.Marshal()
+		dec, err := contract.UnmarshalPublish(enc)
+		if err != nil {
+			return false
+		}
+		return dec.N == msg.N && dec.Budget == msg.Budget && dec.Workers == msg.Workers &&
+			dec.RangeSize == msg.RangeSize && dec.Threshold == msg.Threshold &&
+			bytes.Equal(dec.PubKey, msg.PubKey) && dec.CommGolden == msg.CommGolden &&
+			dec.QuestionsDigest == msg.QuestionsDigest && dec.CommitRounds == msg.CommitRounds
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRevealMsgRoundtripQuick(t *testing.T) {
+	f := func(cts [][]byte, key [32]byte) bool {
+		msg := &contract.RevealMsg{Cts: cts, Key: commit.Key(key)}
+		dec, err := contract.UnmarshalReveal(msg.Marshal())
+		if err != nil {
+			return false
+		}
+		if len(dec.Cts) != len(cts) || dec.Key != msg.Key {
+			return false
+		}
+		for i := range cts {
+			if !bytes.Equal(dec.Cts[i], cts[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateMsgRoundtripQuick(t *testing.T) {
+	f := func(wkr string, chi uint8, idx uint16, ct, el, pf []byte, inRange bool, val int64) bool {
+		msg := &contract.EvaluateMsg{
+			Worker: chain.Address(wkr),
+			Chi:    int(chi),
+			Wrong: []contract.WrongEntry{{
+				QIdx: int(idx), Ct: ct, InRange: inRange, Value: val,
+				Element: el, Proof: pf,
+			}},
+		}
+		dec, err := contract.UnmarshalEvaluate(msg.Marshal())
+		if err != nil {
+			return false
+		}
+		w := dec.Wrong[0]
+		return dec.Worker == msg.Worker && dec.Chi == msg.Chi &&
+			w.QIdx == int(idx) && bytes.Equal(w.Ct, ct) && w.InRange == inRange &&
+			w.Value == val && bytes.Equal(w.Element, el) && bytes.Equal(w.Proof, pf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutrangeAndGoldenRoundtrip(t *testing.T) {
+	om := &contract.OutrangeMsg{Worker: "w", QIdx: 9, Ct: []byte{1}, Element: []byte{2, 3}, Proof: []byte{4}}
+	od, err := contract.UnmarshalOutrange(om.Marshal())
+	if err != nil || od.Worker != "w" || od.QIdx != 9 || !bytes.Equal(od.Proof, []byte{4}) {
+		t.Fatalf("outrange roundtrip: %+v %v", od, err)
+	}
+	gm := &contract.GoldenMsg{Golden: []byte("golden"), Key: commit.Key{9}}
+	gd, err := contract.UnmarshalGoldenMsg(gm.Marshal())
+	if err != nil || !bytes.Equal(gd.Golden, gm.Golden) || gd.Key != gm.Key {
+		t.Fatalf("golden roundtrip: %+v %v", gd, err)
+	}
+}
+
+func TestDecodersRejectGarbage(t *testing.T) {
+	cm := &contract.CommitMsg{}
+	enc := cm.Marshal()
+	if _, err := contract.UnmarshalCommit(enc[:10]); err == nil {
+		t.Error("truncated commit accepted")
+	}
+	if _, err := contract.UnmarshalCommit(append(enc, 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	if _, err := contract.UnmarshalPublish(nil); err == nil {
+		t.Error("empty publish accepted")
+	}
+	if _, err := contract.UnmarshalReveal([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x01}); err == nil {
+		t.Error("absurd ciphertext count accepted")
+	}
+	if _, err := contract.UnmarshalEvaluate([]byte{1, 'x', 0, 0xff, 0xff, 0x7f}); err == nil {
+		t.Error("absurd wrong-entry count accepted")
+	}
+}
+
+func TestCommitmentPayloadDeterministic(t *testing.T) {
+	msg := &contract.RevealMsg{Cts: [][]byte{{1, 2}, {3}}, Key: commit.Key{7}}
+	a := msg.CommitmentPayload()
+	b := msg.CommitmentPayload()
+	if !bytes.Equal(a, b) {
+		t.Error("commitment payload not deterministic")
+	}
+	if !bytes.Equal(a, []byte{1, 2, 3}) {
+		t.Errorf("payload = %v", a)
+	}
+}

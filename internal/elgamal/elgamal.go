@@ -1,0 +1,183 @@
+// Package elgamal implements exponential (lifted) ElGamal encryption over an
+// abstract prime-order group, exactly as instantiated by the Dragoon paper
+// (§V-C): the private key k ←$ Z_p, public key h = g^k, encryption
+// Enc_h(m) = (g^r, g^m·h^r), and "short range" decryption that brute-forces
+// the small plaintext space of HIT answers. When the plaintext is outside
+// the expected range, decryption returns the group element g^m instead — the
+// paper relies on this to let the requester prove out-of-range submissions.
+package elgamal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"dragoon/internal/group"
+)
+
+// PublicKey is an ElGamal public key h = g^k together with its group.
+type PublicKey struct {
+	Group group.Group
+	H     group.Element
+}
+
+// PrivateKey is an ElGamal key pair.
+type PrivateKey struct {
+	PublicKey
+	K *big.Int
+}
+
+// KeyGen samples a fresh key pair over g using randomness from r
+// (crypto/rand if nil).
+func KeyGen(g group.Group, r io.Reader) (*PrivateKey, error) {
+	k, err := group.RandomScalar(g, r)
+	if err != nil {
+		return nil, fmt.Errorf("elgamal: keygen: %w", err)
+	}
+	return &PrivateKey{
+		PublicKey: PublicKey{Group: g, H: g.ScalarBaseMul(k)},
+		K:         k,
+	}, nil
+}
+
+// Ciphertext is an exponential-ElGamal ciphertext (c1, c2) = (g^r, g^m·h^r).
+type Ciphertext struct {
+	C1, C2 group.Element
+}
+
+// Encrypt encrypts the small integer m under pk, returning the ciphertext
+// and the encryption randomness r (needed only by callers that want to prove
+// statements about their own ciphertexts; Dragoon's requester never needs
+// it, as VPKE proofs use the decryption key instead).
+func (pk *PublicKey) Encrypt(m int64, rnd io.Reader) (Ciphertext, *big.Int, error) {
+	if m < 0 {
+		return Ciphertext{}, nil, errors.New("elgamal: negative plaintext")
+	}
+	r, err := group.RandomScalar(pk.Group, rnd)
+	if err != nil {
+		return Ciphertext{}, nil, fmt.Errorf("elgamal: encrypt: %w", err)
+	}
+	g := pk.Group
+	c1 := g.ScalarBaseMul(r)
+	c2 := g.Add(g.ScalarBaseMul(big.NewInt(m)), g.ScalarMul(pk.H, r))
+	return Ciphertext{C1: c1, C2: c2}, r, nil
+}
+
+// Plaintext is the result of a short-range decryption: either a recovered
+// integer in [0, rangeSize), or — when the encrypted value lies outside the
+// range — the bare group element g^m.
+type Plaintext struct {
+	// InRange reports whether Value holds the decrypted integer.
+	InRange bool
+	// Value is the decrypted plaintext; valid only when InRange.
+	Value int64
+	// Element is g^m, always set.
+	Element group.Element
+}
+
+// Decrypt decrypts ct with the private key and attempts to recover a
+// plaintext in [0, rangeSize) by solving the short discrete log of
+// c2·c1^(−k). Per the paper: "if decryption fails to output m ∈ range, then
+// c2/c1^k is returned".
+func (sk *PrivateKey) Decrypt(ct Ciphertext, rangeSize int64) Plaintext {
+	g := sk.Group
+	gm := group.Sub(g, ct.C2, g.ScalarMul(ct.C1, sk.K))
+	if m, ok := ShortLog(g, gm, rangeSize); ok {
+		return Plaintext{InRange: true, Value: m, Element: gm}
+	}
+	return Plaintext{Element: gm}
+}
+
+// ShortLog solves g^m = target for m in [0, bound) using baby-step/giant-step
+// (falling back to a linear scan for tiny bounds). It reports whether a
+// solution in range exists.
+func ShortLog(g group.Group, target group.Element, bound int64) (int64, bool) {
+	if bound <= 0 {
+		return 0, false
+	}
+	if bound <= 32 {
+		cur := g.Identity()
+		gen := g.Generator()
+		for m := int64(0); m < bound; m++ {
+			if g.Equal(cur, target) {
+				return m, true
+			}
+			cur = g.Add(cur, gen)
+		}
+		return 0, false
+	}
+	// Baby-step giant-step: m = i·s + j with s = ⌈√bound⌉.
+	s := int64(1)
+	for s*s < bound {
+		s++
+	}
+	baby := make(map[string]int64, s)
+	cur := g.Identity()
+	gen := g.Generator()
+	for j := int64(0); j < s; j++ {
+		baby[string(g.Marshal(cur))] = j
+		cur = g.Add(cur, gen)
+	}
+	// giant = g^(−s).
+	giant := g.Neg(g.ScalarBaseMul(big.NewInt(s)))
+	probe := target
+	for i := int64(0); i*s < bound; i++ {
+		if j, ok := baby[string(g.Marshal(probe))]; ok {
+			m := i*s + j
+			if m < bound {
+				return m, true
+			}
+			return 0, false
+		}
+		probe = g.Add(probe, giant)
+	}
+	return 0, false
+}
+
+// Rerandomize returns a fresh ciphertext of the same plaintext, used in
+// tests to confirm that ciphertexts leak nothing linkable.
+func (pk *PublicKey) Rerandomize(ct Ciphertext, rnd io.Reader) (Ciphertext, error) {
+	r, err := group.RandomScalar(pk.Group, rnd)
+	if err != nil {
+		return Ciphertext{}, fmt.Errorf("elgamal: rerandomize: %w", err)
+	}
+	g := pk.Group
+	return Ciphertext{
+		C1: g.Add(ct.C1, g.ScalarBaseMul(r)),
+		C2: g.Add(ct.C2, g.ScalarMul(pk.H, r)),
+	}, nil
+}
+
+// AddCiphertexts homomorphically adds two ciphertexts (Enc(m1+m2)); exposed
+// because exponential ElGamal is additively homomorphic, which several tests
+// and the crowd-sensing example exploit.
+func (pk *PublicKey) AddCiphertexts(a, b Ciphertext) Ciphertext {
+	g := pk.Group
+	return Ciphertext{C1: g.Add(a.C1, b.C1), C2: g.Add(a.C2, b.C2)}
+}
+
+// MarshalCiphertext encodes ct as the concatenation of its two elements.
+func MarshalCiphertext(g group.Group, ct Ciphertext) []byte {
+	out := make([]byte, 0, 2*g.ElementLen())
+	out = append(out, g.Marshal(ct.C1)...)
+	out = append(out, g.Marshal(ct.C2)...)
+	return out
+}
+
+// UnmarshalCiphertext decodes a ciphertext produced by MarshalCiphertext.
+func UnmarshalCiphertext(g group.Group, data []byte) (Ciphertext, error) {
+	n := g.ElementLen()
+	if len(data) != 2*n {
+		return Ciphertext{}, fmt.Errorf("elgamal: bad ciphertext length %d", len(data))
+	}
+	c1, err := g.Unmarshal(data[:n])
+	if err != nil {
+		return Ciphertext{}, fmt.Errorf("elgamal: decoding c1: %w", err)
+	}
+	c2, err := g.Unmarshal(data[n:])
+	if err != nil {
+		return Ciphertext{}, fmt.Errorf("elgamal: decoding c2: %w", err)
+	}
+	return Ciphertext{C1: c1, C2: c2}, nil
+}

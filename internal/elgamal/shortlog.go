@@ -1,0 +1,74 @@
+package elgamal
+
+import (
+	"math/big"
+
+	"dragoon/internal/group"
+)
+
+// ShortLogTable precomputes the baby steps of a baby-step/giant-step solver
+// for a fixed range bound, so that a requester decrypting hundreds of
+// ciphertexts in one task (K workers × N questions, all over the same small
+// answer range) amortizes the table across every decryption.
+type ShortLogTable struct {
+	g     group.Group
+	bound int64
+	step  int64
+	baby  map[string]int64
+	giant group.Element // −step·g
+}
+
+// NewShortLogTable builds a table for logs in [0, bound).
+func NewShortLogTable(g group.Group, bound int64) *ShortLogTable {
+	if bound <= 0 {
+		return &ShortLogTable{g: g, bound: 0}
+	}
+	step := int64(1)
+	for step*step < bound {
+		step++
+	}
+	t := &ShortLogTable{
+		g:     g,
+		bound: bound,
+		step:  step,
+		baby:  make(map[string]int64, step),
+	}
+	cur := g.Identity()
+	gen := g.Generator()
+	for j := int64(0); j < step; j++ {
+		t.baby[string(g.Marshal(cur))] = j
+		cur = g.Add(cur, gen)
+	}
+	t.giant = g.Neg(g.ScalarBaseMul(big.NewInt(step)))
+	return t
+}
+
+// Lookup solves g^m = target for m in [0, bound), reporting success.
+func (t *ShortLogTable) Lookup(target group.Element) (int64, bool) {
+	if t.bound == 0 {
+		return 0, false
+	}
+	probe := target
+	for i := int64(0); i*t.step < t.bound; i++ {
+		if j, ok := t.baby[string(t.g.Marshal(probe))]; ok {
+			m := i*t.step + j
+			if m < t.bound {
+				return m, true
+			}
+			return 0, false
+		}
+		probe = t.g.Add(probe, t.giant)
+	}
+	return 0, false
+}
+
+// DecryptWith decrypts ct using the precomputed table (behaviourally
+// identical to Decrypt with the table's bound).
+func (sk *PrivateKey) DecryptWith(t *ShortLogTable, ct Ciphertext) Plaintext {
+	g := sk.Group
+	gm := group.Sub(g, ct.C2, g.ScalarMul(ct.C1, sk.K))
+	if m, ok := t.Lookup(gm); ok {
+		return Plaintext{InRange: true, Value: m, Element: gm}
+	}
+	return Plaintext{Element: gm}
+}

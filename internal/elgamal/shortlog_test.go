@@ -1,0 +1,65 @@
+package elgamal_test
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"dragoon/internal/elgamal"
+	"dragoon/internal/group"
+)
+
+func TestShortLogTableMatchesShortLog(t *testing.T) {
+	g := group.TestSchnorr()
+	const bound = 200
+	table := elgamal.NewShortLogTable(g, bound)
+	f := func(raw uint16) bool {
+		m := int64(raw) % (2 * bound) // half in range, half out
+		target := g.ScalarBaseMul(big.NewInt(m))
+		gotT, okT := table.Lookup(target)
+		gotS, okS := elgamal.ShortLog(g, target, bound)
+		return okT == okS && (!okT || gotT == gotS)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecryptWithTable(t *testing.T) {
+	g := group.TestSchnorr()
+	sk, err := elgamal.KeyGen(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := elgamal.NewShortLogTable(g, 64)
+	for _, m := range []int64{0, 1, 33, 63} {
+		ct, _, err := sk.Encrypt(m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sk.DecryptWith(table, ct)
+		if !got.InRange || got.Value != m {
+			t.Errorf("DecryptWith(Enc(%d)) = %+v", m, got)
+		}
+	}
+	// Out of range: the element branch.
+	ct, _, err := sk.Encrypt(1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sk.DecryptWith(table, ct)
+	if got.InRange {
+		t.Errorf("out-of-range plaintext reported in range: %+v", got)
+	}
+	if !g.Equal(got.Element, g.ScalarBaseMul(big.NewInt(1000))) {
+		t.Error("element branch wrong")
+	}
+}
+
+func TestShortLogTableDegenerate(t *testing.T) {
+	g := group.TestSchnorr()
+	table := elgamal.NewShortLogTable(g, 0)
+	if _, ok := table.Lookup(g.Generator()); ok {
+		t.Error("zero-bound table found a log")
+	}
+}

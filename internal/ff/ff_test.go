@@ -1,0 +1,182 @@
+package ff_test
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"dragoon/internal/bn254"
+	"dragoon/internal/ff"
+)
+
+func fr() *ff.Field { return ff.New(bn254.Order()) }
+
+func TestFieldOps(t *testing.T) {
+	f := fr()
+	a := big.NewInt(123456789)
+	b := big.NewInt(987654321)
+	if f.Sub(f.Add(a, b), b).Cmp(a) != 0 {
+		t.Error("add/sub inverse fails")
+	}
+	if f.Mul(a, f.Inv(a)).Cmp(f.One()) != 0 {
+		t.Error("mul/inv fails")
+	}
+	if f.Add(a, f.Neg(a)).Sign() != 0 {
+		t.Error("neg fails")
+	}
+	if f.Neg(f.Zero()).Sign() != 0 {
+		t.Error("neg(0) != 0")
+	}
+	// Fermat: a^(p-1) = 1.
+	pm1 := new(big.Int).Sub(f.Modulus(), big.NewInt(1))
+	if f.Exp(a, pm1).Cmp(f.One()) != 0 {
+		t.Error("Fermat check fails")
+	}
+}
+
+func TestFieldOpsQuick(t *testing.T) {
+	f := fr()
+	prop := func(x, y uint64) bool {
+		a := new(big.Int).SetUint64(x)
+		b := new(big.Int).SetUint64(y)
+		// (a+b)² = a² + 2ab + b².
+		lhs := f.Mul(f.Add(a, b), f.Add(a, b))
+		rhs := f.Add(f.Add(f.Mul(a, a), f.Mul(b, b)), f.Mul(big.NewInt(2), f.Mul(a, b)))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoAdicity(t *testing.T) {
+	// BN254's scalar field famously has two-adicity 28.
+	if got := fr().TwoAdicity(); got != 28 {
+		t.Errorf("two-adicity = %d, want 28", got)
+	}
+}
+
+func TestRootOfUnity(t *testing.T) {
+	f := fr()
+	for _, k := range []int{1, 4, 10} {
+		root, err := f.RootOfUnity(k)
+		if err != nil {
+			t.Fatalf("RootOfUnity(%d): %v", k, err)
+		}
+		n := new(big.Int).Lsh(big.NewInt(1), uint(k))
+		if f.Exp(root, n).Cmp(f.One()) != 0 {
+			t.Errorf("root^2^%d != 1", k)
+		}
+		half := new(big.Int).Rsh(n, 1)
+		if f.Exp(root, half).Cmp(f.One()) == 0 {
+			t.Errorf("root of order 2^%d is not primitive", k)
+		}
+	}
+	if _, err := f.RootOfUnity(29); err == nil {
+		t.Error("excessive two-adicity accepted")
+	}
+}
+
+func TestFFTRoundtrip(t *testing.T) {
+	f := fr()
+	d, err := ff.NewDomain(f, 16)
+	if err != nil {
+		t.Fatalf("NewDomain: %v", err)
+	}
+	coeffs := make([]*big.Int, 16)
+	for i := range coeffs {
+		coeffs[i] = big.NewInt(int64(i*i + 1))
+	}
+	back := d.IFFT(d.FFT(coeffs))
+	for i := range coeffs {
+		if back[i].Cmp(coeffs[i]) != 0 {
+			t.Fatalf("IFFT(FFT) mismatch at %d", i)
+		}
+	}
+}
+
+func TestFFTMatchesHorner(t *testing.T) {
+	f := fr()
+	d, err := ff.NewDomain(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coeffs := []*big.Int{big.NewInt(3), big.NewInt(1), big.NewInt(4), big.NewInt(1), big.NewInt(5)}
+	evals := d.FFT(coeffs)
+	w := d.Generator()
+	x := f.One()
+	for i := 0; i < 8; i++ {
+		want := ff.EvalPoly(f, coeffs, x)
+		if evals[i].Cmp(want) != 0 {
+			t.Fatalf("FFT[%d] = %v, want %v", i, evals[i], want)
+		}
+		x = f.Mul(x, w)
+	}
+}
+
+func TestCosetFFTRoundtrip(t *testing.T) {
+	f := fr()
+	d, err := ff.NewDomain(f, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coeffs := make([]*big.Int, 20)
+	for i := range coeffs {
+		coeffs[i] = big.NewInt(int64(7*i + 3))
+	}
+	back := d.CosetIFFT(d.CosetFFT(coeffs))
+	for i := range coeffs {
+		if back[i].Cmp(coeffs[i]) != 0 {
+			t.Fatalf("coset roundtrip mismatch at %d", i)
+		}
+	}
+	for i := len(coeffs); i < 32; i++ {
+		if back[i].Sign() != 0 {
+			t.Fatalf("coset roundtrip grew a spurious coefficient at %d", i)
+		}
+	}
+}
+
+func TestVanishingAtCoset(t *testing.T) {
+	f := fr()
+	d, err := ff.NewDomain(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Z(x) = x^8 − 1 evaluated anywhere on the coset must equal the
+	// advertised constant.
+	zc := d.VanishingAtCoset()
+	if zc.Sign() == 0 {
+		t.Fatal("vanishing polynomial vanishes on the coset")
+	}
+	// The constant is g^8 − 1 where the first coset point is g itself:
+	// evaluate via polynomial machinery as a cross-check.
+	zPoly := make([]*big.Int, 9)
+	for i := range zPoly {
+		zPoly[i] = new(big.Int)
+	}
+	zPoly[0] = f.Neg(f.One())
+	zPoly[8] = f.One()
+	evals := d.CosetFFT(zPoly[:8]) // truncation drops x^8... so do it by hand below
+	_ = evals
+	// Direct check: all coset evaluation points satisfy Z(pt) = zc.
+	g := f.Exp(big.NewInt(5), big.NewInt(1))
+	w := d.Generator()
+	pt := new(big.Int).Set(g)
+	for i := 0; i < 8; i++ {
+		z := f.Sub(f.Exp(pt, big.NewInt(8)), f.One())
+		if z.Cmp(zc) != 0 {
+			t.Fatalf("Z at coset point %d = %v, want %v", i, z, zc)
+		}
+		pt = f.Mul(pt, w)
+	}
+}
+
+func TestDomainRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := ff.NewDomain(fr(), 12); err == nil {
+		t.Error("non-power-of-two domain accepted")
+	}
+	if _, err := ff.NewDomain(fr(), 1); err == nil {
+		t.Error("size-1 domain accepted")
+	}
+}

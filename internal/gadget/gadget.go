@@ -1,0 +1,277 @@
+// Package gadget builds the R1CS circuits for the zk-SNARK baseline
+// experiments. The Dragoon paper's generic-ZKP comparator compiled
+// verifiable decryption (2048-bit RSA-OAEP in the authors' artifact) into a
+// SNARK circuit; reproducing that circuit gate-for-gate is neither possible
+// (it was never released) nor necessary — the paper's claim concerns the
+// COST of the generic route, which is a function of the constraint count
+// and the Groth16 prover/verifier, not of the particular gates. This
+// package therefore provides:
+//
+//   - a square-and-add chain (the "modexp-shaped" workload public-key
+//     operations compile into), parameterized by length, used as the
+//     constraint-count-matched stand-in for one in-circuit decryption —
+//     see DESIGN.md for the substitution rationale;
+//   - an equality gadget (IsZero) and a quality-counting circuit that
+//     mirrors the PoQoEA statement generically: |G| in-circuit decryptions
+//     plus golden-standard comparisons summed into a public quality output.
+package gadget
+
+import (
+	"fmt"
+	"math/big"
+
+	"dragoon/internal/r1cs"
+)
+
+// DecryptionConstraints is the default constraint count modelling one
+// in-circuit verifiable decryption. The paper's baseline (2048-bit RSA-OAEP
+// inside a SNARK) needed minutes and gigabytes to prove; the calibrated
+// default keeps the reproduced Table I in the paper's shape (generic proving
+// slower than concrete by orders of magnitude) at bench-friendly absolute
+// sizes. Benchmarks sweep this parameter explicitly.
+const DecryptionConstraints = 4096
+
+// VPKECircuit is a generic-ZKP statement for one verifiable decryption:
+// the prover knows a secret key k such that a public chain value derives
+// from it, binding a public "plaintext" output. One constraint per
+// square-and-add step.
+type VPKECircuit struct {
+	CS *r1cs.System
+	// PlainOut is the public wire carrying the decrypted value.
+	PlainOut r1cs.Variable
+	// ChainOut is the public wire carrying the key-derivation output.
+	ChainOut r1cs.Variable
+	// Key is the private key wire.
+	Key r1cs.Variable
+}
+
+// BuildVPKE constructs the decryption stand-in circuit with the given
+// number of chain steps (≥ 1).
+func BuildVPKE(cs *r1cs.System, steps int) (*VPKECircuit, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("gadget: need at least one step, got %d", steps)
+	}
+	c := &VPKECircuit{CS: cs}
+	c.PlainOut = cs.Public()
+	c.ChainOut = cs.Public()
+	c.Key = cs.Secret()
+	cur := c.Key
+	for i := 0; i < steps; i++ {
+		next := cs.Secret()
+		// cur² + round-constant = next  ⇔  cur·cur = next − rc.
+		rc := roundConstant(i)
+		cs.AddConstraint(
+			r1cs.LC(r1cs.T(1, cur)),
+			r1cs.LC(r1cs.T(1, cur)),
+			r1cs.LC(r1cs.T(1, next), r1cs.TB(rcNeg(cs, rc), r1cs.One)),
+		)
+		cur = next
+	}
+	// Bind the chain output and the plaintext relation:
+	// chainOut = cur and plainOut·1 = plainOut (anchors the public wire so
+	// it appears in the QAP; the plaintext is bound as chainOut − key·0 —
+	// kept trivial deliberately: the cost model is the chain).
+	cs.AddConstraint(
+		r1cs.LC(r1cs.T(1, cur)),
+		r1cs.LC(r1cs.T(1, r1cs.One)),
+		r1cs.LC(r1cs.T(1, c.ChainOut)),
+	)
+	cs.AddConstraint(
+		r1cs.LC(r1cs.T(1, c.PlainOut)),
+		r1cs.LC(r1cs.T(1, r1cs.One)),
+		r1cs.LC(r1cs.T(1, c.PlainOut)),
+	)
+	return c, nil
+}
+
+// AssignVPKE produces a satisfying witness for the circuit given the secret
+// key and the claimed plaintext; it returns the witness and the public
+// chain output.
+func (c *VPKECircuit) AssignVPKE(w r1cs.Witness, key, plain *big.Int, steps int) *big.Int {
+	f := c.CS.Field()
+	c.CS.Assign(w, c.Key, key)
+	c.CS.Assign(w, c.PlainOut, plain)
+	cur := f.Reduce(key)
+	v := c.Key
+	for i := 0; i < steps; i++ {
+		cur = f.Add(f.Mul(cur, cur), f.Reduce(roundConstant(i)))
+		v++
+		c.CS.Assign(w, v, cur)
+	}
+	c.CS.Assign(w, c.ChainOut, cur)
+	return cur
+}
+
+// roundConstant derives a distinct per-step constant.
+func roundConstant(i int) *big.Int {
+	return big.NewInt(int64(i)*2654435761 + 40503)
+}
+
+func rcNeg(cs *r1cs.System, rc *big.Int) *big.Int {
+	return cs.Field().Neg(cs.Field().Reduce(rc))
+}
+
+// IsZero adds the standard zero-test gadget: it returns a wire z that is 1
+// when d evaluates to 0 and 0 otherwise, using the inverse trick
+// (d·inv = 1−z, d·z = 0). The caller must assign inv and z consistently
+// via AssignIsZero.
+type IsZero struct {
+	D, Inv, Z r1cs.Variable
+}
+
+// BuildIsZero allocates the gadget over an existing difference wire d.
+func BuildIsZero(cs *r1cs.System, d r1cs.Variable) IsZero {
+	inv := cs.Secret()
+	z := cs.Secret()
+	// d·inv = 1 − z.
+	cs.AddConstraint(
+		r1cs.LC(r1cs.T(1, d)),
+		r1cs.LC(r1cs.T(1, inv)),
+		r1cs.LC(r1cs.T(1, r1cs.One), r1cs.T(-1, z)),
+	)
+	// d·z = 0.
+	cs.AddConstraint(
+		r1cs.LC(r1cs.T(1, d)),
+		r1cs.LC(r1cs.T(1, z)),
+		r1cs.LC(),
+	)
+	return IsZero{D: d, Inv: inv, Z: z}
+}
+
+// AssignIsZero fills the gadget's wires for the value of d.
+func AssignIsZero(cs *r1cs.System, w r1cs.Witness, g IsZero, d *big.Int) {
+	f := cs.Field()
+	d = f.Reduce(d)
+	if d.Sign() == 0 {
+		cs.Assign(w, g.Inv, f.Zero())
+		cs.Assign(w, g.Z, f.One())
+		return
+	}
+	cs.Assign(w, g.Inv, f.Inv(d))
+	cs.Assign(w, g.Z, f.Zero())
+}
+
+// PoQoEACircuit is the generic-ZKP statement for a full quality proof:
+// |G| in-circuit decryptions (each a VPKE-sized chain) whose outputs are
+// compared against public golden answers, with the match count exposed as a
+// public quality wire. This is the statement the paper's Table I prices at
+// 112 s / 10.3 GB for the generic route.
+type PoQoEACircuit struct {
+	CS *r1cs.System
+	// Quality is the public output wire (the claimed χ).
+	Quality r1cs.Variable
+	// GoldenAnswers are public wires, one per golden standard.
+	GoldenAnswers []r1cs.Variable
+	// ChainOuts are the public decryption-binding outputs.
+	ChainOuts []r1cs.Variable
+
+	key       r1cs.Variable
+	chains    [][]r1cs.Variable // per golden standard: seed then step wires
+	answers   []r1cs.Variable
+	diffs     []r1cs.Variable
+	zeroTests []IsZero
+	steps     int
+}
+
+// BuildPoQoEA constructs the generic quality circuit with numGolden
+// decryptions of stepsPerDecryption constraints each.
+func BuildPoQoEA(cs *r1cs.System, numGolden, stepsPerDecryption int) (*PoQoEACircuit, error) {
+	if numGolden < 1 {
+		return nil, fmt.Errorf("gadget: need at least one golden standard")
+	}
+	c := &PoQoEACircuit{CS: cs, steps: stepsPerDecryption}
+	// Public wires first: quality, golden answers, chain outputs.
+	c.Quality = cs.Public()
+	c.GoldenAnswers = make([]r1cs.Variable, numGolden)
+	for i := range c.GoldenAnswers {
+		c.GoldenAnswers[i] = cs.Public()
+	}
+	c.ChainOuts = make([]r1cs.Variable, numGolden)
+	for i := range c.ChainOuts {
+		c.ChainOuts[i] = cs.Public()
+	}
+
+	c.key = cs.Secret()
+	qualityLC := r1cs.LC()
+	for g := 0; g < numGolden; g++ {
+		// Decryption chain seeded from key + index.
+		cur := cs.Secret()
+		chain := []r1cs.Variable{cur}
+		// cur_0 = key + (g+1): (key + g+1)·1 = cur_0.
+		cs.AddConstraint(
+			r1cs.LC(r1cs.T(1, c.key), r1cs.T(int64(g+1), r1cs.One)),
+			r1cs.LC(r1cs.T(1, r1cs.One)),
+			r1cs.LC(r1cs.T(1, cur)),
+		)
+		for i := 0; i < stepsPerDecryption; i++ {
+			next := cs.Secret()
+			cs.AddConstraint(
+				r1cs.LC(r1cs.T(1, cur)),
+				r1cs.LC(r1cs.T(1, cur)),
+				r1cs.LC(r1cs.T(1, next), r1cs.TB(rcNeg(cs, roundConstant(i)), r1cs.One)),
+			)
+			cur = next
+			chain = append(chain, cur)
+		}
+		c.chains = append(c.chains, chain)
+		cs.AddConstraint(
+			r1cs.LC(r1cs.T(1, cur)),
+			r1cs.LC(r1cs.T(1, r1cs.One)),
+			r1cs.LC(r1cs.T(1, c.ChainOuts[g])),
+		)
+		// The decrypted "answer" is a private wire derived from the chain
+		// tail (answer = cur · 1 kept abstract — the prover assigns the
+		// actual answer; the equality below is what the statement checks).
+		answer := cs.Secret()
+		c.answers = append(c.answers, answer)
+		diff := cs.Secret()
+		c.diffs = append(c.diffs, diff)
+		// diff = answer − golden: (answer − golden)·1 = diff.
+		cs.AddConstraint(
+			r1cs.LC(r1cs.T(1, answer), r1cs.T(-1, c.GoldenAnswers[g])),
+			r1cs.LC(r1cs.T(1, r1cs.One)),
+			r1cs.LC(r1cs.T(1, diff)),
+		)
+		zt := BuildIsZero(cs, diff)
+		c.zeroTests = append(c.zeroTests, zt)
+		qualityLC = append(qualityLC, r1cs.T(1, zt.Z))
+	}
+	// Σ matches = quality.
+	cs.AddConstraint(
+		qualityLC,
+		r1cs.LC(r1cs.T(1, r1cs.One)),
+		r1cs.LC(r1cs.T(1, c.Quality)),
+	)
+	return c, nil
+}
+
+// AssignPoQoEA fills a witness: the secret key, the worker's answers at the
+// golden positions, and the public golden answers. It returns the resulting
+// quality and the public chain outputs.
+func (c *PoQoEACircuit) AssignPoQoEA(w r1cs.Witness, key *big.Int, answers, golden []*big.Int) (int, []*big.Int) {
+	f := c.CS.Field()
+	c.CS.Assign(w, c.key, key)
+	quality := 0
+	chainOuts := make([]*big.Int, len(c.ChainOuts))
+	for g := range c.ChainOuts {
+		c.CS.Assign(w, c.GoldenAnswers[g], golden[g])
+		// Chain.
+		cur := f.Add(f.Reduce(key), big.NewInt(int64(g+1)))
+		c.CS.Assign(w, c.chains[g][0], cur)
+		for i := 0; i < c.steps; i++ {
+			cur = f.Add(f.Mul(cur, cur), f.Reduce(roundConstant(i)))
+			c.CS.Assign(w, c.chains[g][i+1], cur)
+		}
+		chainOuts[g] = cur
+		c.CS.Assign(w, c.ChainOuts[g], cur)
+		c.CS.Assign(w, c.answers[g], answers[g])
+		diff := f.Sub(f.Reduce(answers[g]), f.Reduce(golden[g]))
+		c.CS.Assign(w, c.diffs[g], diff)
+		AssignIsZero(c.CS, w, c.zeroTests[g], diff)
+		if diff.Sign() == 0 {
+			quality++
+		}
+	}
+	c.CS.Assign(w, c.Quality, big.NewInt(int64(quality)))
+	return quality, chainOuts
+}

@@ -1,0 +1,140 @@
+package gadget_test
+
+import (
+	"math/big"
+	"testing"
+
+	"dragoon/internal/gadget"
+	"dragoon/internal/groth16"
+	"dragoon/internal/r1cs"
+)
+
+func TestVPKECircuitSatisfiable(t *testing.T) {
+	cs := r1cs.NewSystem(groth16.FieldOf())
+	c, err := gadget.BuildVPKE(cs, 50)
+	if err != nil {
+		t.Fatalf("BuildVPKE: %v", err)
+	}
+	if got := cs.NumConstraints(); got != 52 {
+		t.Errorf("constraints = %d, want 52 (50 steps + 2 bindings)", got)
+	}
+	w := cs.NewWitness()
+	out := c.AssignVPKE(w, big.NewInt(777), big.NewInt(1), 50)
+	if err := cs.Satisfied(w); err != nil {
+		t.Fatalf("witness unsatisfying: %v", err)
+	}
+	// The public chain output must equal the assigned value.
+	if w[c.ChainOut].Cmp(out) != 0 {
+		t.Error("public chain output mismatch")
+	}
+	// Different keys must yield different outputs (chain is injective-ish).
+	w2 := cs.NewWitness()
+	out2 := c.AssignVPKE(w2, big.NewInt(778), big.NewInt(1), 50)
+	if out.Cmp(out2) == 0 {
+		t.Error("distinct keys produced identical chain outputs")
+	}
+}
+
+func TestVPKERejectsZeroSteps(t *testing.T) {
+	cs := r1cs.NewSystem(groth16.FieldOf())
+	if _, err := gadget.BuildVPKE(cs, 0); err == nil {
+		t.Error("zero-step circuit accepted")
+	}
+}
+
+func TestIsZeroGadget(t *testing.T) {
+	for _, d := range []int64{0, 1, -5, 42} {
+		cs := r1cs.NewSystem(groth16.FieldOf())
+		dv := cs.Secret()
+		g := gadget.BuildIsZero(cs, dv)
+		w := cs.NewWitness()
+		cs.Assign(w, dv, big.NewInt(d))
+		gadget.AssignIsZero(cs, w, g, big.NewInt(d))
+		if err := cs.Satisfied(w); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		wantZ := int64(0)
+		if d == 0 {
+			wantZ = 1
+		}
+		if w[g.Z].Int64() != wantZ {
+			t.Errorf("d=%d: z = %v, want %d", d, w[g.Z], wantZ)
+		}
+	}
+}
+
+func TestIsZeroSoundness(t *testing.T) {
+	// A malicious prover cannot claim z=1 for a nonzero d.
+	cs := r1cs.NewSystem(groth16.FieldOf())
+	dv := cs.Secret()
+	g := gadget.BuildIsZero(cs, dv)
+	w := cs.NewWitness()
+	cs.Assign(w, dv, big.NewInt(7))
+	cs.Assign(w, g.Z, big.NewInt(1)) // lie
+	cs.Assign(w, g.Inv, big.NewInt(0))
+	if err := cs.Satisfied(w); err == nil {
+		t.Fatal("z=1 accepted for nonzero d")
+	}
+}
+
+func TestPoQoEACircuitQualityCounting(t *testing.T) {
+	const numGolden = 6
+	const steps = 10
+	cs := r1cs.NewSystem(groth16.FieldOf())
+	c, err := gadget.BuildPoQoEA(cs, numGolden, steps)
+	if err != nil {
+		t.Fatalf("BuildPoQoEA: %v", err)
+	}
+	golden := []*big.Int{big.NewInt(1), big.NewInt(0), big.NewInt(1), big.NewInt(1), big.NewInt(0), big.NewInt(1)}
+	answers := []*big.Int{big.NewInt(1), big.NewInt(0), big.NewInt(0), big.NewInt(1), big.NewInt(1), big.NewInt(1)} // 4 match
+	w := cs.NewWitness()
+	quality, _ := c.AssignPoQoEA(w, big.NewInt(424242), answers, golden)
+	if quality != 4 {
+		t.Fatalf("quality = %d, want 4", quality)
+	}
+	if err := cs.Satisfied(w); err != nil {
+		t.Fatalf("witness unsatisfying: %v", err)
+	}
+	if w[c.Quality].Int64() != 4 {
+		t.Errorf("public quality wire = %v", w[c.Quality])
+	}
+}
+
+func TestPoQoEACircuitSoundQuality(t *testing.T) {
+	cs := r1cs.NewSystem(groth16.FieldOf())
+	c, err := gadget.BuildPoQoEA(cs, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := []*big.Int{big.NewInt(1), big.NewInt(1)}
+	answers := []*big.Int{big.NewInt(1), big.NewInt(0)} // true quality 1
+	w := cs.NewWitness()
+	if q, _ := c.AssignPoQoEA(w, big.NewInt(5), answers, golden); q != 1 {
+		t.Fatalf("quality = %d", q)
+	}
+	// Lie about the public quality wire: constraint system must reject.
+	cs.Assign(w, c.Quality, big.NewInt(2))
+	if err := cs.Satisfied(w); err == nil {
+		t.Fatal("inflated quality accepted")
+	}
+}
+
+func TestPoQoEAConstraintScaling(t *testing.T) {
+	// The generic circuit's size must scale linearly with |G|·steps — the
+	// structural reason the generic route costs what Table I shows.
+	count := func(numGolden, steps int) int {
+		cs := r1cs.NewSystem(groth16.FieldOf())
+		if _, err := gadget.BuildPoQoEA(cs, numGolden, steps); err != nil {
+			t.Fatal(err)
+		}
+		return cs.NumConstraints()
+	}
+	c1 := count(1, 100)
+	c6 := count(6, 100)
+	if c6 < 5*c1 {
+		t.Errorf("6 golden standards = %d constraints, 1 = %d: not ~linear", c6, c1)
+	}
+	if _, err := gadget.BuildPoQoEA(r1cs.NewSystem(groth16.FieldOf()), 0, 5); err == nil {
+		t.Error("zero golden standards accepted")
+	}
+}

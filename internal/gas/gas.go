@@ -1,0 +1,113 @@
+// Package gas models the Ethereum gas schedule that the Dragoon paper's
+// on-chain costs (Table III) were measured under: the Istanbul fork, i.e.
+// EIP-1108 prices for the BN254 precompiles (the paper's optimization (i):
+// "we implement all public key schemes over G1 subgroup of BN-128, since we
+// can use some precompiled contracts in Ethereum to do algebraic operations
+// there cheaply") and EIP-2028 calldata prices.
+//
+// It also converts gas to US dollars at the paper's reference rates:
+// a gas price of 1.5 gwei and an Ether price of $115 (March 17, 2020).
+package gas
+
+import "fmt"
+
+// Ethereum gas cost constants (Istanbul fork).
+const (
+	// TxBase is the intrinsic cost of any transaction.
+	TxBase = 21_000
+	// TxCreate is the extra intrinsic cost of a contract-creating transaction.
+	TxCreate = 32_000
+	// TxDataZero / TxDataNonZero price calldata bytes (EIP-2028).
+	TxDataZero    = 4
+	TxDataNonZero = 16
+	// CodeDepositPerByte is charged per byte of deployed contract code.
+	CodeDepositPerByte = 200
+
+	// SStoreSet / SStoreReset / SLoad are storage op costs.
+	SStoreSet   = 20_000
+	SStoreReset = 5_000
+	SLoad       = 800
+
+	// LogBase / LogTopic / LogDataByte price event emission.
+	LogBase     = 375
+	LogTopic    = 375
+	LogDataByte = 8
+
+	// KeccakBase / KeccakWord price the SHA3 opcode.
+	KeccakBase = 30
+	KeccakWord = 6
+
+	// EcAdd / EcMul are the EIP-1108 prices of the BN254 precompiles at
+	// addresses 0x06 and 0x07.
+	EcAdd = 150
+	EcMul = 6_000
+	// PairingBase + PairingPerPoint·k prices the pairing-check precompile
+	// (address 0x08) for k point pairs, per EIP-1108.
+	PairingBase     = 45_000
+	PairingPerPoint = 34_000
+
+	// MemoryWord approximates linear memory expansion cost per 32-byte word
+	// touched while processing bulk payload data on-chain.
+	MemoryWord = 3
+)
+
+// PairingCheckCost returns the precompile cost of a k-pair pairing check.
+func PairingCheckCost(k int) uint64 {
+	return PairingBase + PairingPerPoint*uint64(k)
+}
+
+// CalldataCost prices a transaction payload per EIP-2028.
+func CalldataCost(data []byte) uint64 {
+	var g uint64
+	for _, b := range data {
+		if b == 0 {
+			g += TxDataZero
+		} else {
+			g += TxDataNonZero
+		}
+	}
+	return g
+}
+
+// KeccakCost prices hashing n bytes with the SHA3 opcode.
+func KeccakCost(n int) uint64 {
+	words := uint64((n + 31) / 32)
+	return KeccakBase + KeccakWord*words
+}
+
+// LogCost prices an event with the given topic count and data length.
+func LogCost(topics, dataLen int) uint64 {
+	return LogBase + LogTopic*uint64(topics) + LogDataByte*uint64(dataLen)
+}
+
+// PriceModel converts gas to fiat, defaulting to the paper's reference
+// rates.
+type PriceModel struct {
+	// GweiPerGas is the gas price in gwei (10⁻⁹ ETH).
+	GweiPerGas float64
+	// USDPerETH is the Ether market price in US dollars.
+	USDPerETH float64
+}
+
+// PaperPrices returns the rates the paper used for Table III: "a gas price
+// at 1.5×10⁻⁹ Ether per gas, and an Ether price at 115 USD per Ether ...
+// the safe-low price of gas and the market price of Ether on March/17th/2020".
+func PaperPrices() PriceModel {
+	return PriceModel{GweiPerGas: 1.5, USDPerETH: 115}
+}
+
+// USD converts a gas amount to US dollars under the model.
+func (m PriceModel) USD(gasUsed uint64) float64 {
+	eth := float64(gasUsed) * m.GweiPerGas * 1e-9
+	return eth * m.USDPerETH
+}
+
+// FormatUSD renders a dollar amount the way the paper's tables do.
+func FormatUSD(usd float64) string {
+	return fmt.Sprintf("$%.2f", usd)
+}
+
+// FormatGas renders gas in the paper's "∼1293 k" style.
+func FormatGas(gasUsed uint64) string {
+	return fmt.Sprintf("~%d k", (gasUsed+500)/1000)
+}

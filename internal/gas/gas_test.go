@@ -1,0 +1,66 @@
+package gas_test
+
+import (
+	"math"
+	"testing"
+
+	"dragoon/internal/gas"
+)
+
+func TestCalldataCost(t *testing.T) {
+	if got := gas.CalldataCost(nil); got != 0 {
+		t.Errorf("empty calldata = %d", got)
+	}
+	data := []byte{0, 0, 1, 2}
+	want := uint64(2*gas.TxDataZero + 2*gas.TxDataNonZero)
+	if got := gas.CalldataCost(data); got != want {
+		t.Errorf("CalldataCost = %d, want %d", got, want)
+	}
+}
+
+func TestKeccakCost(t *testing.T) {
+	if got := gas.KeccakCost(0); got != gas.KeccakBase {
+		t.Errorf("KeccakCost(0) = %d", got)
+	}
+	if got := gas.KeccakCost(33); got != gas.KeccakBase+2*gas.KeccakWord {
+		t.Errorf("KeccakCost(33) = %d", got)
+	}
+}
+
+func TestPairingCheckCost(t *testing.T) {
+	// EIP-1108: 4-pair check (a Groth16 verification) costs 181k gas.
+	if got := gas.PairingCheckCost(4); got != 181_000 {
+		t.Errorf("PairingCheckCost(4) = %d, want 181000", got)
+	}
+}
+
+func TestLogCost(t *testing.T) {
+	want := uint64(gas.LogBase + 2*gas.LogTopic + 10*gas.LogDataByte)
+	if got := gas.LogCost(2, 10); got != want {
+		t.Errorf("LogCost = %d, want %d", got, want)
+	}
+}
+
+func TestPaperPricesUSD(t *testing.T) {
+	m := gas.PaperPrices()
+	// The paper: "the on-chain handling fee paid by each worker is about
+	// $0.48, which is used to submit an answer" at 2830k gas.
+	got := m.USD(2_830_000)
+	if math.Abs(got-0.488) > 0.01 {
+		t.Errorf("USD(2830k) = %.3f, want ≈0.49", got)
+	}
+	// And the overall best case: 12164k gas ≈ $2.09.
+	got = m.USD(12_164_000)
+	if math.Abs(got-2.098) > 0.01 {
+		t.Errorf("USD(12164k) = %.3f, want ≈2.10", got)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if got := gas.FormatGas(1_293_400); got != "~1293 k" {
+		t.Errorf("FormatGas = %q", got)
+	}
+	if got := gas.FormatUSD(2.094); got != "$2.09" {
+		t.Errorf("FormatUSD = %q", got)
+	}
+}

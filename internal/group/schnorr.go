@@ -1,0 +1,132 @@
+package group
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// schnorrGroup is a test-only backend: the order-r subgroup of Z_q* for a
+// safe prime q = 2r+1. The parameters are far too small for security; the
+// backend exists so that property-based tests over the protocol crypto run
+// orders of magnitude faster than over BN254.
+type schnorrGroup struct {
+	q, r *big.Int // modulus and subgroup order
+	g    *big.Int // generator of the order-r subgroup
+	size int      // marshaled element length in bytes
+}
+
+var (
+	schnorrOnce sync.Once
+	schnorrVal  *schnorrGroup
+)
+
+// TestSchnorr returns a small (≈64-bit) Schnorr group for tests. The
+// parameters are found deterministically at first use.
+func TestSchnorr() Group {
+	schnorrOnce.Do(func() {
+		// Search for r prime with q = 2r+1 prime, starting from a fixed
+		// 62-bit seed so the search is deterministic and instantaneous.
+		r := new(big.Int).SetUint64(1<<62 + 1)
+		one := big.NewInt(1)
+		two := big.NewInt(2)
+		for {
+			if r.ProbablyPrime(64) {
+				q := new(big.Int).Mul(r, two)
+				q.Add(q, one)
+				if q.ProbablyPrime(64) {
+					// Find a generator: h² has order r (or 1) in Z_q*; pick
+					// the first square that is not 1.
+					for h := int64(2); ; h++ {
+						g := new(big.Int).Exp(big.NewInt(h), two, q)
+						if g.Cmp(one) != 0 {
+							schnorrVal = &schnorrGroup{
+								q: q, r: r, g: g,
+								size: (q.BitLen() + 7) / 8,
+							}
+							return
+						}
+					}
+				}
+			}
+			r.Add(r, two)
+		}
+	})
+	return schnorrVal
+}
+
+// schnorrElem wraps a subgroup member of Z_q*.
+type schnorrElem struct {
+	v *big.Int
+}
+
+func (e schnorrElem) String() string { return "Zq(" + e.v.String() + ")" }
+
+var _ Group = (*schnorrGroup)(nil)
+
+func (s *schnorrGroup) Name() string { return "test-schnorr" }
+
+func (s *schnorrGroup) Order() *big.Int { return new(big.Int).Set(s.r) }
+
+func (s *schnorrGroup) Generator() Element { return schnorrElem{v: new(big.Int).Set(s.g)} }
+
+func (s *schnorrGroup) Identity() Element { return schnorrElem{v: big.NewInt(1)} }
+
+func asSchnorr(a Element) schnorrElem {
+	e, ok := a.(schnorrElem)
+	if !ok {
+		panic(ErrWrongGroup)
+	}
+	return e
+}
+
+// Add is the group operation (multiplication mod q; the group is written
+// additively at the interface).
+func (s *schnorrGroup) Add(a, b Element) Element {
+	v := new(big.Int).Mul(asSchnorr(a).v, asSchnorr(b).v)
+	return schnorrElem{v: v.Mod(v, s.q)}
+}
+
+func (s *schnorrGroup) Neg(a Element) Element {
+	return schnorrElem{v: new(big.Int).ModInverse(asSchnorr(a).v, s.q)}
+}
+
+func (s *schnorrGroup) ScalarMul(a Element, k *big.Int) Element {
+	e := new(big.Int).Mod(k, s.r)
+	return schnorrElem{v: new(big.Int).Exp(asSchnorr(a).v, e, s.q)}
+}
+
+func (s *schnorrGroup) ScalarBaseMul(k *big.Int) Element {
+	return s.ScalarMul(s.Generator(), k)
+}
+
+func (s *schnorrGroup) Equal(a, b Element) bool {
+	return asSchnorr(a).v.Cmp(asSchnorr(b).v) == 0
+}
+
+func (s *schnorrGroup) IsIdentity(a Element) bool {
+	return asSchnorr(a).v.Cmp(big.NewInt(1)) == 0
+}
+
+func (s *schnorrGroup) Marshal(a Element) []byte {
+	out := make([]byte, s.size)
+	asSchnorr(a).v.FillBytes(out)
+	return out
+}
+
+func (s *schnorrGroup) Unmarshal(data []byte) (Element, error) {
+	if len(data) != s.size {
+		return nil, fmt.Errorf("group: bad schnorr element length %d", len(data))
+	}
+	v := new(big.Int).SetBytes(data)
+	if v.Sign() <= 0 || v.Cmp(s.q) >= 0 {
+		return nil, fmt.Errorf("group: schnorr element out of range")
+	}
+	// Membership check: v^r must be 1.
+	if new(big.Int).Exp(v, s.r, s.q).Cmp(big.NewInt(1)) != 0 {
+		return nil, fmt.Errorf("group: value is not in the order-r subgroup")
+	}
+	return schnorrElem{v: v}, nil
+}
+
+func (s *schnorrGroup) ElementLen() int { return s.size }

@@ -1,0 +1,180 @@
+// Package incentive provides the game-theoretic analysis harness the
+// paper's conclusion calls for ("an 'incentive-compatible' protocol is
+// required, so 'following the protocol' is a Nash equilibrium ... that can
+// deter rational workers from deviating"). It computes expected utilities
+// of worker strategies under the golden-standard payment rule and checks
+// that honest effort is a best response — the quantitative counterpart of
+// the protocol's cryptographic guarantees:
+//
+//   - copy-paste free-riding earns exactly zero (duplicate commitments are
+//     rejected and ciphertexts are unreadable), so its utility is the
+//     negated gas cost;
+//   - a zero-effort bot passes the quality bar only with the binomial tail
+//     probability of guessing Θ of |G| golden standards;
+//   - an honest worker of accuracy p passes with the binomial tail at p.
+package incentive
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params fixes the task's incentive environment.
+type Params struct {
+	// NumGolden is |G|, the number of golden-standard questions.
+	NumGolden int
+	// Threshold is Θ, the minimal number of correct golden answers.
+	Threshold int
+	// RangeSize is the number of options per question.
+	RangeSize int64
+	// Reward is the payment B/K for an accepted submission.
+	Reward float64
+	// SubmitCost is the worker's fixed cost of participating (gas for the
+	// commit and reveal transactions, in the same unit as Reward).
+	SubmitCost float64
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.NumGolden <= 0 {
+		return errors.New("incentive: no golden standards")
+	}
+	if p.Threshold < 0 || p.Threshold > p.NumGolden {
+		return fmt.Errorf("incentive: threshold %d out of [0,%d]", p.Threshold, p.NumGolden)
+	}
+	if p.RangeSize <= 1 {
+		return errors.New("incentive: degenerate range")
+	}
+	if p.Reward < 0 || p.SubmitCost < 0 {
+		return errors.New("incentive: negative amounts")
+	}
+	return nil
+}
+
+// Strategy is a worker's choice: an answering accuracy and the effort cost
+// of achieving it. The canonical strategies:
+//
+//   - honest high effort: accuracy near 1, positive cost;
+//   - bot: accuracy 1/|range| (uniform guessing), zero cost;
+//   - copy-paste: Participate=false (the protocol leaves nothing to copy).
+type Strategy struct {
+	Name string
+	// Accuracy is the per-question probability of answering correctly.
+	Accuracy float64
+	// EffortCost is the cost of producing the answers at this accuracy.
+	EffortCost float64
+	// Participate is false for strategies that never yield an accepted
+	// submission (copy-paste: the duplicate commitment is rejected).
+	Participate bool
+}
+
+// Honest returns an honest strategy of the given accuracy and effort cost.
+func Honest(accuracy, effortCost float64) Strategy {
+	return Strategy{Name: "honest", Accuracy: accuracy, EffortCost: effortCost, Participate: true}
+}
+
+// Bot returns the zero-effort uniform-guessing strategy for the range.
+func Bot(rangeSize int64) Strategy {
+	return Strategy{Name: "bot", Accuracy: 1 / float64(rangeSize), Participate: true}
+}
+
+// CopyPaste returns the free-riding strategy: under Dragoon it never
+// produces an acceptable submission (confidentiality + duplicate
+// rejection), so it cannot earn the reward.
+func CopyPaste() Strategy {
+	return Strategy{Name: "copy-paste"}
+}
+
+// AcceptProbability is the probability that a worker of the given
+// per-question accuracy clears the quality bar: the binomial upper tail
+// P[Bin(|G|, accuracy) ≥ Θ].
+func AcceptProbability(p Params, accuracy float64) float64 {
+	if err := p.Validate(); err != nil {
+		return 0
+	}
+	if accuracy < 0 {
+		accuracy = 0
+	}
+	if accuracy > 1 {
+		accuracy = 1
+	}
+	total := 0.0
+	for k := p.Threshold; k <= p.NumGolden; k++ {
+		total += binomPMF(p.NumGolden, k, accuracy)
+	}
+	return total
+}
+
+func binomPMF(n, k int, p float64) float64 {
+	return float64(choose(n, k)) * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+}
+
+func choose(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := int64(1)
+	for i := 0; i < k; i++ {
+		c = c * int64(n-i) / int64(i+1)
+	}
+	return c
+}
+
+// ExpectedUtility is the strategy's expected payoff:
+// P[accept]·Reward − EffortCost − SubmitCost (0 for non-participants, who
+// pay nothing and earn nothing).
+func ExpectedUtility(p Params, s Strategy) float64 {
+	if err := p.Validate(); err != nil {
+		return math.Inf(-1)
+	}
+	if !s.Participate {
+		return 0
+	}
+	return AcceptProbability(p, s.Accuracy)*p.Reward - s.EffortCost - p.SubmitCost
+}
+
+// BestResponse returns the index of the utility-maximizing strategy (ties
+// resolved to the earliest).
+func BestResponse(p Params, strategies []Strategy) int {
+	best, bestU := -1, math.Inf(-1)
+	for i, s := range strategies {
+		if u := ExpectedUtility(p, s); u > bestU {
+			best, bestU = i, u
+		}
+	}
+	return best
+}
+
+// HonestDominates reports whether honest effort at the given accuracy and
+// cost strictly beats both the bot and the copy-paster — the
+// incentive-compatibility condition the task designer should check before
+// publishing (by choosing Θ, |G| and B/K appropriately).
+func HonestDominates(p Params, accuracy, effortCost float64) bool {
+	honest := ExpectedUtility(p, Honest(accuracy, effortCost))
+	return honest > ExpectedUtility(p, Bot(p.RangeSize)) &&
+		honest > ExpectedUtility(p, CopyPaste())
+}
+
+// MinimalReward returns the smallest reward making honest effort (at the
+// given accuracy/cost) strictly dominant, or an error if no finite reward
+// works (e.g. the bot's acceptance probability is at least the honest
+// one's).
+func MinimalReward(p Params, accuracy, effortCost float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	pa := AcceptProbability(p, accuracy)
+	pb := AcceptProbability(p, 1/float64(p.RangeSize))
+	if pa <= pb {
+		return 0, fmt.Errorf("incentive: accuracy %.2f accepted no more often than guessing", accuracy)
+	}
+	// Against the bot: R·pa − cost − submit > R·pb − submit.
+	vsBot := effortCost / (pa - pb)
+	// Against not participating: R·pa − cost − submit > 0.
+	vsOut := (effortCost + p.SubmitCost) / pa
+	return math.Max(vsBot, vsOut) * 1.0000001, nil
+}

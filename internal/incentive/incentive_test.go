@@ -1,0 +1,148 @@
+package incentive_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dragoon/internal/group"
+	"dragoon/internal/incentive"
+	"dragoon/internal/sim"
+	"dragoon/internal/task"
+	"dragoon/internal/worker"
+)
+
+// imagenetParams mirrors the paper's §VI task: 6 golden standards, Θ=4,
+// binary questions, reward B/K.
+func imagenetParams() incentive.Params {
+	return incentive.Params{
+		NumGolden: 6, Threshold: 4, RangeSize: 2,
+		Reward: 1000, SubmitCost: 50,
+	}
+}
+
+func TestAcceptProbabilityEdges(t *testing.T) {
+	p := imagenetParams()
+	if got := incentive.AcceptProbability(p, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("P[accept | accuracy 1] = %v", got)
+	}
+	if got := incentive.AcceptProbability(p, 0); got != 0 {
+		t.Errorf("P[accept | accuracy 0] = %v", got)
+	}
+	// Θ = 0 accepts everyone.
+	p0 := p
+	p0.Threshold = 0
+	if got := incentive.AcceptProbability(p0, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("P[accept | Θ=0] = %v", got)
+	}
+	// Monotone in accuracy.
+	prev := -1.0
+	for acc := 0.0; acc <= 1.0; acc += 0.1 {
+		cur := incentive.AcceptProbability(p, acc)
+		if cur < prev-1e-12 {
+			t.Fatalf("acceptance probability not monotone at %.1f", acc)
+		}
+		prev = cur
+	}
+}
+
+func TestBotTailMatchesBinomial(t *testing.T) {
+	// P[Bin(6, 0.5) ≥ 4] = (15+6+1)/64 = 22/64.
+	p := imagenetParams()
+	got := incentive.AcceptProbability(p, 0.5)
+	want := 22.0 / 64.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("bot acceptance = %v, want %v", got, want)
+	}
+}
+
+func TestHonestDominatesUnderPaperParams(t *testing.T) {
+	p := imagenetParams()
+	// A diligent annotator (95% accuracy, effort worth 200 coins).
+	if !incentive.HonestDominates(p, 0.95, 200) {
+		t.Error("honest effort not dominant under the paper's task parameters")
+	}
+	strategies := []incentive.Strategy{
+		incentive.CopyPaste(),
+		incentive.Bot(2),
+		incentive.Honest(0.95, 200),
+	}
+	if best := incentive.BestResponse(p, strategies); best != 2 {
+		t.Errorf("best response = %s, want honest", strategies[best].Name)
+	}
+}
+
+func TestCopyPasteEarnsNothing(t *testing.T) {
+	p := imagenetParams()
+	if u := incentive.ExpectedUtility(p, incentive.CopyPaste()); u != 0 {
+		t.Errorf("copy-paste utility = %v, want 0", u)
+	}
+}
+
+func TestMinimalReward(t *testing.T) {
+	p := imagenetParams()
+	minR, err := incentive.MinimalReward(p, 0.95, 200)
+	if err != nil {
+		t.Fatalf("MinimalReward: %v", err)
+	}
+	p2 := p
+	p2.Reward = minR
+	if !incentive.HonestDominates(p2, 0.95, 200) {
+		t.Error("minimal reward does not make honesty dominant")
+	}
+	p2.Reward = minR * 0.5
+	if incentive.HonestDominates(p2, 0.95, 200) {
+		t.Error("half the minimal reward still dominant: bound too loose")
+	}
+	// Guessing-level accuracy has no finite dominant reward.
+	if _, err := incentive.MinimalReward(p, 0.5, 10); err == nil {
+		t.Error("expected error for guessing-level accuracy")
+	}
+}
+
+// TestAnalysisMatchesSimulation cross-validates the closed-form acceptance
+// probability against the actual protocol: across seeds, the empirical
+// acceptance rate of accuracy-p workers must track the binomial tail.
+func TestAnalysisMatchesSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo cross-validation")
+	}
+	const accuracy = 0.8
+	p := incentive.Params{NumGolden: 4, Threshold: 3, RangeSize: 2, Reward: 100}
+	want := incentive.AcceptProbability(p, accuracy)
+
+	accepted, total := 0, 0
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inst, err := task.Generate(task.GenerateParams{
+			ID: "mc", N: 12, RangeSize: 2, NumGolden: 4,
+			Workers: 2, Threshold: 3, Budget: 200,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Instance: inst,
+			Group:    group.TestSchnorr(),
+			Workers: []worker.Model{
+				worker.Accurate("a0", inst.GroundTruth, accuracy, rng),
+				worker.Accurate("a1", inst.GroundTruth, accuracy, rng),
+			},
+			Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range res.Outcomes {
+			total++
+			if o.Paid {
+				accepted++
+			}
+		}
+	}
+	got := float64(accepted) / float64(total)
+	// 60 Bernoulli trials: allow a generous tolerance around the mean.
+	if math.Abs(got-want) > 0.18 {
+		t.Errorf("empirical acceptance %.3f, analysis predicts %.3f", got, want)
+	}
+}

@@ -1,0 +1,147 @@
+// Package keccak implements the Keccak-f[1600] permutation and the
+// Keccak-256 hash function with the legacy Keccak padding (0x01), i.e. the
+// variant used by Ethereum, which the Dragoon paper instantiates its random
+// oracle H with ("the hash function is instantiated by keccak256").
+//
+// The implementation is self-contained (no external dependencies) and is
+// validated against published Keccak-256 test vectors in the package tests.
+package keccak
+
+import "encoding/binary"
+
+// Size is the digest size of Keccak-256 in bytes.
+const Size = 32
+
+// rate is the sponge rate of Keccak-256 in bytes (1600 - 2*256 bits).
+const rate = 136
+
+// roundConstants are the 24 round constants of Keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a,
+	0x8000000080008000, 0x000000000000808b, 0x0000000080000001,
+	0x8000000080008081, 0x8000000000008009, 0x000000000000008a,
+	0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089,
+	0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+	0x000000000000800a, 0x800000008000000a, 0x8000000080008081,
+	0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotationOffsets holds the rho-step rotation offset for each lane (x, y).
+var rotationOffsets = [5][5]uint{
+	{0, 36, 3, 41, 18},
+	{1, 44, 10, 45, 2},
+	{62, 6, 43, 15, 61},
+	{28, 55, 25, 21, 56},
+	{27, 20, 39, 8, 14},
+}
+
+// permute applies the full 24-round Keccak-f[1600] permutation to the state.
+func permute(a *[25]uint64) {
+	var c, d [5]uint64
+	var b [25]uint64
+	for round := 0; round < 24; round++ {
+		// Theta.
+		for x := 0; x < 5; x++ {
+			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		for x := 0; x < 5; x++ {
+			d[x] = c[(x+4)%5] ^ rotl(c[(x+1)%5], 1)
+			for y := 0; y < 5; y++ {
+				a[x+5*y] ^= d[x]
+			}
+		}
+		// Rho and Pi.
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y+5*((2*x+3*y)%5)] = rotl(a[x+5*y], rotationOffsets[x][y])
+			}
+		}
+		// Chi.
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
+			}
+		}
+		// Iota.
+		a[0] ^= roundConstants[round]
+	}
+}
+
+func rotl(v uint64, n uint) uint64 {
+	return v<<n | v>>(64-n)
+}
+
+// Hasher is an incremental Keccak-256 hasher. The zero value is ready to use.
+type Hasher struct {
+	state [25]uint64
+	buf   [rate]byte
+	n     int // bytes buffered in buf
+}
+
+// Write absorbs p into the sponge. It never returns an error.
+func (h *Hasher) Write(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 {
+		n := copy(h.buf[h.n:], p)
+		h.n += n
+		p = p[n:]
+		if h.n == rate {
+			h.absorb()
+		}
+	}
+	return total, nil
+}
+
+// absorb XORs a full rate-block into the state and permutes.
+func (h *Hasher) absorb() {
+	for i := 0; i < rate/8; i++ {
+		h.state[i] ^= binary.LittleEndian.Uint64(h.buf[8*i:])
+	}
+	permute(&h.state)
+	h.n = 0
+}
+
+// Sum256 finalizes a copy of the hasher state and returns the digest, so the
+// hasher can keep absorbing afterwards.
+func (h *Hasher) Sum256() [Size]byte {
+	// Work on copies so the receiver remains usable.
+	state := h.state
+	var block [rate]byte
+	copy(block[:], h.buf[:h.n])
+	// Legacy Keccak padding: 0x01 ... 0x80.
+	block[h.n] = 0x01
+	block[rate-1] |= 0x80
+	for i := 0; i < rate/8; i++ {
+		state[i] ^= binary.LittleEndian.Uint64(block[8*i:])
+	}
+	permute(&state)
+	var out [Size]byte
+	for i := 0; i < Size/8; i++ {
+		binary.LittleEndian.PutUint64(out[8*i:], state[i])
+	}
+	return out
+}
+
+// Reset restores the hasher to its initial state.
+func (h *Hasher) Reset() {
+	h.state = [25]uint64{}
+	h.n = 0
+}
+
+// Sum256 returns the Keccak-256 digest of data.
+func Sum256(data []byte) [Size]byte {
+	var h Hasher
+	_, _ = h.Write(data)
+	return h.Sum256()
+}
+
+// Sum256Concat returns the Keccak-256 digest of the concatenation of the
+// given byte slices, avoiding an intermediate allocation.
+func Sum256Concat(parts ...[]byte) [Size]byte {
+	var h Hasher
+	for _, p := range parts {
+		_, _ = h.Write(p)
+	}
+	return h.Sum256()
+}

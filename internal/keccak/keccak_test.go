@@ -1,0 +1,138 @@
+package keccak
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// Known-answer tests for Keccak-256 (legacy padding, as used by Ethereum).
+var katVectors = []struct {
+	in  string
+	out string
+}{
+	// Keccak-256(""), the famous empty-input digest used all over Ethereum.
+	{"", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"},
+	// Keccak-256("abc").
+	{"abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"},
+	// Keccak-256("The quick brown fox jumps over the lazy dog").
+	{"The quick brown fox jumps over the lazy dog",
+		"4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15"},
+	// Keccak-256("testing").
+	{"testing", "5f16f4c7f149ac4f9510d9cf8cf384038ad348b3bcdc01915f95de12df9d1b02"},
+}
+
+func TestKnownAnswers(t *testing.T) {
+	for _, v := range katVectors {
+		got := Sum256([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.out {
+			t.Errorf("Sum256(%q) = %x, want %s", v.in, got, v.out)
+		}
+	}
+}
+
+func TestIncrementalMatchesOneShot(t *testing.T) {
+	data := bytes.Repeat([]byte("dragoon-hit-protocol-"), 50) // > 1 rate block
+	want := Sum256(data)
+	for _, chunk := range []int{1, 7, 64, 135, 136, 137, 500} {
+		var h Hasher
+		for i := 0; i < len(data); i += chunk {
+			end := i + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := h.Write(data[i:end]); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+		}
+		if got := h.Sum256(); got != want {
+			t.Errorf("chunk %d: digest mismatch: got %x want %x", chunk, got, want)
+		}
+	}
+}
+
+func TestSumIsNondestructive(t *testing.T) {
+	var h Hasher
+	_, _ = h.Write([]byte("part one"))
+	first := h.Sum256()
+	again := h.Sum256()
+	if first != again {
+		t.Fatal("Sum256 mutated hasher state")
+	}
+	_, _ = h.Write([]byte(" part two"))
+	full := h.Sum256()
+	want := Sum256([]byte("part one part two"))
+	if full != want {
+		t.Fatalf("continued hash mismatch: got %x want %x", full, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Hasher
+	_, _ = h.Write([]byte("garbage"))
+	h.Reset()
+	_, _ = h.Write([]byte("abc"))
+	got := h.Sum256()
+	want := Sum256([]byte("abc"))
+	if got != want {
+		t.Fatalf("reset hasher mismatch: got %x want %x", got, want)
+	}
+}
+
+func TestSum256Concat(t *testing.T) {
+	parts := [][]byte{[]byte("a"), []byte("bc"), nil, []byte("def")}
+	got := Sum256Concat(parts...)
+	want := Sum256([]byte("abcdef"))
+	if got != want {
+		t.Fatalf("concat mismatch: got %x want %x", got, want)
+	}
+}
+
+// Property: splitting the input at any point never changes the digest.
+func TestSplitInvariance(t *testing.T) {
+	f := func(a, b []byte) bool {
+		var h Hasher
+		_, _ = h.Write(a)
+		_, _ = h.Write(b)
+		split := h.Sum256()
+		joined := Sum256(append(append([]byte{}, a...), b...))
+		return split == joined
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct short inputs produce distinct digests (collision
+// resistance smoke test over the random inputs quick generates).
+func TestNoTrivialCollisions(t *testing.T) {
+	seen := make(map[[Size]byte][]byte)
+	f := func(in []byte) bool {
+		d := Sum256(in)
+		if prev, ok := seen[d]; ok {
+			return bytes.Equal(prev, in)
+		}
+		seen[d] = append([]byte{}, in...)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSum256_136B(b *testing.B) {
+	data := make([]byte, 136)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}
+
+func BenchmarkSum256_4KiB(b *testing.B) {
+	data := make([]byte, 4096)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}

@@ -1,0 +1,182 @@
+// Package ledger implements the paper's cryptocurrency ideal functionality
+// L (§III): a transparent bookkeeping ledger holding a balance for every
+// party, which smart contracts call as a subroutine for conditional
+// payments through two oracle queries:
+//
+//   - FreezeCoins(F, Pi, b): move b coins from party Pi into the escrow
+//     balance of contract F (fails with "nofund" if Pi cannot cover b);
+//   - PayCoins(F, Pi, b): release b escrowed coins from F back to Pi.
+//
+// The ledger additionally records an event trace (frozen/paid/nofund
+// messages "sent to every entity" in the ideal functionality) and maintains
+// the conservation invariant: the sum of all party balances plus all
+// contract escrows is constant.
+package ledger
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Amount is a coin amount in the ledger's smallest unit (think wei).
+type Amount uint64
+
+// AccountID identifies a party (requester, worker) on the ledger.
+type AccountID string
+
+// ContractID identifies a contract escrow account.
+type ContractID string
+
+// EventKind enumerates ledger event types.
+type EventKind int
+
+// Ledger event kinds, mirroring the ideal functionality's messages.
+const (
+	EventFrozen EventKind = iota + 1
+	EventPaid
+	EventNoFund
+)
+
+// String returns the ideal-functionality message name for the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventFrozen:
+		return "frozen"
+	case EventPaid:
+		return "paid"
+	case EventNoFund:
+		return "nofund"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry of the public ledger trace.
+type Event struct {
+	Kind     EventKind
+	Contract ContractID
+	Party    AccountID
+	Amount   Amount
+}
+
+// Ledger is the coin functionality. It is safe for concurrent use.
+type Ledger struct {
+	mu       sync.Mutex
+	balances map[AccountID]Amount
+	escrow   map[ContractID]Amount
+	events   []Event
+	total    Amount // conservation check: fixed at minting time
+}
+
+// New returns an empty ledger.
+func New() *Ledger {
+	return &Ledger{
+		balances: make(map[AccountID]Amount),
+		escrow:   make(map[ContractID]Amount),
+	}
+}
+
+// Mint credits a party with freshly created coins (test/bootstrap helper;
+// the ideal functionality assumes balances exist a priori).
+func (l *Ledger) Mint(p AccountID, b Amount) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.balances[p] += b
+	l.total += b
+}
+
+// Balance returns the liquid balance of a party.
+func (l *Ledger) Balance(p AccountID) Amount {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.balances[p]
+}
+
+// Escrow returns the frozen balance held by a contract.
+func (l *Ledger) Escrow(f ContractID) Amount {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.escrow[f]
+}
+
+// FreezeCoins handles (freeze, Pi, b) from contract f: it moves b coins from
+// Pi's balance into f's escrow. On insufficient funds it records a nofund
+// event and returns an error, leaving balances unchanged.
+func (l *Ledger) FreezeCoins(f ContractID, p AccountID, b Amount) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.balances[p] < b {
+		l.events = append(l.events, Event{Kind: EventNoFund, Contract: f, Party: p, Amount: b})
+		return fmt.Errorf("ledger: nofund: %s has %d, needs %d", p, l.balances[p], b)
+	}
+	l.balances[p] -= b
+	l.escrow[f] += b
+	l.events = append(l.events, Event{Kind: EventFrozen, Contract: f, Party: p, Amount: b})
+	return nil
+}
+
+// PayCoins handles (pay, Pi, b) from contract f: it releases b escrowed
+// coins to Pi. It fails if the contract escrow cannot cover b — a contract
+// bug, never reachable from a correctly-deposited task.
+func (l *Ledger) PayCoins(f ContractID, p AccountID, b Amount) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.escrow[f] < b {
+		return fmt.Errorf("ledger: contract %s escrow %d cannot pay %d", f, l.escrow[f], b)
+	}
+	l.escrow[f] -= b
+	l.balances[p] += b
+	l.events = append(l.events, Event{Kind: EventPaid, Contract: f, Party: p, Amount: b})
+	return nil
+}
+
+// Events returns a copy of the public event trace.
+func (l *Ledger) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// TotalSupply returns the amount ever minted.
+func (l *Ledger) TotalSupply() Amount {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// CheckConservation verifies the conservation invariant: liquid balances
+// plus escrows equal total supply. It returns an error describing the
+// discrepancy, if any.
+func (l *Ledger) CheckConservation() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var sum Amount
+	for _, b := range l.balances {
+		sum += b
+	}
+	for _, e := range l.escrow {
+		sum += e
+	}
+	if sum != l.total {
+		return fmt.Errorf("ledger: conservation violated: accounted %d, minted %d", sum, l.total)
+	}
+	return nil
+}
+
+// Accounts returns all account IDs with nonzero balance, sorted, for
+// deterministic reporting.
+func (l *Ledger) Accounts() []AccountID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]AccountID, 0, len(l.balances))
+	for id, b := range l.balances {
+		if b > 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

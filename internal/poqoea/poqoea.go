@@ -1,0 +1,205 @@
+// Package poqoea implements the paper's core contribution: the Proof of
+// Quality of an Encrypted Answer (§V-A, Fig. 3). Given a vector of
+// exponential-ElGamal ciphertexts answering a HIT whose golden-standard
+// questions have indices G and ground truth Gs, the requester proves an
+// upper bound χ on the answer's quality
+//
+//	Quality(a) = Σ_{i∈G} [a_i ≡ s_i]
+//
+// by revealing — with a verifiable-decryption (VPKE) proof each — the
+// plaintexts of exactly those golden-standard positions the worker answered
+// incorrectly. The verifier accepts iff χ plus the number of valid
+// wrong-answer revelations covers all |G| golden standards; soundness of
+// VPKE then makes χ a sound upper bound ("upper-bound soundness"), which
+// suffices for fairness because the reward is monotone in quality. The
+// construction is zero-knowledge in the paper's "special" sense: only
+// already-simulatable information (the worker's performance on the few
+// golden standards) is leaked.
+package poqoea
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dragoon/internal/elgamal"
+	"dragoon/internal/group"
+	"dragoon/internal/vpke"
+)
+
+// Statement fixes the public parameters of a quality proof: the golden
+// standard indices/answers and the per-question option range.
+type Statement struct {
+	// GoldenIndices are the positions of golden-standard questions within
+	// the answer vector (the paper's G ⊊ [0, N)).
+	GoldenIndices []int
+	// GoldenAnswers is the ground truth s_i for each golden index (Gs).
+	GoldenAnswers []int64
+	// RangeSize is the number of options per question (|range|).
+	RangeSize int64
+}
+
+// Validate checks structural well-formedness of the statement.
+func (s Statement) Validate(numQuestions int) error {
+	if len(s.GoldenIndices) == 0 {
+		return errors.New("poqoea: no golden standards")
+	}
+	if len(s.GoldenIndices) != len(s.GoldenAnswers) {
+		return fmt.Errorf("poqoea: %d golden indices but %d answers",
+			len(s.GoldenIndices), len(s.GoldenAnswers))
+	}
+	if s.RangeSize <= 1 {
+		return fmt.Errorf("poqoea: range size %d too small", s.RangeSize)
+	}
+	seen := make(map[int]bool, len(s.GoldenIndices))
+	for j, idx := range s.GoldenIndices {
+		if idx < 0 || idx >= numQuestions {
+			return fmt.Errorf("poqoea: golden index %d out of [0,%d)", idx, numQuestions)
+		}
+		if seen[idx] {
+			return fmt.Errorf("poqoea: duplicate golden index %d", idx)
+		}
+		seen[idx] = true
+		if s.GoldenAnswers[j] < 0 || s.GoldenAnswers[j] >= s.RangeSize {
+			return fmt.Errorf("poqoea: golden answer %d out of range", s.GoldenAnswers[j])
+		}
+	}
+	return nil
+}
+
+// expected returns the ground-truth answer for golden index idx.
+func (s Statement) expected(idx int) (int64, bool) {
+	for j, gi := range s.GoldenIndices {
+		if gi == idx {
+			return s.GoldenAnswers[j], true
+		}
+	}
+	return 0, false
+}
+
+// WrongAnswer is one revealed incorrect golden-standard answer with its
+// proof of correct decryption.
+type WrongAnswer struct {
+	// Index is the golden-standard position in the answer vector.
+	Index int
+	// Plain is the revealed decryption (integer in range, or bare element).
+	Plain elgamal.Plaintext
+	// Proof attests that the ciphertext at Index decrypts to Plain.
+	Proof *vpke.Proof
+}
+
+// Proof is a PoQoEA proof: the set of wrong golden-standard answers. Its
+// size is |G| − χ VPKE proofs, independent of the task size N — the source
+// of the paper's constant-factor advantage over generic zk-proofs.
+type Proof struct {
+	Wrong []WrongAnswer
+}
+
+// Prove computes the true quality χ of the encrypted answer vector cts and a
+// proof that χ is (an upper bound on) that quality. Only golden-standard
+// positions are ever decrypted into the proof; all other answers stay
+// confidential.
+func Prove(sk *elgamal.PrivateKey, cts []elgamal.Ciphertext, st Statement, rnd io.Reader) (int, *Proof, error) {
+	if err := st.Validate(len(cts)); err != nil {
+		return 0, nil, err
+	}
+	quality := 0
+	pf := &Proof{}
+	for j, idx := range st.GoldenIndices {
+		plain, pi, err := vpke.Prove(sk, cts[idx], st.RangeSize, rnd)
+		if err != nil {
+			return 0, nil, fmt.Errorf("poqoea: proving decryption of answer %d: %w", idx, err)
+		}
+		if plain.InRange && plain.Value == st.GoldenAnswers[j] {
+			quality++
+			continue
+		}
+		pf.Wrong = append(pf.Wrong, WrongAnswer{Index: idx, Plain: plain, Proof: pi})
+	}
+	return quality, pf, nil
+}
+
+// Verify checks that claimedQuality is a sound upper bound on the quality of
+// the encrypted answers, per Fig. 3 of the paper: every revealed answer must
+// be a distinct golden-standard position, must differ from the ground truth,
+// and must carry a valid VPKE proof; the claim is accepted iff
+// claimedQuality + #valid revelations ≥ |G|.
+func Verify(pk *elgamal.PublicKey, cts []elgamal.Ciphertext, claimedQuality int, pf *Proof, st Statement) bool {
+	if pf == nil || st.Validate(len(cts)) != nil {
+		return false
+	}
+	if claimedQuality < 0 || claimedQuality > len(st.GoldenIndices) {
+		return false
+	}
+	counted := claimedQuality
+	seen := make(map[int]bool, len(pf.Wrong))
+	for _, w := range pf.Wrong {
+		expect, isGolden := st.expected(w.Index)
+		if !isGolden || seen[w.Index] {
+			return false
+		}
+		seen[w.Index] = true
+		if w.Index >= len(cts) {
+			return false
+		}
+		if w.Plain.InRange {
+			if w.Plain.Value == expect {
+				return false // revealed answer is actually correct
+			}
+			if !vpke.VerifyValue(pk, w.Plain.Value, cts[w.Index], w.Proof) {
+				return false
+			}
+		} else {
+			if w.Plain.Element == nil {
+				return false
+			}
+			if !vpke.VerifyElement(pk, w.Plain.Element, cts[w.Index], w.Proof) {
+				return false
+			}
+		}
+		counted++
+	}
+	return counted >= len(st.GoldenIndices)
+}
+
+// Quality computes the plaintext quality function Quality(a; G, Gs) =
+// Σ_{i∈G} [a_i ≡ s_i] (Iverson bracket), the paper's §IV definition. It is
+// shared by the ideal functionality, the requester, and tests.
+func Quality(answers []int64, st Statement) int {
+	q := 0
+	for j, idx := range st.GoldenIndices {
+		if idx < len(answers) && answers[idx] == st.GoldenAnswers[j] {
+			q++
+		}
+	}
+	return q
+}
+
+// EncryptAnswers encrypts a full answer vector under pk — the worker-side
+// helper used throughout the protocol and tests.
+func EncryptAnswers(pk *elgamal.PublicKey, answers []int64, rnd io.Reader) ([]elgamal.Ciphertext, error) {
+	cts := make([]elgamal.Ciphertext, len(answers))
+	for i, a := range answers {
+		ct, _, err := pk.Encrypt(a, rnd)
+		if err != nil {
+			return nil, fmt.Errorf("poqoea: encrypting answer %d: %w", i, err)
+		}
+		cts[i] = ct
+	}
+	return cts, nil
+}
+
+// ProofSize returns the marshaled size of the proof in bytes for the given
+// group — used by the gas model (calldata) and the evaluation harness.
+func ProofSize(g group.Group, pf *Proof) int {
+	n := 0
+	for _, w := range pf.Wrong {
+		n += 8     // index
+		n += 1 + 8 // in-range flag + value or element below
+		if !w.Plain.InRange {
+			n += g.ElementLen()
+		}
+		n += 2*g.ElementLen() + 32 // vpke proof
+	}
+	return n
+}

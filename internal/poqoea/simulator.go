@@ -1,0 +1,105 @@
+package poqoea
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"dragoon/internal/elgamal"
+	"dragoon/internal/group"
+	"dragoon/internal/vpke"
+)
+
+// Simulate constructs a PoQoEA transcript for the claim "the answers
+// encrypted in cts have quality χ" WITHOUT the decryption key — the
+// constructive content of the paper's Lemma 1 ("there exists a P.P.T.
+// simulator S invoking at most polynomial number of S_VPKE (on input c_i,
+// h, and guessed a_i ∈ range \ {s_i}) to simulate all VPKE proofs"). The
+// paper's "special" zero-knowledge holds exactly because |G| and |range|
+// are small constants, which keeps the simulator's guessing polynomial.
+//
+// The returned transcript pairs each simulated wrong answer with the
+// explicit challenge its VPKE equations verify under; like vpke's
+// SimulateProof, it verifies under VerifyWithChallenge but NOT under the
+// Fiat–Shamir verifier (the random oracle cannot be programmed by a real
+// adversary), which is precisely what tests assert to validate the
+// zero-knowledge claim.
+type SimulatedTranscript struct {
+	// Wrong mirrors Proof.Wrong with simulated revelations.
+	Wrong []SimulatedWrongAnswer
+}
+
+// SimulatedWrongAnswer is one simulated revelation with its programmed
+// challenge.
+type SimulatedWrongAnswer struct {
+	Index     int
+	Plain     elgamal.Plaintext
+	Proof     *vpke.Proof
+	Challenge *big.Int
+}
+
+// Simulate simulates a quality-χ transcript over the first |G|−χ golden
+// positions, guessing each revealed "wrong" answer uniformly from
+// range \ {s_i}. It requires 0 ≤ χ ≤ |G|.
+func Simulate(pk *elgamal.PublicKey, cts []elgamal.Ciphertext, chi int, st Statement, rnd io.Reader) (*SimulatedTranscript, error) {
+	if err := st.Validate(len(cts)); err != nil {
+		return nil, err
+	}
+	if chi < 0 || chi > len(st.GoldenIndices) {
+		return nil, fmt.Errorf("poqoea: quality %d out of [0,%d]", chi, len(st.GoldenIndices))
+	}
+	g := pk.Group
+	tr := &SimulatedTranscript{}
+	for j := 0; j < len(st.GoldenIndices)-chi; j++ {
+		idx := st.GoldenIndices[j]
+		truth := st.GoldenAnswers[j]
+		// Guess a wrong answer: uniform over range \ {s_i}.
+		r, err := group.RandomScalar(g, rnd)
+		if err != nil {
+			return nil, fmt.Errorf("poqoea: simulating: %w", err)
+		}
+		guess := new(big.Int).Mod(r, big.NewInt(st.RangeSize-1)).Int64()
+		if guess >= truth {
+			guess++
+		}
+		gm := g.ScalarBaseMul(big.NewInt(guess))
+		pi, c, err := vpke.SimulateProof(pk, gm, cts[idx], rnd)
+		if err != nil {
+			return nil, fmt.Errorf("poqoea: simulating VPKE for %d: %w", idx, err)
+		}
+		tr.Wrong = append(tr.Wrong, SimulatedWrongAnswer{
+			Index:     idx,
+			Plain:     elgamal.Plaintext{InRange: true, Value: guess, Element: gm},
+			Proof:     pi,
+			Challenge: c,
+		})
+	}
+	return tr, nil
+}
+
+// VerifySimulated checks a simulated transcript against its programmed
+// challenges (the interactive-verifier view). Real Fiat–Shamir verification
+// of the same transcript must fail — callers assert both to validate the
+// zero-knowledge property.
+func VerifySimulated(pk *elgamal.PublicKey, cts []elgamal.Ciphertext, chi int, tr *SimulatedTranscript, st Statement) bool {
+	if tr == nil || st.Validate(len(cts)) != nil {
+		return false
+	}
+	counted := chi
+	seen := make(map[int]bool, len(tr.Wrong))
+	for _, w := range tr.Wrong {
+		expect, isGolden := st.expected(w.Index)
+		if !isGolden || seen[w.Index] || w.Index >= len(cts) {
+			return false
+		}
+		seen[w.Index] = true
+		if w.Plain.InRange && w.Plain.Value == expect {
+			return false
+		}
+		if !vpke.VerifyWithChallenge(pk, w.Plain.Element, cts[w.Index], w.Proof, w.Challenge) {
+			return false
+		}
+		counted++
+	}
+	return counted >= len(st.GoldenIndices)
+}

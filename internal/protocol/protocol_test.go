@@ -1,0 +1,177 @@
+package protocol_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/contract"
+	"dragoon/internal/group"
+	"dragoon/internal/ledger"
+	"dragoon/internal/protocol"
+	"dragoon/internal/swarm"
+	"dragoon/internal/task"
+)
+
+func smallInstance(t *testing.T) *task.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	inst, err := task.Generate(task.GenerateParams{
+		ID: "proto", N: 6, RangeSize: 2, NumGolden: 2,
+		Workers: 2, Threshold: 1, Budget: 100,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func setup(t *testing.T) (*chain.Chain, *swarm.Store, *task.Instance, *protocol.Requester) {
+	t.Helper()
+	inst := smallInstance(t)
+	led := ledger.New()
+	led.Mint("requester", 1000)
+	ch := chain.New(led, nil)
+	store := swarm.New()
+	req, err := protocol.NewRequester(protocol.RequesterConfig{
+		Addr:     "requester",
+		Chain:    ch,
+		Store:    store,
+		Instance: inst,
+		Group:    group.TestSchnorr(),
+	})
+	if err != nil {
+		t.Fatalf("NewRequester: %v", err)
+	}
+	return ch, store, inst, req
+}
+
+func TestLaunchPublishesEverything(t *testing.T) {
+	ch, store, inst, req := setup(t)
+	if err := req.Launch(); err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if _, err := ch.MineRound(); err != nil {
+		t.Fatal(err)
+	}
+	// The publish event must carry decodable parameters.
+	var published *contract.PublishMsg
+	for _, ev := range ch.Events() {
+		if ev.Name == "published" {
+			msg, err := contract.UnmarshalPublish(ev.Data)
+			if err != nil {
+				t.Fatalf("published event: %v", err)
+			}
+			published = msg
+		}
+	}
+	if published == nil {
+		t.Fatal("no published event")
+	}
+	if published.N != inst.Task.N() || published.Workers != 2 {
+		t.Errorf("published params: %+v", published)
+	}
+	// The questions must be retrievable and integrity-checked via Swarm.
+	content, err := store.Get(swarm.Digest(published.QuestionsDigest))
+	if err != nil {
+		t.Fatalf("swarm content: %v", err)
+	}
+	qs, err := task.UnmarshalQuestions(content)
+	if err != nil || len(qs) != inst.Task.N() {
+		t.Fatalf("decoded %d questions, err=%v", len(qs), err)
+	}
+	// The budget is escrowed.
+	if got := ch.Ledger().Escrow(req.ContractID()); got != inst.Task.Budget {
+		t.Errorf("escrow = %d", got)
+	}
+	// Double launch fails.
+	if err := req.Launch(); err == nil {
+		t.Error("second Launch accepted")
+	}
+}
+
+func TestWorkerRequiresAnswerFn(t *testing.T) {
+	if _, err := protocol.NewWorker(protocol.WorkerConfig{
+		Addr: "w", Strategy: protocol.StrategyHonest,
+	}); err == nil {
+		t.Error("honest worker without AnswerFn accepted")
+	}
+	if _, err := protocol.NewWorker(protocol.WorkerConfig{
+		Addr: "w", Strategy: protocol.StrategyCopyCommit,
+	}); err != nil {
+		t.Errorf("copy-commit worker rejected: %v", err)
+	}
+}
+
+func TestWorkerWaitsForPublication(t *testing.T) {
+	ch, store, _, req := setup(t)
+	w, err := protocol.NewWorker(protocol.WorkerConfig{
+		Addr: "w1", Chain: ch, Store: store, Group: group.TestSchnorr(),
+		ContractID: req.ContractID(),
+		AnswerFn: func(qs []task.Question, rangeSize int64) []int64 {
+			return make([]int64, len(qs))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before publication: stepping must be a no-op, not an error.
+	if err := w.Step(); err != nil {
+		t.Fatalf("Step before publish: %v", err)
+	}
+	if len(ch.Receipts()) != 0 {
+		t.Error("worker acted before publication")
+	}
+}
+
+func TestWorkerRejectsWrongSizedBehaviour(t *testing.T) {
+	ch, store, _, req := setup(t)
+	if err := req.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.MineRound(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := protocol.NewWorker(protocol.WorkerConfig{
+		Addr: "w1", Chain: ch, Store: store, Group: group.TestSchnorr(),
+		ContractID: req.ContractID(),
+		AnswerFn: func(qs []task.Question, rangeSize int64) []int64 {
+			return []int64{0} // wrong length
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Step(); err == nil {
+		t.Error("wrong-length answer vector accepted")
+	}
+}
+
+func TestRequesterAnswersBeforeRevealEmpty(t *testing.T) {
+	ch, _, _, req := setup(t)
+	if err := req.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.MineRound(); err != nil {
+		t.Fatal(err)
+	}
+	answers, err := req.Answers()
+	if err != nil {
+		t.Fatalf("Answers: %v", err)
+	}
+	if len(answers) != 0 {
+		t.Errorf("answers before any reveal: %v", answers)
+	}
+}
+
+func TestRequesterValidation(t *testing.T) {
+	inst := smallInstance(t)
+	inst.Task.Workers = 0 // invalid
+	_, err := protocol.NewRequester(protocol.RequesterConfig{
+		Addr: "r", Chain: chain.New(ledger.New(), nil), Store: swarm.New(),
+		Instance: inst, Group: group.TestSchnorr(),
+	})
+	if err == nil {
+		t.Error("invalid task accepted")
+	}
+}

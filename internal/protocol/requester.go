@@ -1,0 +1,375 @@
+// Package protocol implements the off-chain halves of Π_hit (Fig. 5): the
+// requester client and the worker client. Both are event-driven round
+// automata: each clock round they inspect the public chain state (receipts
+// and event logs — the only view a real Ethereum client has) and submit the
+// transactions the protocol prescribes. The requester additionally manages
+// the task's key pair, publishes question content to off-chain storage, and
+// generates VPKE/PoQoEA proofs to reject unqualified submissions.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/commit"
+	"dragoon/internal/contract"
+	"dragoon/internal/elgamal"
+	"dragoon/internal/group"
+	"dragoon/internal/ledger"
+	"dragoon/internal/poqoea"
+	"dragoon/internal/swarm"
+	"dragoon/internal/task"
+	"dragoon/internal/vpke"
+)
+
+// RequesterPolicy selects the requester's evaluation behaviour, used to
+// exercise both the honest protocol and the misbehaviours the security
+// analysis must defeat.
+type RequesterPolicy int
+
+// Requester policies.
+const (
+	// PolicyHonest follows Fig. 5: open the golden standards, reject
+	// out-of-range answers with VPKE and below-threshold answers with
+	// PoQoEA, stay silent about qualified answers.
+	PolicyHonest RequesterPolicy = iota + 1
+	// PolicySilent never sends any evaluation message (the "no message
+	// from R" branch: everyone revealed gets paid).
+	PolicySilent
+	// PolicyNoGolden refuses to open the golden-standard commitment, so no
+	// rejection is possible and everyone revealed gets paid.
+	PolicyNoGolden
+	// PolicyFalseReport tries to reject every worker with an underclaimed
+	// quality χ = 0 and whatever (insufficient) proof exists — the
+	// false-reporting attack; the contract must pay the workers instead.
+	PolicyFalseReport
+)
+
+// Requester is the off-chain requester client.
+type Requester struct {
+	Addr chain.Address
+
+	chain *chain.Chain
+	store *swarm.Store
+	rand  io.Reader
+
+	inst         *task.Instance
+	sk           *elgamal.PrivateKey
+	goldenKey    commit.Key
+	contractID   ledger.ContractID
+	policy       RequesterPolicy
+	commitRounds int
+
+	published       bool
+	goldenSent      bool
+	evaluationsSent bool
+	finalizeSent    bool
+
+	// logTable amortizes short-range decryption across the K·N
+	// ciphertexts of a task (lazily built).
+	logTable *elgamal.ShortLogTable
+}
+
+// RequesterConfig configures a requester client.
+type RequesterConfig struct {
+	Addr     chain.Address
+	Chain    *chain.Chain
+	Store    *swarm.Store
+	Instance *task.Instance
+	Policy   RequesterPolicy
+	Group    group.Group
+	// Key optionally reuses an existing requester key pair: "Dragoon
+	// enables the requester to manage only one private-public key pair
+	// throughout all her tasks, because all protocol scripts are
+	// simulatable without secret key and therefore leak nothing relevant"
+	// (§VI). A fresh pair is generated when nil.
+	Key *elgamal.PrivateKey
+	// CommitRounds bounds how long the commit phase stays open before the
+	// task can be cancelled (default 8 rounds).
+	CommitRounds int
+	// Rand supplies protocol randomness (crypto/rand if nil).
+	Rand io.Reader
+}
+
+// NewRequester creates a requester client, generating its ElGamal key pair
+// — "the requester [manages] only one private-public key pair throughout
+// all her tasks" (§VI).
+func NewRequester(cfg RequesterConfig) (*Requester, error) {
+	if cfg.Policy == 0 {
+		cfg.Policy = PolicyHonest
+	}
+	if cfg.CommitRounds == 0 {
+		cfg.CommitRounds = 8
+	}
+	if err := cfg.Instance.Task.Validate(); err != nil {
+		return nil, fmt.Errorf("protocol: invalid task: %w", err)
+	}
+	sk := cfg.Key
+	if sk == nil {
+		var err error
+		sk, err = elgamal.KeyGen(cfg.Group, cfg.Rand)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: requester keygen: %w", err)
+		}
+	} else if sk.Group.Name() != cfg.Group.Name() {
+		return nil, fmt.Errorf("protocol: key over group %q, task over %q",
+			sk.Group.Name(), cfg.Group.Name())
+	}
+	return &Requester{
+		Addr:         cfg.Addr,
+		chain:        cfg.Chain,
+		store:        cfg.Store,
+		rand:         cfg.Rand,
+		inst:         cfg.Instance,
+		sk:           sk,
+		contractID:   ledger.ContractID(cfg.Instance.Task.ID),
+		policy:       cfg.Policy,
+		commitRounds: cfg.CommitRounds,
+	}, nil
+}
+
+// ContractID returns the on-chain contract instance this requester drives.
+func (r *Requester) ContractID() ledger.ContractID { return r.contractID }
+
+// PublicKey exposes the requester's encryption key (h).
+func (r *Requester) PublicKey() *elgamal.PublicKey { return &r.sk.PublicKey }
+
+// Launch deploys the HIT contract and publishes the task: question content
+// goes to off-chain storage, only its digest plus the protocol parameters
+// and the golden-standard commitment go on-chain, and the budget B is
+// frozen (Fig. 5, phase 1).
+func (r *Requester) Launch() error {
+	if r.published {
+		return errors.New("protocol: task already published")
+	}
+	t := &r.inst.Task
+	g := r.sk.Group
+
+	if _, err := r.chain.Deploy(r.contractID, contract.New(g), contract.DeployCodeSize, r.Addr); err != nil {
+		return fmt.Errorf("protocol: deploying contract: %w", err)
+	}
+	questionsDigest := r.store.Put(t.MarshalQuestions())
+
+	key, err := commit.NewKey(r.rand)
+	if err != nil {
+		return fmt.Errorf("protocol: golden commitment key: %w", err)
+	}
+	r.goldenKey = key
+	msg := &contract.PublishMsg{
+		N:               t.N(),
+		Budget:          t.Budget,
+		Workers:         t.Workers,
+		RangeSize:       t.RangeSize,
+		Threshold:       t.Threshold,
+		PubKey:          g.Marshal(r.sk.H),
+		CommGolden:      commit.Commit(r.inst.Golden.Marshal(), key),
+		QuestionsDigest: questionsDigest,
+		CommitRounds:    r.commitRounds,
+	}
+	r.chain.Submit(&chain.Tx{
+		From:     r.Addr,
+		Contract: r.contractID,
+		Method:   contract.MethodPublish,
+		Data:     msg.Marshal(),
+	})
+	r.published = true
+	return nil
+}
+
+// Step advances the requester one clock round (called before each round is
+// mined). It inspects the public event log and submits whatever phase-3
+// transactions are due.
+func (r *Requester) Step() error {
+	if !r.published {
+		return nil
+	}
+	view := observe(r.chain, r.contractID)
+	round := r.chain.Round()
+	if view.publishedParams == nil || view.finalized || view.cancelled {
+		return nil
+	}
+
+	// If the commit phase never filled, cancel after its deadline to
+	// recover the deposit.
+	if view.committedRound < 0 {
+		if !r.finalizeSent && round > view.publishedRound+r.commitRounds {
+			r.finalizeSent = true
+			r.chain.Submit(&chain.Tx{
+				From:     r.Addr,
+				Contract: r.contractID,
+				Method:   contract.MethodFinalize,
+			})
+		}
+		return nil
+	}
+
+	// Enter evaluation once the reveal window is over.
+	if round <= view.committedRound+contract.RevealRounds {
+		return nil
+	}
+
+	if !r.goldenSent {
+		r.goldenSent = true
+		if r.policy == PolicyNoGolden {
+			return nil
+		}
+		msg := &contract.GoldenMsg{Golden: r.inst.Golden.Marshal(), Key: r.goldenKey}
+		r.chain.Submit(&chain.Tx{
+			From:     r.Addr,
+			Contract: r.contractID,
+			Method:   contract.MethodGolden,
+			Data:     msg.Marshal(),
+		})
+		return nil
+	}
+
+	// Send evaluations only after the golden opening is confirmed on-chain
+	// (ordering within a round is adversarial, so the client sequences
+	// across rounds).
+	if !r.evaluationsSent && view.goldenRevealed {
+		r.evaluationsSent = true
+		if r.policy != PolicySilent && r.policy != PolicyNoGolden {
+			if err := r.evaluateAll(view); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Finalize after the evaluation window closes.
+	evalEnd := view.committedRound + contract.RevealRounds + contract.EvalRounds
+	if !r.finalizeSent && round > evalEnd && !view.finalized {
+		r.finalizeSent = true
+		r.chain.Submit(&chain.Tx{
+			From:     r.Addr,
+			Contract: r.contractID,
+			Method:   contract.MethodFinalize,
+		})
+	}
+	return nil
+}
+
+// evaluateAll decrypts every revealed submission and sends the rejection
+// transactions the policy calls for.
+func (r *Requester) evaluateAll(view *chainView) error {
+	st := r.inst.Golden.Statement(r.inst.Task.RangeSize)
+	for _, sub := range view.submissions {
+		cts, err := decodeSubmission(r.sk.Group, sub.data, r.inst.Task.N())
+		if err != nil {
+			return fmt.Errorf("protocol: decoding submission of %s: %w", sub.worker, err)
+		}
+		switch r.policy {
+		case PolicyFalseReport:
+			// Underclaim χ=0 with no proof: the contract must treat this
+			// as an invalid rejection and pay the worker.
+			msg := &contract.EvaluateMsg{Worker: sub.worker, Chi: 0}
+			r.submitEval(contract.MethodEvaluate, msg.Marshal())
+			continue
+		case PolicyHonest:
+		default:
+			continue
+		}
+
+		if idx, plain, pi, found, err := r.findOutOfRange(cts); err != nil {
+			return err
+		} else if found {
+			msg := &contract.OutrangeMsg{
+				Worker:  sub.worker,
+				QIdx:    idx,
+				Ct:      elgamal.MarshalCiphertext(r.sk.Group, cts[idx]),
+				Element: r.sk.Group.Marshal(plain.Element),
+				Proof:   vpke.MarshalProof(r.sk.Group, pi),
+			}
+			r.submitEval(contract.MethodOutrange, msg.Marshal())
+			continue
+		}
+
+		quality, pf, err := poqoea.Prove(r.sk, cts, st, r.rand)
+		if err != nil {
+			return fmt.Errorf("protocol: proving quality of %s: %w", sub.worker, err)
+		}
+		if quality >= r.inst.Task.Threshold {
+			continue // qualified: stay silent, the default pays the worker
+		}
+		msg := &contract.EvaluateMsg{Worker: sub.worker, Chi: quality}
+		for _, w := range pf.Wrong {
+			entry := contract.WrongEntry{
+				QIdx:    w.Index,
+				Ct:      elgamal.MarshalCiphertext(r.sk.Group, cts[w.Index]),
+				InRange: w.Plain.InRange,
+				Value:   w.Plain.Value,
+				Proof:   vpke.MarshalProof(r.sk.Group, w.Proof),
+			}
+			if !w.Plain.InRange {
+				entry.Element = r.sk.Group.Marshal(w.Plain.Element)
+			}
+			msg.Wrong = append(msg.Wrong, entry)
+		}
+		r.submitEval(contract.MethodEvaluate, msg.Marshal())
+	}
+	return nil
+}
+
+// decryptTable returns the lazily-built short-log table for the task's
+// answer range.
+func (r *Requester) decryptTable() *elgamal.ShortLogTable {
+	if r.logTable == nil {
+		r.logTable = elgamal.NewShortLogTable(r.sk.Group, r.inst.Task.RangeSize)
+	}
+	return r.logTable
+}
+
+// findOutOfRange scans a submission for the first out-of-range answer and
+// builds its VPKE opening.
+func (r *Requester) findOutOfRange(cts []elgamal.Ciphertext) (int, elgamal.Plaintext, *vpke.Proof, bool, error) {
+	table := r.decryptTable()
+	for i, ct := range cts {
+		plain := r.sk.DecryptWith(table, ct)
+		if plain.InRange {
+			continue
+		}
+		plain, pi, err := vpke.Prove(r.sk, ct, r.inst.Task.RangeSize, r.rand)
+		if err != nil {
+			return 0, elgamal.Plaintext{}, nil, false, fmt.Errorf("protocol: out-of-range proof: %w", err)
+		}
+		return i, plain, pi, true, nil
+	}
+	return 0, elgamal.Plaintext{}, nil, false, nil
+}
+
+func (r *Requester) submitEval(method string, data []byte) {
+	r.chain.Submit(&chain.Tx{
+		From:     r.Addr,
+		Contract: r.contractID,
+		Method:   method,
+		Data:     data,
+	})
+}
+
+// Answers decrypts all revealed submissions (the requester's deliverable:
+// the crowdsourced data). It returns a map from worker to plaintext answer
+// vector.
+func (r *Requester) Answers() (map[chain.Address][]int64, error) {
+	view := observe(r.chain, r.contractID)
+	out := make(map[chain.Address][]int64, len(view.submissions))
+	for _, sub := range view.submissions {
+		cts, err := decodeSubmission(r.sk.Group, sub.data, r.inst.Task.N())
+		if err != nil {
+			return nil, err
+		}
+		table := r.decryptTable()
+		answers := make([]int64, len(cts))
+		for i, ct := range cts {
+			plain := r.sk.DecryptWith(table, ct)
+			if plain.InRange {
+				answers[i] = plain.Value
+			} else {
+				answers[i] = -1 // out of range
+			}
+		}
+		out[sub.worker] = answers
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package protocol
+
+import (
+	"bytes"
+	"fmt"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/contract"
+	"dragoon/internal/elgamal"
+	"dragoon/internal/group"
+	"dragoon/internal/ledger"
+)
+
+// submission is a worker's revealed ciphertext vector as read from the
+// event log.
+type submission struct {
+	worker chain.Address
+	data   []byte // the raw RevealMsg encoding
+}
+
+// chainView is a client's interpretation of the public event log for one
+// contract: exactly the information any Ethereum node could extract.
+type chainView struct {
+	publishedParams *contract.PublishMsg
+	publishedRound  int
+	committedRound  int // -1 until the K-th commit landed
+	submissions     []submission
+	goldenRevealed  bool
+	goldenData      []byte
+	paid            map[chain.Address]bool
+	rejected        map[chain.Address]bool
+	finalized       bool
+	cancelled       bool
+}
+
+// observe folds the contract's event log into a chainView.
+func observe(c *chain.Chain, id ledger.ContractID) *chainView {
+	v := &chainView{
+		committedRound: -1,
+		paid:           make(map[chain.Address]bool),
+		rejected:       make(map[chain.Address]bool),
+	}
+	for _, ev := range c.Events() {
+		if ev.Contract != id {
+			continue
+		}
+		switch ev.Name {
+		case "published":
+			if msg, err := contract.UnmarshalPublish(ev.Data); err == nil {
+				v.publishedParams = msg
+				v.publishedRound = ev.Round
+			}
+		case "committed":
+			v.committedRound = ev.Round
+		case "revealed":
+			if i := bytes.IndexByte(ev.Data, 0); i > 0 {
+				v.submissions = append(v.submissions, submission{
+					worker: chain.Address(ev.Data[:i]),
+					data:   ev.Data[i+1:],
+				})
+			}
+		case "goldenrevealed":
+			v.goldenRevealed = true
+			v.goldenData = ev.Data
+		case "paid":
+			v.paid[chain.Address(ev.Data)] = true
+		case "rejected":
+			if i := bytes.IndexByte(ev.Data, 0); i > 0 {
+				v.rejected[chain.Address(ev.Data[:i])] = true
+			}
+		case "finalized":
+			v.finalized = true
+		case "cancelled":
+			v.cancelled = true
+		}
+	}
+	return v
+}
+
+// decodeSubmission decodes a revealed event payload into ciphertexts.
+func decodeSubmission(g group.Group, data []byte, n int) ([]elgamal.Ciphertext, error) {
+	msg, err := contract.UnmarshalReveal(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(msg.Cts) != n {
+		return nil, fmt.Errorf("protocol: submission has %d ciphertexts, want %d", len(msg.Cts), n)
+	}
+	cts := make([]elgamal.Ciphertext, n)
+	for i, raw := range msg.Cts {
+		if cts[i], err = elgamal.UnmarshalCiphertext(g, raw); err != nil {
+			return nil, fmt.Errorf("protocol: ciphertext %d: %w", i, err)
+		}
+	}
+	return cts, nil
+}

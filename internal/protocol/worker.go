@@ -1,0 +1,196 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/commit"
+	"dragoon/internal/contract"
+	"dragoon/internal/elgamal"
+	"dragoon/internal/group"
+	"dragoon/internal/ledger"
+	"dragoon/internal/swarm"
+	"dragoon/internal/task"
+)
+
+// AnswerFn produces a worker's answer vector once the task content is
+// known. Worker behaviour models (package worker) provide implementations.
+type AnswerFn func(questions []task.Question, rangeSize int64) []int64
+
+// WorkerStrategy tweaks a worker client's protocol behaviour to exercise
+// attacks and failure modes.
+type WorkerStrategy int
+
+// Worker strategies.
+const (
+	// StrategyHonest follows Fig. 5: commit, then reveal.
+	StrategyHonest WorkerStrategy = iota + 1
+	// StrategyNoReveal commits but never opens (c_j = ⊥: no payment, the
+	// worker's share returns to the requester).
+	StrategyNoReveal
+	// StrategyCopyCommit is the free-riding attack the paper's
+	// confidentiality requirement defends against: the worker watches the
+	// chain and re-submits the first answer commitment it sees. The
+	// contract must reject the duplicate, and the underlying ciphertexts
+	// are unreadable, so there is nothing useful to copy anyway.
+	StrategyCopyCommit
+)
+
+// Worker is the off-chain worker client.
+type Worker struct {
+	Addr chain.Address
+
+	chain *chain.Chain
+	store *swarm.Store
+	g     group.Group
+	rand  io.Reader
+
+	contractID ledger.ContractID
+	strategy   WorkerStrategy
+	answerFn   AnswerFn
+
+	committed bool
+	revealed  bool
+	reveal    *contract.RevealMsg
+}
+
+// WorkerConfig configures a worker client.
+type WorkerConfig struct {
+	Addr       chain.Address
+	Chain      *chain.Chain
+	Store      *swarm.Store
+	Group      group.Group
+	ContractID ledger.ContractID
+	Strategy   WorkerStrategy
+	// AnswerFn decides the answers (required unless the strategy never
+	// answers).
+	AnswerFn AnswerFn
+	// Rand supplies protocol randomness (crypto/rand if nil).
+	Rand io.Reader
+}
+
+// NewWorker creates a worker client.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Strategy == 0 {
+		cfg.Strategy = StrategyHonest
+	}
+	if cfg.AnswerFn == nil && cfg.Strategy != StrategyCopyCommit {
+		return nil, errors.New("protocol: worker needs an AnswerFn")
+	}
+	return &Worker{
+		Addr:       cfg.Addr,
+		chain:      cfg.Chain,
+		store:      cfg.Store,
+		g:          cfg.Group,
+		rand:       cfg.Rand,
+		contractID: cfg.ContractID,
+		strategy:   cfg.Strategy,
+		answerFn:   cfg.AnswerFn,
+	}, nil
+}
+
+// Step advances the worker one clock round.
+func (w *Worker) Step() error {
+	view := observe(w.chain, w.contractID)
+	if view.publishedParams == nil {
+		return nil
+	}
+	if !w.committed {
+		return w.doCommit(view)
+	}
+	if !w.revealed && view.committedRound >= 0 && w.reveal != nil {
+		round := w.chain.Round()
+		if round > view.committedRound+contract.RevealRounds {
+			return nil // window missed
+		}
+		w.revealed = true
+		w.chain.Submit(&chain.Tx{
+			From:     w.Addr,
+			Contract: w.contractID,
+			Method:   contract.MethodReveal,
+			Data:     w.reveal.Marshal(),
+		})
+	}
+	return nil
+}
+
+// doCommit runs phase 2-a: fetch the task content, verify it against the
+// on-chain digest, answer, encrypt, and commit.
+func (w *Worker) doCommit(view *chainView) error {
+	params := view.publishedParams
+
+	if w.strategy == StrategyCopyCommit {
+		// Copy the first commitment observed in any earlier transaction.
+		for _, rcpt := range w.chain.Receipts() {
+			if rcpt.Tx.Contract != w.contractID || rcpt.Tx.Method != contract.MethodCommit {
+				continue
+			}
+			if rcpt.Tx.From == w.Addr || rcpt.Reverted() {
+				continue
+			}
+			w.committed = true
+			w.chain.Submit(&chain.Tx{
+				From:     w.Addr,
+				Contract: w.contractID,
+				Method:   contract.MethodCommit,
+				Data:     rcpt.Tx.Data, // byte-identical copy
+			})
+			return nil
+		}
+		return nil // nothing to copy yet; stay in commit phase
+	}
+
+	// Fetch and integrity-check the question content from off-chain
+	// storage (the digest was committed on-chain at publish).
+	content, err := w.store.Get(swarm.Digest(params.QuestionsDigest))
+	if err != nil {
+		return fmt.Errorf("protocol: fetching task content: %w", err)
+	}
+	questions, err := task.UnmarshalQuestions(content)
+	if err != nil {
+		return fmt.Errorf("protocol: decoding task content: %w", err)
+	}
+	if len(questions) != params.N {
+		return fmt.Errorf("protocol: content has %d questions, chain says %d", len(questions), params.N)
+	}
+
+	answers := w.answerFn(questions, params.RangeSize)
+	if len(answers) != params.N {
+		return fmt.Errorf("protocol: behaviour produced %d answers, want %d", len(answers), params.N)
+	}
+	h, err := w.g.Unmarshal(params.PubKey)
+	if err != nil {
+		return fmt.Errorf("protocol: requester key: %w", err)
+	}
+	pk := &elgamal.PublicKey{Group: w.g, H: h}
+
+	cts := make([][]byte, params.N)
+	for i, a := range answers {
+		ct, _, err := pk.Encrypt(a, w.rand)
+		if err != nil {
+			return fmt.Errorf("protocol: encrypting answer %d: %w", i, err)
+		}
+		cts[i] = elgamal.MarshalCiphertext(w.g, ct)
+	}
+	key, err := commit.NewKey(w.rand)
+	if err != nil {
+		return fmt.Errorf("protocol: commitment key: %w", err)
+	}
+	reveal := &contract.RevealMsg{Cts: cts, Key: key}
+	comm := commit.Commit(reveal.CommitmentPayload(), key)
+
+	w.committed = true
+	if w.strategy != StrategyNoReveal {
+		w.reveal = reveal
+	}
+	msg := &contract.CommitMsg{Comm: comm}
+	w.chain.Submit(&chain.Tx{
+		From:     w.Addr,
+		Contract: w.contractID,
+		Method:   contract.MethodCommit,
+		Data:     msg.Marshal(),
+	})
+	return nil
+}

@@ -1,0 +1,137 @@
+// Package qap reduces rank-1 constraint systems to quadratic arithmetic
+// programs over a radix-2 evaluation domain, supplying the two operations
+// Groth16 needs:
+//
+//   - EvalAtTau: the trusted setup's evaluation of every wire polynomial
+//     u_i, v_i, w_i at the toxic point τ, via Lagrange-basis evaluation;
+//   - QuotientCoeffs: the prover's computation of h(x) =
+//     (A(x)·B(x) − C(x)) / Z(x) using coset NTTs, where Z is the domain's
+//     vanishing polynomial.
+package qap
+
+import (
+	"fmt"
+	"math/big"
+
+	"dragoon/internal/ff"
+	"dragoon/internal/r1cs"
+)
+
+// QAP binds a constraint system to an evaluation domain of size ≥ the
+// number of constraints.
+type QAP struct {
+	CS     *r1cs.System
+	Domain *ff.Domain
+}
+
+// New builds a QAP over the smallest power-of-two domain covering the
+// system's constraints.
+func New(cs *r1cs.System) (*QAP, error) {
+	n := 2
+	for n < cs.NumConstraints() {
+		n <<= 1
+	}
+	d, err := ff.NewDomain(cs.Field(), n)
+	if err != nil {
+		return nil, fmt.Errorf("qap: %w", err)
+	}
+	return &QAP{CS: cs, Domain: d}, nil
+}
+
+// WireEvals holds u_i(τ), v_i(τ), w_i(τ) for every wire i.
+type WireEvals struct {
+	U, V, W []*big.Int
+	// ZTau is Z(τ) = τ^N − 1.
+	ZTau *big.Int
+}
+
+// EvalAtTau evaluates all wire polynomials at τ. The wire polynomial u_i is
+// defined by u_i(ω^j) = (coefficient of wire i in constraint j's A), so
+// u_i(τ) = Σ_j A[j][i]·L_j(τ) with the Lagrange basis
+// L_j(τ) = Z(τ)·ω^j / (N·(τ − ω^j)). The computation is sparse in the
+// constraints, costing O(Σ|constraint|) field operations after the O(N)
+// Lagrange precomputation.
+func (q *QAP) EvalAtTau(tau *big.Int) (*WireEvals, error) {
+	f := q.CS.Field()
+	n := q.Domain.N
+
+	// Precompute L_j(τ) for all j.
+	zTau := f.Sub(f.Exp(tau, big.NewInt(int64(n))), f.One())
+	if zTau.Sign() == 0 {
+		return nil, fmt.Errorf("qap: τ lies on the evaluation domain")
+	}
+	nInv := f.Inv(big.NewInt(int64(n)))
+	w := q.Domain.Generator()
+	lag := make([]*big.Int, n)
+	wj := f.One()
+	for j := 0; j < n; j++ {
+		den := f.Inv(f.Sub(tau, wj))
+		lag[j] = f.Mul(f.Mul(zTau, nInv), f.Mul(wj, den))
+		wj = f.Mul(wj, w)
+	}
+
+	m := q.CS.NumVariables()
+	ev := &WireEvals{
+		U:    zeros(m),
+		V:    zeros(m),
+		W:    zeros(m),
+		ZTau: zTau,
+	}
+	for j, c := range q.CS.Constraints() {
+		for _, t := range c.A {
+			ev.U[t.Var] = f.Add(ev.U[t.Var], f.Mul(f.Reduce(t.Coeff), lag[j]))
+		}
+		for _, t := range c.B {
+			ev.V[t.Var] = f.Add(ev.V[t.Var], f.Mul(f.Reduce(t.Coeff), lag[j]))
+		}
+		for _, t := range c.C {
+			ev.W[t.Var] = f.Add(ev.W[t.Var], f.Mul(f.Reduce(t.Coeff), lag[j]))
+		}
+	}
+	return ev, nil
+}
+
+// QuotientCoeffs computes the coefficients of
+// h(x) = (A(x)·B(x) − C(x)) / Z(x) for a satisfying witness, where
+// A(x) = Σ_i z_i·u_i(x) etc. The result has degree ≤ N−2 (N coefficients
+// with the last equal to zero for a satisfying witness).
+func (q *QAP) QuotientCoeffs(witness r1cs.Witness) ([]*big.Int, error) {
+	f := q.CS.Field()
+	n := q.Domain.N
+
+	// Evaluations of A, B, C on the domain come directly from the
+	// constraints: A(ω^j) = ⟨A_j, z⟩.
+	aEv, bEv, cEv := zeros(n), zeros(n), zeros(n)
+	for j, c := range q.CS.Constraints() {
+		aEv[j] = q.CS.Eval(c.A, witness)
+		bEv[j] = q.CS.Eval(c.B, witness)
+		cEv[j] = q.CS.Eval(c.C, witness)
+	}
+
+	// Interpolate, move to the coset, divide pointwise by the (constant)
+	// vanishing value, and come back.
+	aC := q.Domain.CosetFFT(q.Domain.IFFT(aEv))
+	bC := q.Domain.CosetFFT(q.Domain.IFFT(bEv))
+	cC := q.Domain.CosetFFT(q.Domain.IFFT(cEv))
+	zInv := f.Inv(q.Domain.VanishingAtCoset())
+	hC := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		hC[i] = f.Mul(f.Sub(f.Mul(aC[i], bC[i]), cC[i]), zInv)
+	}
+	h := q.Domain.CosetIFFT(hC)
+
+	// For a satisfying witness the top coefficient vanishes; a nonzero one
+	// means the witness does not satisfy the system.
+	if h[n-1].Sign() != 0 {
+		return nil, fmt.Errorf("qap: witness does not satisfy the constraint system")
+	}
+	return h[:n-1], nil
+}
+
+func zeros(n int) []*big.Int {
+	out := make([]*big.Int, n)
+	for i := range out {
+		out[i] = new(big.Int)
+	}
+	return out
+}

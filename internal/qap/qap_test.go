@@ -1,0 +1,116 @@
+package qap_test
+
+import (
+	"math/big"
+	"testing"
+
+	"dragoon/internal/bn254"
+	"dragoon/internal/ff"
+	"dragoon/internal/qap"
+	"dragoon/internal/r1cs"
+)
+
+// square chain: x_{i+1} = x_i², 5 constraints.
+func chainSystem(t *testing.T) (*r1cs.System, r1cs.Witness) {
+	t.Helper()
+	cs := r1cs.NewSystem(ff.New(bn254.Order()))
+	out := cs.Public()
+	x := cs.Secret()
+	cur := x
+	f := cs.Field()
+	var wires []r1cs.Variable
+	for i := 0; i < 5; i++ {
+		next := cs.Secret()
+		cs.AddConstraint(
+			r1cs.LC(r1cs.T(1, cur)),
+			r1cs.LC(r1cs.T(1, cur)),
+			r1cs.LC(r1cs.T(1, next)),
+		)
+		wires = append(wires, next)
+		cur = next
+	}
+	cs.AddConstraint(r1cs.LC(r1cs.T(1, cur)), r1cs.LC(r1cs.T(1, r1cs.One)), r1cs.LC(r1cs.T(1, out)))
+
+	w := cs.NewWitness()
+	val := big.NewInt(3)
+	cs.Assign(w, x, val)
+	for _, wire := range wires {
+		val = f.Mul(val, val)
+		cs.Assign(w, wire, val)
+	}
+	cs.Assign(w, out, val)
+	if err := cs.Satisfied(w); err != nil {
+		t.Fatalf("witness: %v", err)
+	}
+	return cs, w
+}
+
+// TestQAPDivisibility is the core QAP property: for a satisfying witness,
+// P(x) = A(x)·B(x) − C(x) vanishes on the whole domain, i.e. Z | P, and the
+// quotient h returned by QuotientCoeffs reconstructs P as h·Z at a random
+// point.
+func TestQAPDivisibility(t *testing.T) {
+	cs, w := chainSystem(t)
+	q, err := qap.New(cs)
+	if err != nil {
+		t.Fatalf("qap.New: %v", err)
+	}
+	f := cs.Field()
+	h, err := q.QuotientCoeffs(w)
+	if err != nil {
+		t.Fatalf("QuotientCoeffs: %v", err)
+	}
+
+	// Evaluate both sides at a random-ish point via the setup path.
+	tau := big.NewInt(987654321123456789)
+	ev, err := q.EvalAtTau(tau)
+	if err != nil {
+		t.Fatalf("EvalAtTau: %v", err)
+	}
+	// A(τ) = Σ z_i·u_i(τ), etc.
+	aTau, bTau, cTau := f.Zero(), f.Zero(), f.Zero()
+	for i := 0; i < cs.NumVariables(); i++ {
+		aTau = f.Add(aTau, f.Mul(w[i], ev.U[i]))
+		bTau = f.Add(bTau, f.Mul(w[i], ev.V[i]))
+		cTau = f.Add(cTau, f.Mul(w[i], ev.W[i]))
+	}
+	lhs := f.Sub(f.Mul(aTau, bTau), cTau)
+	rhs := f.Mul(ff.EvalPoly(f, h, tau), ev.ZTau)
+	if lhs.Cmp(rhs) != 0 {
+		t.Fatal("A(τ)B(τ) − C(τ) ≠ h(τ)Z(τ)")
+	}
+}
+
+func TestQuotientRejectsBadWitness(t *testing.T) {
+	cs, w := chainSystem(t)
+	q, err := qap.New(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w[2] = big.NewInt(999) // break the chain
+	if _, err := q.QuotientCoeffs(w); err == nil {
+		t.Fatal("unsatisfying witness produced a quotient")
+	}
+}
+
+func TestEvalAtTauRejectsDomainPoints(t *testing.T) {
+	cs, _ := chainSystem(t)
+	q, err := qap.New(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EvalAtTau(big.NewInt(1)); err == nil {
+		t.Fatal("τ=1 (a domain point) accepted")
+	}
+}
+
+func TestDomainSizing(t *testing.T) {
+	cs, _ := chainSystem(t) // 6 constraints
+	q, err := qap.New(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Domain.N != 8 {
+		t.Errorf("domain size %d, want 8", q.Domain.N)
+	}
+}

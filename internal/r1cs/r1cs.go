@@ -1,0 +1,156 @@
+// Package r1cs implements rank-1 constraint systems — the NP language that
+// generic zk-proof frameworks compile statements into. Each constraint is
+// ⟨A, z⟩ · ⟨B, z⟩ = ⟨C, z⟩ over the witness vector z (whose first entry is
+// the constant 1). The Dragoon paper's point is precisely that this
+// compilation step ("the burdensome NP-reduction for generality") is what
+// makes the generic approach orders of magnitude more expensive than its
+// special-purpose PoQoEA; this package exists to reproduce that baseline
+// faithfully.
+package r1cs
+
+import (
+	"fmt"
+	"math/big"
+
+	"dragoon/internal/ff"
+)
+
+// Variable indexes a wire in the witness vector. Variable 0 is the constant
+// one; public inputs follow, then private wires.
+type Variable int
+
+// One is the constant-1 wire.
+const One Variable = 0
+
+// Term is coeff·variable inside a linear combination.
+type Term struct {
+	Var   Variable
+	Coeff *big.Int
+}
+
+// LinearCombination is a sparse Σ coeff·var.
+type LinearCombination []Term
+
+// LC builds a linear combination from (coeff, var) pairs.
+func LC(terms ...Term) LinearCombination { return terms }
+
+// T builds a term.
+func T(c int64, v Variable) Term { return Term{Var: v, Coeff: big.NewInt(c)} }
+
+// TB builds a term with a big coefficient.
+func TB(c *big.Int, v Variable) Term { return Term{Var: v, Coeff: new(big.Int).Set(c)} }
+
+// Constraint is one rank-1 constraint A·B = C.
+type Constraint struct {
+	A, B, C LinearCombination
+}
+
+// System is a constraint system under construction. Allocate all public
+// inputs before any private wires.
+type System struct {
+	field       *ff.Field
+	numPublic   int // excluding the constant wire
+	numVars     int // including the constant wire
+	constraints []Constraint
+	sealed      bool
+}
+
+// NewSystem creates an empty system over f.
+func NewSystem(f *ff.Field) *System {
+	return &System{field: f, numVars: 1}
+}
+
+// Field returns the underlying field.
+func (s *System) Field() *ff.Field { return s.field }
+
+// Public allocates a public-input wire. It must precede all Secret calls.
+func (s *System) Public() Variable {
+	if s.sealed {
+		panic("r1cs: public input allocated after private wires")
+	}
+	v := Variable(s.numVars)
+	s.numVars++
+	s.numPublic++
+	return v
+}
+
+// Secret allocates a private wire.
+func (s *System) Secret() Variable {
+	s.sealed = true
+	v := Variable(s.numVars)
+	s.numVars++
+	return v
+}
+
+// AddConstraint appends A·B = C.
+func (s *System) AddConstraint(a, b, c LinearCombination) {
+	s.constraints = append(s.constraints, Constraint{A: a, B: b, C: c})
+}
+
+// NumConstraints returns the number of constraints.
+func (s *System) NumConstraints() int { return len(s.constraints) }
+
+// NumVariables returns the witness length (including the constant wire).
+func (s *System) NumVariables() int { return s.numVars }
+
+// NumPublic returns the number of public inputs (excluding the constant).
+func (s *System) NumPublic() int { return s.numPublic }
+
+// Constraints exposes the constraint list (read-only by convention).
+func (s *System) Constraints() []Constraint { return s.constraints }
+
+// Witness is a full assignment z (z[0] = 1).
+type Witness []*big.Int
+
+// NewWitness allocates an assignment with z[0] = 1 and zeros elsewhere.
+func (s *System) NewWitness() Witness {
+	w := make(Witness, s.numVars)
+	w[0] = big.NewInt(1)
+	for i := 1; i < s.numVars; i++ {
+		w[i] = new(big.Int)
+	}
+	return w
+}
+
+// Assign sets wire v to value (reduced into the field).
+func (s *System) Assign(w Witness, v Variable, value *big.Int) {
+	w[v] = s.field.Reduce(value)
+}
+
+// Eval computes ⟨lc, w⟩.
+func (s *System) Eval(lc LinearCombination, w Witness) *big.Int {
+	acc := s.field.Zero()
+	for _, t := range lc {
+		acc = s.field.Add(acc, s.field.Mul(t.Coeff, w[t.Var]))
+	}
+	return acc
+}
+
+// Satisfied checks every constraint against the assignment.
+func (s *System) Satisfied(w Witness) error {
+	if len(w) != s.numVars {
+		return fmt.Errorf("r1cs: witness length %d, want %d", len(w), s.numVars)
+	}
+	if w[0] == nil || w[0].Cmp(big.NewInt(1)) != 0 {
+		return fmt.Errorf("r1cs: witness constant wire is not 1")
+	}
+	for i, c := range s.constraints {
+		a := s.Eval(c.A, w)
+		b := s.Eval(c.B, w)
+		cc := s.Eval(c.C, w)
+		if s.field.Mul(a, b).Cmp(cc) != 0 {
+			return fmt.Errorf("r1cs: constraint %d violated: %v · %v ≠ %v", i, a, b, cc)
+		}
+	}
+	return nil
+}
+
+// PublicInputs extracts the public portion of a witness (excluding the
+// constant wire).
+func (s *System) PublicInputs(w Witness) []*big.Int {
+	out := make([]*big.Int, s.numPublic)
+	for i := 0; i < s.numPublic; i++ {
+		out[i] = new(big.Int).Set(w[i+1])
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package r1cs_test
+
+import (
+	"math/big"
+	"testing"
+
+	"dragoon/internal/bn254"
+	"dragoon/internal/ff"
+	"dragoon/internal/r1cs"
+)
+
+// buildMulCircuit returns a tiny system proving knowledge of x, y with
+// x·y = p (public) and x+y = s (public).
+func buildMulCircuit() (*r1cs.System, r1cs.Variable, r1cs.Variable, r1cs.Variable, r1cs.Variable) {
+	cs := r1cs.NewSystem(ff.New(bn254.Order()))
+	p := cs.Public()
+	s := cs.Public()
+	x := cs.Secret()
+	y := cs.Secret()
+	cs.AddConstraint(r1cs.LC(r1cs.T(1, x)), r1cs.LC(r1cs.T(1, y)), r1cs.LC(r1cs.T(1, p)))
+	cs.AddConstraint(
+		r1cs.LC(r1cs.T(1, x), r1cs.T(1, y)),
+		r1cs.LC(r1cs.T(1, r1cs.One)),
+		r1cs.LC(r1cs.T(1, s)),
+	)
+	return cs, p, s, x, y
+}
+
+func TestSatisfied(t *testing.T) {
+	cs, p, s, x, y := buildMulCircuit()
+	w := cs.NewWitness()
+	cs.Assign(w, x, big.NewInt(6))
+	cs.Assign(w, y, big.NewInt(7))
+	cs.Assign(w, p, big.NewInt(42))
+	cs.Assign(w, s, big.NewInt(13))
+	if err := cs.Satisfied(w); err != nil {
+		t.Fatalf("honest witness rejected: %v", err)
+	}
+	cs.Assign(w, p, big.NewInt(41))
+	if err := cs.Satisfied(w); err == nil {
+		t.Fatal("wrong product accepted")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	cs, _, _, _, _ := buildMulCircuit()
+	if cs.NumPublic() != 2 {
+		t.Errorf("NumPublic = %d", cs.NumPublic())
+	}
+	if cs.NumVariables() != 5 {
+		t.Errorf("NumVariables = %d", cs.NumVariables())
+	}
+	if cs.NumConstraints() != 2 {
+		t.Errorf("NumConstraints = %d", cs.NumConstraints())
+	}
+}
+
+func TestWitnessShapeChecks(t *testing.T) {
+	cs, _, _, _, _ := buildMulCircuit()
+	if err := cs.Satisfied(make(r1cs.Witness, 2)); err == nil {
+		t.Error("short witness accepted")
+	}
+	w := cs.NewWitness()
+	w[0] = big.NewInt(2) // constant wire corrupted
+	if err := cs.Satisfied(w); err == nil {
+		t.Error("corrupted constant wire accepted")
+	}
+}
+
+func TestPublicAfterSecretPanics(t *testing.T) {
+	cs := r1cs.NewSystem(ff.New(bn254.Order()))
+	cs.Secret()
+	defer func() {
+		if recover() == nil {
+			t.Error("Public after Secret did not panic")
+		}
+	}()
+	cs.Public()
+}
+
+func TestPublicInputsExtraction(t *testing.T) {
+	cs, p, s, x, y := buildMulCircuit()
+	w := cs.NewWitness()
+	cs.Assign(w, x, big.NewInt(3))
+	cs.Assign(w, y, big.NewInt(5))
+	cs.Assign(w, p, big.NewInt(15))
+	cs.Assign(w, s, big.NewInt(8))
+	pub := cs.PublicInputs(w)
+	if len(pub) != 2 || pub[0].Int64() != 15 || pub[1].Int64() != 8 {
+		t.Errorf("PublicInputs = %v", pub)
+	}
+}
+
+func TestEvalLinearCombination(t *testing.T) {
+	cs, _, _, x, y := buildMulCircuit()
+	w := cs.NewWitness()
+	cs.Assign(w, x, big.NewInt(10))
+	cs.Assign(w, y, big.NewInt(4))
+	lc := r1cs.LC(r1cs.T(2, x), r1cs.T(-1, y), r1cs.T(5, r1cs.One))
+	got := cs.Eval(lc, w)
+	// 2·10 − 4 + 5 = 21 (note: negative coefficients are reduced mod r).
+	want := cs.Field().Reduce(big.NewInt(21))
+	if got.Cmp(want) != 0 {
+		t.Errorf("Eval = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,113 @@
+package sim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dragoon/internal/group"
+	"dragoon/internal/sim"
+	"dragoon/internal/worker"
+)
+
+// TestOnChainDataRevealsNothing is the confidentiality smoke test behind
+// the paper's anti-free-riding argument: two workers submitting IDENTICAL
+// answer vectors must leave completely different byte strings on chain
+// (distinct commitments, distinct ciphertexts), so a free-rider watching
+// the chain learns nothing to copy.
+func TestOnChainDataRevealsNothing(t *testing.T) {
+	inst := smallInstance(t, 55, 2)
+	res := run(t, sim.Config{
+		Instance: inst,
+		Group:    group.TestSchnorr(),
+		Workers: []worker.Model{
+			worker.Perfect("twin-a", inst.GroundTruth),
+			worker.Perfect("twin-b", inst.GroundTruth), // same answers
+		},
+		Seed: 55,
+	})
+	if !res.Finalized {
+		t.Fatal("task did not finalize")
+	}
+
+	// Collect each worker's on-chain artifacts.
+	type artifacts struct{ commit, reveal []byte }
+	byWorker := make(map[string]*artifacts)
+	for _, rcpt := range res.Chain.Receipts() {
+		from := string(rcpt.Tx.From)
+		if byWorker[from] == nil {
+			byWorker[from] = &artifacts{}
+		}
+		switch rcpt.Tx.Method {
+		case "commit":
+			byWorker[from].commit = rcpt.Tx.Data
+		case "reveal":
+			byWorker[from].reveal = rcpt.Tx.Data
+		}
+	}
+	var list []*artifacts
+	for from, a := range byWorker {
+		if a.commit != nil {
+			list = append(list, a)
+			_ = from
+		}
+	}
+	if len(list) != 2 {
+		t.Fatalf("expected 2 committing workers, found %d", len(list))
+	}
+	if bytes.Equal(list[0].commit, list[1].commit) {
+		t.Error("identical answers produced identical commitments (copyable!)")
+	}
+	if bytes.Equal(list[0].reveal, list[1].reveal) {
+		t.Error("identical answers produced identical ciphertext vectors")
+	}
+	// No plaintext answer bytes appear verbatim: the reveal payload is
+	// group elements, so the 1-byte answers cannot be read off. (Smoke
+	// check: the reveal data of twins differs in most positions.)
+	same := 0
+	min := len(list[0].reveal)
+	if len(list[1].reveal) < min {
+		min = len(list[1].reveal)
+	}
+	for i := 0; i < min; i++ {
+		if list[0].reveal[i] == list[1].reveal[i] {
+			same++
+		}
+	}
+	if float64(same)/float64(min) > 0.5 {
+		t.Errorf("reveal payloads of identical answers agree on %d/%d bytes", same, min)
+	}
+}
+
+// TestCommitmentsHideUntilReveal asserts phase separation: before the
+// reveal round, no ciphertext bytes exist on-chain at all, so even the
+// rushing adversary has nothing to work with during the commit phase.
+func TestCommitmentsHideUntilReveal(t *testing.T) {
+	inst := smallInstance(t, 56, 2)
+	res := run(t, sim.Config{
+		Instance: inst,
+		Group:    group.TestSchnorr(),
+		Workers: []worker.Model{
+			worker.Perfect("w0", inst.GroundTruth),
+			worker.Perfect("w1", inst.GroundTruth),
+		},
+		Seed: 56,
+	})
+	if !res.Finalized {
+		t.Fatal("task did not finalize")
+	}
+	var commitRound = -1
+	for _, ev := range res.Chain.Events() {
+		if ev.Name == "committed" {
+			commitRound = ev.Round
+		}
+	}
+	if commitRound < 0 {
+		t.Fatal("no committed event")
+	}
+	for _, ev := range res.Chain.Events() {
+		if ev.Name == "revealed" && ev.Round <= commitRound {
+			t.Errorf("ciphertexts appeared on-chain in round %d, before commits closed (%d)",
+				ev.Round, commitRound)
+		}
+	}
+}

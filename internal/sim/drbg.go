@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"encoding/binary"
+
+	"dragoon/internal/keccak"
+)
+
+// drbg is a deterministic random byte generator (keccak256 in counter mode)
+// used to make whole protocol executions reproducible from a single seed.
+// It implements io.Reader; it is NOT a cryptographic RNG and exists only so
+// experiments and differential tests are replayable.
+type drbg struct {
+	seed    [32]byte
+	counter uint64
+	buf     []byte
+}
+
+// newDRBG derives a deterministic reader from a seed and a domain label
+// (so each party gets an independent stream).
+func newDRBG(seed int64, label string) *drbg {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(seed))
+	d := &drbg{}
+	d.seed = keccak.Sum256Concat(buf[:], []byte(label))
+	return d
+}
+
+// Read implements io.Reader; it never fails.
+func (d *drbg) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if len(d.buf) == 0 {
+			var ctr [8]byte
+			binary.BigEndian.PutUint64(ctr[:], d.counter)
+			d.counter++
+			block := keccak.Sum256Concat(d.seed[:], ctr[:])
+			d.buf = block[:]
+		}
+		m := copy(p, d.buf)
+		d.buf = d.buf[m:]
+		p = p[m:]
+	}
+	return n, nil
+}

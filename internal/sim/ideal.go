@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"dragoon/internal/chain"
+	"dragoon/internal/ledger"
+	"dragoon/internal/poqoea"
+	"dragoon/internal/protocol"
+	"dragoon/internal/task"
+)
+
+// IdealWorker is one participant as seen by the ideal functionality: the
+// worker's identity and the answer vector the adversary let through
+// (nil ⇔ a_j = ⊥, i.e. the worker never revealed).
+type IdealWorker struct {
+	Addr    chain.Address
+	Answers []int64
+}
+
+// IdealOutcome is the ideal functionality's verdict.
+type IdealOutcome struct {
+	// Paid maps each participating worker to whether F_hit paid them B/K.
+	Paid map[chain.Address]bool
+	// RequesterRefund is the unspent part of the deposit.
+	RequesterRefund ledger.Amount
+}
+
+// RunIdeal executes the ideal functionality F_hit (Fig. 2) on plaintext
+// inputs: it is the specification the real protocol is differentially
+// tested against (the executable form of Theorem 1's ideal world).
+//
+// Per Fig. 2's evaluation phase, with the requester behaviour modeled by
+// policy:
+//
+//   - an honest requester sends (evaluate, W_j) for every worker — F pays
+//     iff Quality(a_j) ≥ Θ — and (outrange, W_j, i) for out-of-range
+//     answers — F withholds iff the answer is indeed out of range;
+//   - a silent / golden-withholding requester sends nothing — F pays every
+//     worker with a_j ≠ ⊥;
+//   - a false-reporting requester's messages carry claims F itself
+//     recomputes, so the verdict is identical to the honest case for
+//     out-of-range/quality facts; for the specific attack we model
+//     (underclaiming quality with no evidence) the contract pays, which in
+//     the ideal world equals the silent case.
+func RunIdeal(inst *task.Instance, workers []IdealWorker, policy protocol.RequesterPolicy) IdealOutcome {
+	st := inst.Golden.Statement(inst.Task.RangeSize)
+	reward := inst.Task.Reward()
+	out := IdealOutcome{Paid: make(map[chain.Address]bool, len(workers))}
+	var spent ledger.Amount
+	for _, w := range workers {
+		if w.Answers == nil {
+			out.Paid[w.Addr] = false
+			continue
+		}
+		paid := false
+		switch policy {
+		case protocol.PolicyHonest:
+			outOfRange := false
+			for _, a := range w.Answers {
+				if a < 0 || a >= inst.Task.RangeSize {
+					outOfRange = true
+					break
+				}
+			}
+			paid = !outOfRange && poqoea.Quality(w.Answers, st) >= inst.Task.Threshold
+		case protocol.PolicySilent, protocol.PolicyNoGolden, protocol.PolicyFalseReport:
+			paid = true
+		}
+		out.Paid[w.Addr] = paid
+		if paid {
+			spent += reward
+		}
+	}
+	out.RequesterRefund = inst.Task.Budget - spent
+	return out
+}

@@ -1,0 +1,277 @@
+// Package sim is the end-to-end experiment harness: it wires the ledger,
+// the simulated chain with a pluggable network adversary, off-chain storage,
+// one requester client and a set of worker clients, runs the protocol to
+// completion round by round, and reports payments, per-method gas usage and
+// the requester's harvested answers. It also hosts the executable ideal
+// functionality F_hit (ideal.go), which integration tests run
+// differentially against the real protocol.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/contract"
+	"dragoon/internal/elgamal"
+	"dragoon/internal/group"
+	"dragoon/internal/ledger"
+	"dragoon/internal/poqoea"
+	"dragoon/internal/protocol"
+	"dragoon/internal/swarm"
+	"dragoon/internal/task"
+	"dragoon/internal/worker"
+)
+
+// RequesterAddr is the requester's well-known ledger/chain identity.
+const RequesterAddr chain.Address = "requester"
+
+// Config configures one end-to-end protocol run.
+type Config struct {
+	// Instance is the task with its secrets.
+	Instance *task.Instance
+	// Group selects the crypto backend (BN254 G1 in production, the test
+	// Schnorr group for fast tests).
+	Group group.Group
+	// Workers are the simulated workers, in arrival order.
+	Workers []worker.Model
+	// Scheduler is the network adversary (honest FIFO if nil).
+	Scheduler chain.Scheduler
+	// Policy is the requester's behaviour (honest if zero).
+	Policy protocol.RequesterPolicy
+	// RequesterKey optionally reuses one key pair across tasks (§VI); a
+	// fresh pair is generated when nil.
+	RequesterKey *elgamal.PrivateKey
+	// Seed makes the run reproducible.
+	Seed int64
+	// WorkerBalance funds each worker's gas-free ledger account (workers
+	// need no balance for the protocol itself; nonzero values just make
+	// payment assertions easier to read).
+	WorkerBalance ledger.Amount
+	// MaxRounds bounds the run (default 40).
+	MaxRounds int
+	// CommitRounds bounds the commit phase (default 8).
+	CommitRounds int
+}
+
+// WorkerOutcome reports one worker's fate.
+type WorkerOutcome struct {
+	Name     string
+	Addr     chain.Address
+	Answers  []int64 // plaintext answers (nil if never produced)
+	Quality  int     // true quality (-1 if no answers)
+	Revealed bool
+	Paid     bool
+	Rejected bool
+}
+
+// Result reports a full protocol run.
+type Result struct {
+	Outcomes []WorkerOutcome
+	// GasByMethod aggregates gas per contract method ("deploy", "publish",
+	// "commit", "reveal", "golden", "outrange", "evaluate", "finalize").
+	GasByMethod map[string]uint64
+	// GasTotal is the whole task's on-chain handling cost.
+	GasTotal uint64
+	// Rounds is the number of clock rounds the task took.
+	Rounds int
+	// Finalized / Cancelled report how the task ended.
+	Finalized bool
+	Cancelled bool
+	// RequesterBalance is the requester's final ledger balance.
+	RequesterBalance ledger.Amount
+	// Ledger and Chain expose the final state for deeper assertions.
+	Ledger *ledger.Ledger
+	Chain  *chain.Chain
+	// HarvestedAnswers is what the requester decrypted per worker.
+	HarvestedAnswers map[chain.Address][]int64
+}
+
+// Run executes the protocol to completion.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Instance == nil {
+		return nil, errors.New("sim: no task instance")
+	}
+	if cfg.Group == nil {
+		return nil, errors.New("sim: no group backend")
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 40
+	}
+
+	led := ledger.New()
+	led.Mint(ledger.AccountID(RequesterAddr), cfg.Instance.Task.Budget*2)
+	ch := chain.New(led, cfg.Scheduler)
+	store := swarm.New()
+
+	req, err := protocol.NewRequester(protocol.RequesterConfig{
+		Addr:         RequesterAddr,
+		Chain:        ch,
+		Store:        store,
+		Instance:     cfg.Instance,
+		Policy:       cfg.Policy,
+		Group:        cfg.Group,
+		Key:          cfg.RequesterKey,
+		CommitRounds: cfg.CommitRounds,
+		Rand:         newDRBG(cfg.Seed, "requester"),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialize every worker's answers once, so the real run and the
+	// ideal functionality judge exactly the same inputs.
+	answers := make([][]int64, len(cfg.Workers))
+	clients := make([]*protocol.Worker, len(cfg.Workers))
+	addrs := make([]chain.Address, len(cfg.Workers))
+	for i, m := range cfg.Workers {
+		addrs[i] = chain.Address(fmt.Sprintf("worker-%d-%s", i, m.Name))
+		if cfg.WorkerBalance > 0 {
+			led.Mint(ledger.AccountID(addrs[i]), cfg.WorkerBalance)
+		}
+		var fn protocol.AnswerFn
+		if m.Answers != nil {
+			i := i
+			m := m
+			fn = func(qs []task.Question, rangeSize int64) []int64 {
+				if answers[i] == nil {
+					answers[i] = m.Answers(qs, rangeSize)
+				}
+				return answers[i]
+			}
+		}
+		w, err := protocol.NewWorker(protocol.WorkerConfig{
+			Addr:       addrs[i],
+			Chain:      ch,
+			Store:      store,
+			Group:      cfg.Group,
+			ContractID: ledger.ContractID(cfg.Instance.Task.ID),
+			Strategy:   m.Strategy,
+			AnswerFn:   fn,
+			Rand:       newDRBG(cfg.Seed, "worker-"+m.Name+fmt.Sprint(i)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = w
+	}
+
+	if err := req.Launch(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		GasByMethod:      make(map[string]uint64),
+		Ledger:           led,
+		Chain:            ch,
+		HarvestedAnswers: make(map[chain.Address][]int64),
+	}
+	id := req.ContractID()
+	for round := 0; round < cfg.MaxRounds; round++ {
+		if err := req.Step(); err != nil {
+			return nil, fmt.Errorf("sim: requester step (round %d): %w", round, err)
+		}
+		for i, w := range clients {
+			if err := w.Step(); err != nil {
+				return nil, fmt.Errorf("sim: worker %d step (round %d): %w", i, round, err)
+			}
+		}
+		if _, err := ch.MineRound(); err != nil {
+			return nil, fmt.Errorf("sim: mining round %d: %w", round, err)
+		}
+		if phase := contract.CurrentPhase(ch, id, ch.Round()); phase == contract.PhaseDone || phase == contract.PhaseCancelled {
+			res.Finalized = phase == contract.PhaseDone
+			res.Cancelled = phase == contract.PhaseCancelled
+			break
+		}
+	}
+	res.Rounds = ch.Round()
+
+	// Fold gas by method.
+	for _, rcpt := range ch.Receipts() {
+		if rcpt.Tx.Contract != id {
+			continue
+		}
+		res.GasByMethod[rcpt.Tx.Method] += rcpt.GasUsed
+		res.GasTotal += rcpt.GasUsed
+	}
+
+	// Worker outcomes from the public event log and the true answers.
+	paid, rejected, revealed := outcomesFromEvents(ch, id)
+	st := cfg.Instance.Golden.Statement(cfg.Instance.Task.RangeSize)
+	for i, m := range cfg.Workers {
+		o := WorkerOutcome{
+			Name:     m.Name,
+			Addr:     addrs[i],
+			Answers:  answers[i],
+			Quality:  -1,
+			Revealed: revealed[addrs[i]],
+			Paid:     paid[addrs[i]],
+			Rejected: rejected[addrs[i]],
+		}
+		if answers[i] != nil {
+			o.Quality = poqoea.Quality(answers[i], st)
+		}
+		res.Outcomes = append(res.Outcomes, o)
+	}
+	res.RequesterBalance = led.Balance(ledger.AccountID(RequesterAddr))
+
+	if res.Finalized {
+		harvested, err := req.Answers()
+		if err != nil {
+			return nil, fmt.Errorf("sim: harvesting answers: %w", err)
+		}
+		res.HarvestedAnswers = harvested
+	}
+	if err := led.CheckConservation(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return res, nil
+}
+
+// outcomesFromEvents extracts per-worker verdicts from the event log.
+func outcomesFromEvents(ch *chain.Chain, id ledger.ContractID) (paid, rejected, revealed map[chain.Address]bool) {
+	paid = make(map[chain.Address]bool)
+	rejected = make(map[chain.Address]bool)
+	revealed = make(map[chain.Address]bool)
+	for _, ev := range ch.Events() {
+		if ev.Contract != id {
+			continue
+		}
+		switch ev.Name {
+		case "paid":
+			paid[chain.Address(ev.Data)] = true
+		case "rejected":
+			for i, b := range ev.Data {
+				if b == 0 {
+					rejected[chain.Address(ev.Data[:i])] = true
+					break
+				}
+			}
+		case "revealed":
+			for i, b := range ev.Data {
+				if b == 0 {
+					revealed[chain.Address(ev.Data[:i])] = true
+					break
+				}
+			}
+		}
+	}
+	return paid, rejected, revealed
+}
+
+// IdealInputs derives the ideal-functionality inputs corresponding to a
+// completed real run: the adversary's phase-2 choices (who participated,
+// who revealed) are inputs to F_hit, while the payment verdicts are what
+// the differential test compares.
+func IdealInputs(res *Result) []IdealWorker {
+	workers := make([]IdealWorker, 0, len(res.Outcomes))
+	for _, o := range res.Outcomes {
+		w := IdealWorker{Addr: o.Addr}
+		if o.Revealed {
+			w.Answers = o.Answers
+		}
+		workers = append(workers, w)
+	}
+	return workers
+}

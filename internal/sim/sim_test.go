@@ -1,0 +1,425 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/group"
+	"dragoon/internal/ledger"
+	"dragoon/internal/protocol"
+	"dragoon/internal/sim"
+	"dragoon/internal/task"
+	"dragoon/internal/worker"
+)
+
+// smallInstance builds a quick 12-question task (3 golden standards,
+// threshold 2) for protocol tests over the fast test group.
+func smallInstance(t *testing.T, seed int64, workers int) *task.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inst, err := task.Generate(task.GenerateParams{
+		ID:        "test-task",
+		N:         12,
+		RangeSize: 4,
+		NumGolden: 3,
+		Workers:   workers,
+		Threshold: 2,
+		Budget:    ledger.Amount(workers) * 100,
+	}, rng)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return inst
+}
+
+func run(t *testing.T, cfg sim.Config) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	return res
+}
+
+func TestHonestRunAllQualified(t *testing.T) {
+	inst := smallInstance(t, 1, 3)
+	res := run(t, sim.Config{
+		Instance: inst,
+		Group:    group.TestSchnorr(),
+		Workers: []worker.Model{
+			worker.Perfect("w0", inst.GroundTruth),
+			worker.Perfect("w1", inst.GroundTruth),
+			worker.Perfect("w2", inst.GroundTruth),
+		},
+		Seed: 1,
+	})
+	if !res.Finalized {
+		t.Fatalf("task did not finalize in %d rounds", res.Rounds)
+	}
+	for _, o := range res.Outcomes {
+		if !o.Paid {
+			t.Errorf("qualified worker %s not paid (quality %d)", o.Name, o.Quality)
+		}
+		if got := res.Ledger.Balance(ledger.AccountID(o.Addr)); got != 100 {
+			t.Errorf("worker %s balance = %d, want 100", o.Name, got)
+		}
+	}
+	// Requester started with 2B = 600, deposited 300, paid out 300.
+	if res.RequesterBalance != 300 {
+		t.Errorf("requester balance = %d, want 300", res.RequesterBalance)
+	}
+	// The requester harvested everyone's answers.
+	if len(res.HarvestedAnswers) != 3 {
+		t.Fatalf("harvested %d submissions, want 3", len(res.HarvestedAnswers))
+	}
+	for addr, answers := range res.HarvestedAnswers {
+		for i, a := range answers {
+			if a != inst.GroundTruth[i] {
+				t.Errorf("harvested answer %s[%d] = %d, want %d", addr, i, a, inst.GroundTruth[i])
+			}
+		}
+	}
+}
+
+func TestHonestRunRejectsLowQuality(t *testing.T) {
+	inst := smallInstance(t, 2, 3)
+	rng := rand.New(rand.NewSource(7))
+	res := run(t, sim.Config{
+		Instance: inst,
+		Group:    group.TestSchnorr(),
+		Workers: []worker.Model{
+			worker.Perfect("good", inst.GroundTruth),
+			worker.Bot("bot", rng), // quality is random; likely < Θ
+			worker.Perfect("good2", inst.GroundTruth),
+		},
+		Seed: 2,
+	})
+	if !res.Finalized {
+		t.Fatalf("task did not finalize in %d rounds", res.Rounds)
+	}
+	for _, o := range res.Outcomes {
+		wantPaid := o.Quality >= inst.Task.Threshold
+		if o.Paid != wantPaid {
+			t.Errorf("worker %s (quality %d, Θ=%d): paid=%v want %v",
+				o.Name, o.Quality, inst.Task.Threshold, o.Paid, wantPaid)
+		}
+		if o.Rejected == o.Paid {
+			t.Errorf("worker %s: rejected=%v paid=%v must be opposite", o.Name, o.Rejected, o.Paid)
+		}
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	inst := smallInstance(t, 3, 2)
+	res := run(t, sim.Config{
+		Instance: inst,
+		Group:    group.TestSchnorr(),
+		Workers: []worker.Model{
+			worker.OutOfRange("cheater", inst.GroundTruth, 5, 99),
+			worker.Perfect("good", inst.GroundTruth),
+		},
+		Seed: 3,
+	})
+	if !res.Finalized {
+		t.Fatal("task did not finalize")
+	}
+	byName := outcomesByName(res)
+	if byName["cheater"].Paid {
+		t.Error("out-of-range submission was paid")
+	}
+	if !byName["cheater"].Rejected {
+		t.Error("out-of-range submission not rejected")
+	}
+	if !byName["good"].Paid {
+		t.Error("good worker not paid")
+	}
+}
+
+func TestNoRevealNotPaid(t *testing.T) {
+	inst := smallInstance(t, 4, 2)
+	res := run(t, sim.Config{
+		Instance: inst,
+		Group:    group.TestSchnorr(),
+		Workers: []worker.Model{
+			worker.NoReveal("ghost", inst.GroundTruth),
+			worker.Perfect("good", inst.GroundTruth),
+		},
+		Seed: 4,
+	})
+	if !res.Finalized {
+		t.Fatal("task did not finalize")
+	}
+	byName := outcomesByName(res)
+	if byName["ghost"].Paid {
+		t.Error("non-revealing worker was paid")
+	}
+	if !byName["good"].Paid {
+		t.Error("good worker not paid")
+	}
+	// The ghost's share returned to the requester: initial 2B = 400, minus
+	// the 200 deposit, plus the 100 refund.
+	if res.RequesterBalance != 300 {
+		t.Errorf("requester balance = %d, want 300", res.RequesterBalance)
+	}
+}
+
+func TestCopyPasteAttackDefeated(t *testing.T) {
+	inst := smallInstance(t, 5, 2)
+	res := run(t, sim.Config{
+		Instance: inst,
+		Group:    group.TestSchnorr(),
+		Workers: []worker.Model{
+			worker.Perfect("victim", inst.GroundTruth),
+			worker.CopyPaster("thief"),
+			worker.Perfect("good", inst.GroundTruth),
+		},
+		Seed: 5,
+	})
+	if !res.Finalized {
+		t.Fatal("task did not finalize")
+	}
+	byName := outcomesByName(res)
+	if byName["thief"].Paid {
+		t.Error("copy-paste attacker was paid")
+	}
+	if byName["thief"].Revealed {
+		t.Error("copy-paste attacker got a commitment accepted")
+	}
+	if !byName["victim"].Paid || !byName["good"].Paid {
+		t.Error("honest workers not paid despite copy-paste attempt")
+	}
+	// The thief's duplicate commitment must appear as a reverted tx.
+	var sawRevertedDup bool
+	for _, rcpt := range res.Chain.Receipts() {
+		if rcpt.Tx.From == byName["thief"].Addr && rcpt.Reverted() {
+			sawRevertedDup = true
+		}
+	}
+	if !sawRevertedDup {
+		t.Error("duplicate commitment was not rejected on-chain")
+	}
+}
+
+func TestFalseReportingRequesterPays(t *testing.T) {
+	inst := smallInstance(t, 6, 2)
+	res := run(t, sim.Config{
+		Instance: inst,
+		Group:    group.TestSchnorr(),
+		Workers: []worker.Model{
+			worker.Perfect("w0", inst.GroundTruth),
+			worker.Perfect("w1", inst.GroundTruth),
+		},
+		Policy: protocol.PolicyFalseReport,
+		Seed:   6,
+	})
+	if !res.Finalized {
+		t.Fatal("task did not finalize")
+	}
+	for _, o := range res.Outcomes {
+		if !o.Paid {
+			t.Errorf("worker %s cheated out of payment by false report", o.Name)
+		}
+	}
+}
+
+func TestSilentRequesterEveryonePaid(t *testing.T) {
+	inst := smallInstance(t, 7, 2)
+	rng := rand.New(rand.NewSource(9))
+	res := run(t, sim.Config{
+		Instance: inst,
+		Group:    group.TestSchnorr(),
+		Workers: []worker.Model{
+			worker.Bot("bot", rng), // even a bot is paid if R stays silent
+			worker.Perfect("good", inst.GroundTruth),
+		},
+		Policy: protocol.PolicySilent,
+		Seed:   7,
+	})
+	if !res.Finalized {
+		t.Fatal("task did not finalize")
+	}
+	for _, o := range res.Outcomes {
+		if !o.Paid {
+			t.Errorf("worker %s not paid under silent requester", o.Name)
+		}
+	}
+}
+
+func TestGoldenWithheldEveryonePaid(t *testing.T) {
+	inst := smallInstance(t, 8, 2)
+	rng := rand.New(rand.NewSource(10))
+	res := run(t, sim.Config{
+		Instance: inst,
+		Group:    group.TestSchnorr(),
+		Workers: []worker.Model{
+			worker.Bot("bot", rng),
+			worker.Perfect("good", inst.GroundTruth),
+		},
+		Policy: protocol.PolicyNoGolden,
+		Seed:   8,
+	})
+	if !res.Finalized {
+		t.Fatal("task did not finalize")
+	}
+	for _, o := range res.Outcomes {
+		if !o.Paid {
+			t.Errorf("worker %s not paid though golden standards were withheld", o.Name)
+		}
+	}
+}
+
+func TestUnderfilledTaskCancelledAndRefunded(t *testing.T) {
+	inst := smallInstance(t, 9, 3) // wants 3 workers, only 1 shows up
+	res := run(t, sim.Config{
+		Instance: inst,
+		Group:    group.TestSchnorr(),
+		Workers: []worker.Model{
+			worker.Perfect("only", inst.GroundTruth),
+		},
+		Seed:         9,
+		CommitRounds: 4,
+		MaxRounds:    20,
+	})
+	if !res.Cancelled {
+		t.Fatal("underfilled task was not cancelled")
+	}
+	// Full refund: back to the initial 2B = 600.
+	if res.RequesterBalance != 600 {
+		t.Errorf("requester balance = %d, want full refund 600", res.RequesterBalance)
+	}
+	if err := res.Ledger.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Differential test against the ideal functionality: across many seeds and
+// worker mixes, the real protocol's payment vector must equal F_hit's.
+func TestRealMatchesIdeal(t *testing.T) {
+	for seed := int64(20); seed < 28; seed++ {
+		inst := smallInstance(t, seed, 3)
+		rng := rand.New(rand.NewSource(seed * 31))
+		models := []worker.Model{
+			worker.Accurate("acc", inst.GroundTruth, 0.7, rng),
+			worker.Bot("bot", rng),
+			worker.Perfect("perfect", inst.GroundTruth),
+		}
+		res := run(t, sim.Config{
+			Instance: inst,
+			Group:    group.TestSchnorr(),
+			Workers:  models,
+			Seed:     seed,
+		})
+		if !res.Finalized {
+			t.Fatalf("seed %d: task did not finalize", seed)
+		}
+		ideal := sim.RunIdeal(inst, sim.IdealInputs(res), protocol.PolicyHonest)
+		for _, o := range res.Outcomes {
+			if ideal.Paid[o.Addr] != o.Paid {
+				t.Errorf("seed %d: worker %s: real paid=%v, ideal paid=%v (quality %d)",
+					seed, o.Name, o.Paid, ideal.Paid[o.Addr], o.Quality)
+			}
+		}
+	}
+}
+
+func TestAdversarialSchedulingPreservesFairness(t *testing.T) {
+	inst := smallInstance(t, 30, 3)
+	rng := rand.New(rand.NewSource(30))
+	res := run(t, sim.Config{
+		Instance: inst,
+		Group:    group.TestSchnorr(),
+		Workers: []worker.Model{
+			worker.Perfect("w0", inst.GroundTruth),
+			worker.Bot("bot", rng),
+			worker.Perfect("w1", inst.GroundTruth),
+		},
+		Scheduler: chain.RushingScheduler{},
+		Seed:      30,
+		MaxRounds: 80,
+	})
+	if !res.Finalized {
+		t.Fatalf("task did not finalize under adversarial scheduling (rounds=%d)", res.Rounds)
+	}
+	ideal := sim.RunIdeal(inst, sim.IdealInputs(res), protocol.PolicyHonest)
+	for _, o := range res.Outcomes {
+		if ideal.Paid[o.Addr] != o.Paid {
+			t.Errorf("worker %s: real paid=%v, ideal paid=%v under rushing adversary",
+				o.Name, o.Paid, ideal.Paid[o.Addr])
+		}
+	}
+	if err := res.Ledger.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTargetedDelayOnRequesterPreservesFairness delays every requester
+// transaction by the synchrony bound: the golden opening and evaluations
+// still land inside their windows, so the fairness verdicts are unchanged.
+func TestTargetedDelayOnRequesterPreservesFairness(t *testing.T) {
+	inst := smallInstance(t, 31, 2)
+	rng := rand.New(rand.NewSource(31))
+	res := run(t, sim.Config{
+		Instance: inst,
+		Group:    group.TestSchnorr(),
+		Workers: []worker.Model{
+			worker.Perfect("good", inst.GroundTruth),
+			worker.Bot("bot", rng),
+		},
+		Scheduler: chain.TargetedDelayScheduler{Victim: sim.RequesterAddr},
+		Seed:      31,
+		MaxRounds: 80,
+	})
+	if !res.Finalized {
+		t.Fatalf("task did not finalize (rounds=%d)", res.Rounds)
+	}
+	ideal := sim.RunIdeal(inst, sim.IdealInputs(res), protocol.PolicyHonest)
+	for _, o := range res.Outcomes {
+		if ideal.Paid[o.Addr] != o.Paid {
+			t.Errorf("worker %s: real paid=%v ideal paid=%v under targeted delay",
+				o.Name, o.Paid, ideal.Paid[o.Addr])
+		}
+	}
+}
+
+// TestRandomizedSchedulesMatchIdeal fuzzes the network adversary: random
+// reorderings and delays across seeds must never change a payment verdict
+// relative to the ideal functionality.
+func TestRandomizedSchedulesMatchIdeal(t *testing.T) {
+	for seed := int64(40); seed < 48; seed++ {
+		inst := smallInstance(t, seed, 3)
+		rng := rand.New(rand.NewSource(seed))
+		res := run(t, sim.Config{
+			Instance: inst,
+			Group:    group.TestSchnorr(),
+			Workers: []worker.Model{
+				worker.Perfect("w0", inst.GroundTruth),
+				worker.Accurate("acc", inst.GroundTruth, 0.6, rng),
+				worker.Bot("bot", rng),
+			},
+			Scheduler: &chain.RandomScheduler{
+				Rng:              rand.New(rand.NewSource(seed * 7)),
+				DelayProbability: 0.5,
+			},
+			Seed:      seed,
+			MaxRounds: 100,
+		})
+		if !res.Finalized {
+			t.Fatalf("seed %d: task did not finalize (rounds=%d)", seed, res.Rounds)
+		}
+		ideal := sim.RunIdeal(inst, sim.IdealInputs(res), protocol.PolicyHonest)
+		for _, o := range res.Outcomes {
+			if ideal.Paid[o.Addr] != o.Paid {
+				t.Errorf("seed %d: worker %s real=%v ideal=%v", seed, o.Name, o.Paid, ideal.Paid[o.Addr])
+			}
+		}
+	}
+}
+
+func outcomesByName(res *sim.Result) map[string]sim.WorkerOutcome {
+	out := make(map[string]sim.WorkerOutcome, len(res.Outcomes))
+	for _, o := range res.Outcomes {
+		out[o.Name] = o
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+// Package swarm simulates the off-chain content-addressed storage network
+// the paper's deployment uses ("a Swarm API to publish the detailed
+// questions of each crowdsourcing task ... the digest of the questions is
+// committed in the contract, which significantly reduces on-chain cost,
+// without violating securities", §VI). Content is addressed by its keccak256
+// digest, so readers verify integrity against the on-chain commitment for
+// free.
+package swarm
+
+import (
+	"fmt"
+	"sync"
+
+	"dragoon/internal/keccak"
+)
+
+// Digest is a content address (keccak256 of the content).
+type Digest [keccak.Size]byte
+
+// Store is an in-process content-addressed store, safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	data map[Digest][]byte
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[Digest][]byte)}
+}
+
+// Put stores content and returns its address.
+func (s *Store) Put(content []byte) Digest {
+	d := Digest(keccak.Sum256(content))
+	cp := make([]byte, len(content))
+	copy(cp, content)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[d] = cp
+	return d
+}
+
+// Get retrieves content by address, verifying integrity.
+func (s *Store) Get(d Digest) ([]byte, error) {
+	s.mu.RLock()
+	content, ok := s.data[d]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("swarm: no content at %x", d[:8])
+	}
+	if Digest(keccak.Sum256(content)) != d {
+		return nil, fmt.Errorf("swarm: integrity failure at %x", d[:8])
+	}
+	out := make([]byte, len(content))
+	copy(out, content)
+	return out, nil
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}

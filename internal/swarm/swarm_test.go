@@ -1,0 +1,74 @@
+package swarm_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dragoon/internal/keccak"
+	"dragoon/internal/swarm"
+)
+
+func TestPutGet(t *testing.T) {
+	s := swarm.New()
+	content := []byte("106 binary questions about images")
+	d := s.Put(content)
+	if d != swarm.Digest(keccak.Sum256(content)) {
+		t.Error("digest is not keccak256 of content")
+	}
+	got, err := s.Get(d)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Error("content mismatch")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := swarm.New()
+	if _, err := s.Get(swarm.Digest{1, 2, 3}); err == nil {
+		t.Error("missing content returned without error")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := swarm.New()
+	d := s.Put([]byte{1, 2, 3})
+	got, err := s.Get(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = 99
+	again, err := s.Get(d)
+	if err != nil {
+		t.Fatalf("mutating a returned buffer corrupted the store: %v", err)
+	}
+	if again[0] != 1 {
+		t.Error("store content was mutated through a returned slice")
+	}
+}
+
+func TestPutCopiesInput(t *testing.T) {
+	s := swarm.New()
+	content := []byte{7, 8, 9}
+	d := s.Put(content)
+	content[0] = 0
+	if _, err := s.Get(d); err != nil {
+		t.Errorf("mutating the input after Put corrupted the store: %v", err)
+	}
+}
+
+func TestRoundtripQuick(t *testing.T) {
+	s := swarm.New()
+	f := func(content []byte) bool {
+		got, err := s.Get(s.Put(content))
+		return err == nil && bytes.Equal(got, content)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+package task_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dragoon/internal/poqoea"
+	"dragoon/internal/task"
+)
+
+func TestGenerateImageNet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst, err := task.NewImageNet(4000, rng)
+	if err != nil {
+		t.Fatalf("NewImageNet: %v", err)
+	}
+	tk := &inst.Task
+	if tk.N() != 106 {
+		t.Errorf("N = %d, want 106", tk.N())
+	}
+	if tk.RangeSize != 2 || tk.Workers != 4 || tk.Threshold != 4 {
+		t.Errorf("params = (%d,%d,%d), want (2,4,4)", tk.RangeSize, tk.Workers, tk.Threshold)
+	}
+	if len(inst.Golden.Indices) != 6 {
+		t.Errorf("|G| = %d, want 6", len(inst.Golden.Indices))
+	}
+	if tk.Reward() != 1000 {
+		t.Errorf("reward = %d, want 1000", tk.Reward())
+	}
+	if err := tk.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Golden answers must match the ground truth.
+	for j, idx := range inst.Golden.Indices {
+		if inst.Golden.Answers[j] != inst.GroundTruth[idx] {
+			t.Errorf("golden answer %d mismatches ground truth", j)
+		}
+	}
+	// The statement must be valid for PoQoEA.
+	if err := inst.Golden.Statement(tk.RangeSize).Validate(tk.N()); err != nil {
+		t.Errorf("Statement: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := task.NewImageNet(4000, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := task.NewImageNet(4000, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.GroundTruth {
+		if a.GroundTruth[i] != b.GroundTruth[i] {
+			t.Fatal("same seed produced different ground truth")
+		}
+	}
+}
+
+func TestGoldenMarshalRoundtrip(t *testing.T) {
+	g := task.Golden{Indices: []int{3, 17, 42}, Answers: []int64{1, 0, 1}}
+	dec, err := task.UnmarshalGolden(g.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalGolden: %v", err)
+	}
+	if len(dec.Indices) != 3 || dec.Indices[1] != 17 || dec.Answers[2] != 1 {
+		t.Errorf("roundtrip mismatch: %+v", dec)
+	}
+	if _, err := task.UnmarshalGolden(g.Marshal()[:2]); err == nil {
+		t.Error("truncated golden accepted")
+	}
+	if _, err := task.UnmarshalGolden(append(g.Marshal(), 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestQuestionsMarshalRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst, err := task.NewImageNet(4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := inst.Task.MarshalQuestions()
+	qs, err := task.UnmarshalQuestions(enc)
+	if err != nil {
+		t.Fatalf("UnmarshalQuestions: %v", err)
+	}
+	if len(qs) != 106 {
+		t.Fatalf("decoded %d questions", len(qs))
+	}
+	if qs[5].Text != inst.Task.Questions[5].Text || qs[5].Options[1] != "yes" {
+		t.Errorf("question 5 mismatch: %+v", qs[5])
+	}
+	if _, err := task.UnmarshalQuestions(enc[:len(enc)/2]); err == nil {
+		t.Error("truncated questions accepted")
+	}
+}
+
+func TestValidateRejectsBadTasks(t *testing.T) {
+	good := task.Task{
+		ID:        "x",
+		Questions: []task.Question{{Text: "q", Options: []string{"a", "b"}}},
+		RangeSize: 2, Workers: 1, Threshold: 0, Budget: 10,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good task rejected: %v", err)
+	}
+	cases := map[string]func(*task.Task){
+		"no questions":    func(t *task.Task) { t.Questions = nil },
+		"tiny range":      func(t *task.Task) { t.RangeSize = 1 },
+		"zero workers":    func(t *task.Task) { t.Workers = 0 },
+		"zero budget":     func(t *task.Task) { t.Budget = 0 },
+		"budget too thin": func(t *task.Task) { t.Workers = 100; t.Budget = 50 },
+		"option mismatch": func(t *task.Task) { t.Questions[0].Options = []string{"a"} },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			bad := good
+			bad.Questions = append([]task.Question{}, good.Questions...)
+			mutate(&bad)
+			if err := bad.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestGenerateGoldenSubsetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst, err := task.Generate(task.GenerateParams{
+			ID: "p", N: 20, RangeSize: 3, NumGolden: 5, Workers: 2,
+			Threshold: 3, Budget: 100,
+		}, rng)
+		if err != nil {
+			return false
+		}
+		// Golden indices distinct and in range; perfect ground truth scores |G|.
+		seen := map[int]bool{}
+		for _, idx := range inst.Golden.Indices {
+			if idx < 0 || idx >= 20 || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+		}
+		st := inst.Golden.Statement(3)
+		return poqoea.Quality(inst.GroundTruth, st) == 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateRejectsBadGoldenCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := task.Generate(task.GenerateParams{N: 5, NumGolden: 6, RangeSize: 2, Workers: 1, Budget: 10}, rng); err == nil {
+		t.Error("golden count > N accepted")
+	}
+	if _, err := task.Generate(task.GenerateParams{N: 5, NumGolden: 0, RangeSize: 2, Workers: 1, Budget: 10}, rng); err == nil {
+		t.Error("zero golden accepted")
+	}
+}

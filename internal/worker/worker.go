@@ -1,0 +1,118 @@
+// Package worker provides worker behaviour models for experiments and
+// security tests: honest workers of configurable accuracy, low-effort bots,
+// out-of-range submitters, non-revealers, and the copy-paste free-rider the
+// paper's confidentiality requirement exists to defeat. Models are
+// deterministic given a seeded rng, so every experiment is reproducible.
+package worker
+
+import (
+	"math/rand"
+
+	"dragoon/internal/protocol"
+	"dragoon/internal/task"
+)
+
+// Model describes one simulated worker: a name, a protocol strategy, and
+// an answering function.
+type Model struct {
+	// Name labels the worker in reports ("honest-1", "bot", ...).
+	Name string
+	// Strategy selects the protocol-level behaviour.
+	Strategy protocol.WorkerStrategy
+	// Answers produces the plaintext answer vector (nil for strategies
+	// that never answer, like the commitment copier).
+	Answers protocol.AnswerFn
+}
+
+// Accurate returns an honest worker who knows the ground truth and answers
+// each question correctly with probability accuracy (independently),
+// otherwise picking a uniformly random wrong option.
+func Accurate(name string, groundTruth []int64, accuracy float64, rng *rand.Rand) Model {
+	return Model{
+		Name:     name,
+		Strategy: protocol.StrategyHonest,
+		Answers: func(questions []task.Question, rangeSize int64) []int64 {
+			answers := make([]int64, len(questions))
+			for i := range answers {
+				truth := int64(0)
+				if i < len(groundTruth) {
+					truth = groundTruth[i]
+				}
+				if rng.Float64() < accuracy {
+					answers[i] = truth
+					continue
+				}
+				wrong := int64(rng.Intn(int(rangeSize - 1)))
+				if wrong >= truth {
+					wrong++
+				}
+				answers[i] = wrong
+			}
+			return answers
+		},
+	}
+}
+
+// Perfect returns a worker who always answers the ground truth.
+func Perfect(name string, groundTruth []int64) Model {
+	return Model{
+		Name:     name,
+		Strategy: protocol.StrategyHonest,
+		Answers: func(questions []task.Question, rangeSize int64) []int64 {
+			answers := make([]int64, len(questions))
+			copy(answers, groundTruth)
+			return answers
+		},
+	}
+}
+
+// Bot returns a zero-effort worker answering uniformly at random — the
+// "free-riding" bot of the paper's introduction.
+func Bot(name string, rng *rand.Rand) Model {
+	return Model{
+		Name:     name,
+		Strategy: protocol.StrategyHonest,
+		Answers: func(questions []task.Question, rangeSize int64) []int64 {
+			answers := make([]int64, len(questions))
+			for i := range answers {
+				answers[i] = int64(rng.Intn(int(rangeSize)))
+			}
+			return answers
+		},
+	}
+}
+
+// OutOfRange returns a worker who answers the ground truth except at one
+// position, where it submits an out-of-range value — exercising the
+// contract's outrange path.
+func OutOfRange(name string, groundTruth []int64, at int, value int64) Model {
+	return Model{
+		Name:     name,
+		Strategy: protocol.StrategyHonest,
+		Answers: func(questions []task.Question, rangeSize int64) []int64 {
+			answers := make([]int64, len(questions))
+			copy(answers, groundTruth)
+			if at >= 0 && at < len(answers) {
+				answers[at] = value
+			}
+			return answers
+		},
+	}
+}
+
+// NoReveal returns a worker who commits honestly but never opens the
+// commitment (c_j = ⊥: no payment; the share returns to the requester).
+func NoReveal(name string, groundTruth []int64) Model {
+	m := Perfect(name, groundTruth)
+	m.Strategy = protocol.StrategyNoReveal
+	return m
+}
+
+// CopyPaster returns the free-riding attacker who re-submits the first
+// answer commitment observed on-chain instead of doing any work.
+func CopyPaster(name string) Model {
+	return Model{
+		Name:     name,
+		Strategy: protocol.StrategyCopyCommit,
+	}
+}

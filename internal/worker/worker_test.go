@@ -1,0 +1,112 @@
+package worker_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dragoon/internal/protocol"
+	"dragoon/internal/task"
+	"dragoon/internal/worker"
+)
+
+var questions = make([]task.Question, 50)
+
+func truth(n int) []int64 {
+	gt := make([]int64, n)
+	for i := range gt {
+		gt[i] = int64(i % 3)
+	}
+	return gt
+}
+
+func TestPerfect(t *testing.T) {
+	gt := truth(50)
+	m := worker.Perfect("p", gt)
+	got := m.Answers(questions, 3)
+	for i := range got {
+		if got[i] != gt[i] {
+			t.Fatalf("answer %d = %d, want %d", i, got[i], gt[i])
+		}
+	}
+	if m.Strategy != protocol.StrategyHonest {
+		t.Error("wrong strategy")
+	}
+}
+
+func TestAccurateProbability(t *testing.T) {
+	gt := truth(50)
+	rng := rand.New(rand.NewSource(1))
+	m := worker.Accurate("a", gt, 0.8, rng)
+	correct := 0
+	trials := 40
+	for trial := 0; trial < trials; trial++ {
+		got := m.Answers(questions, 3)
+		for i := range got {
+			if got[i] < 0 || got[i] >= 3 {
+				t.Fatalf("answer out of range: %d", got[i])
+			}
+			if got[i] == gt[i] {
+				correct++
+			}
+		}
+	}
+	rate := float64(correct) / float64(trials*50)
+	if rate < 0.72 || rate > 0.88 {
+		t.Errorf("empirical accuracy %.3f, want ≈0.8", rate)
+	}
+}
+
+func TestAccurateWrongAnswersDiffer(t *testing.T) {
+	gt := truth(50)
+	rng := rand.New(rand.NewSource(2))
+	m := worker.Accurate("a", gt, 0, rng) // always wrong
+	got := m.Answers(questions, 3)
+	for i := range got {
+		if got[i] == gt[i] {
+			t.Fatalf("accuracy-0 worker answered %d correctly", i)
+		}
+		if got[i] < 0 || got[i] >= 3 {
+			t.Fatalf("wrong answer out of range: %d", got[i])
+		}
+	}
+}
+
+func TestBotInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := worker.Bot("b", rng)
+	got := m.Answers(questions, 4)
+	seen := map[int64]bool{}
+	for _, a := range got {
+		if a < 0 || a >= 4 {
+			t.Fatalf("bot answer out of range: %d", a)
+		}
+		seen[a] = true
+	}
+	if len(seen) < 2 {
+		t.Error("bot answers suspiciously uniform")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	gt := truth(50)
+	m := worker.OutOfRange("o", gt, 7, 99)
+	got := m.Answers(questions, 3)
+	if got[7] != 99 {
+		t.Errorf("answer 7 = %d, want 99", got[7])
+	}
+	if got[8] != gt[8] {
+		t.Error("non-target answers changed")
+	}
+}
+
+func TestNoRevealAndCopyPaster(t *testing.T) {
+	gt := truth(50)
+	nr := worker.NoReveal("n", gt)
+	if nr.Strategy != protocol.StrategyNoReveal || nr.Answers == nil {
+		t.Error("NoReveal misconfigured")
+	}
+	cp := worker.CopyPaster("c")
+	if cp.Strategy != protocol.StrategyCopyCommit || cp.Answers != nil {
+		t.Error("CopyPaster misconfigured")
+	}
+}

@@ -1,0 +1,101 @@
+package dragoon
+
+import (
+	"math/rand"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/gas"
+	"dragoon/internal/protocol"
+	"dragoon/internal/sim"
+	"dragoon/internal/worker"
+)
+
+// SimulationConfig configures an end-to-end protocol run on the simulated
+// chain.
+type SimulationConfig = sim.Config
+
+// SimulationResult reports a completed run: payments, per-method gas, the
+// harvested answers, and the final chain/ledger state.
+type SimulationResult = sim.Result
+
+// WorkerOutcome is one worker's fate in a run.
+type WorkerOutcome = sim.WorkerOutcome
+
+// WorkerModel describes a simulated worker's behaviour.
+type WorkerModel = worker.Model
+
+// RequesterPolicy selects the requester's evaluation behaviour.
+type RequesterPolicy = protocol.RequesterPolicy
+
+// Requester policies (honest, plus the misbehaviours the fairness analysis
+// defeats).
+const (
+	HonestRequester      = protocol.PolicyHonest
+	SilentRequester      = protocol.PolicySilent
+	NoGoldenRequester    = protocol.PolicyNoGolden
+	FalseReportRequester = protocol.PolicyFalseReport
+)
+
+// Scheduler is the network adversary interface: it may reorder each round's
+// transactions and delay any fresh transaction by at most one round.
+type Scheduler = chain.Scheduler
+
+// Simulate runs the protocol to completion and returns the result.
+func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
+	return sim.Run(cfg)
+}
+
+// RunIdealFunctionality executes F_hit (Fig. 2 of the paper) on plaintext
+// inputs — the specification the real protocol is tested against.
+func RunIdealFunctionality(inst *TaskInstance, workers []sim.IdealWorker, policy RequesterPolicy) sim.IdealOutcome {
+	return sim.RunIdeal(inst, workers, policy)
+}
+
+// IdealInputs derives F_hit inputs from a completed real run.
+func IdealInputs(res *SimulationResult) []sim.IdealWorker {
+	return sim.IdealInputs(res)
+}
+
+// PerfectWorker answers every question with the ground truth.
+func PerfectWorker(name string, groundTruth []int64) WorkerModel {
+	return worker.Perfect(name, groundTruth)
+}
+
+// AccurateWorker answers correctly with the given per-question probability.
+func AccurateWorker(name string, groundTruth []int64, accuracy float64, rng *rand.Rand) WorkerModel {
+	return worker.Accurate(name, groundTruth, accuracy, rng)
+}
+
+// BotWorker answers uniformly at random (the zero-effort free-rider).
+func BotWorker(name string, rng *rand.Rand) WorkerModel {
+	return worker.Bot(name, rng)
+}
+
+// OutOfRangeWorker submits one out-of-range answer.
+func OutOfRangeWorker(name string, groundTruth []int64, at int, value int64) WorkerModel {
+	return worker.OutOfRange(name, groundTruth, at, value)
+}
+
+// NoRevealWorker commits but never opens its commitment.
+func NoRevealWorker(name string, groundTruth []int64) WorkerModel {
+	return worker.NoReveal(name, groundTruth)
+}
+
+// CopyPasteWorker re-submits the first commitment it observes on-chain —
+// the free-riding attack the protocol's confidentiality defeats.
+func CopyPasteWorker(name string) WorkerModel {
+	return worker.CopyPaster(name)
+}
+
+// PriceModel converts gas to US dollars.
+type PriceModel = gas.PriceModel
+
+// PaperPrices returns the paper's Table III reference rates (1.5 gwei,
+// $115/ETH, March 17 2020).
+func PaperPrices() PriceModel { return gas.PaperPrices() }
+
+// FormatUSD renders a dollar amount the way the paper's tables do.
+func FormatUSD(usd float64) string { return gas.FormatUSD(usd) }
+
+// FormatGas renders gas in the paper's "∼1293 k" style.
+func FormatGas(g uint64) string { return gas.FormatGas(g) }
