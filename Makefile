@@ -1,0 +1,45 @@
+# Dragoon build/test/bench entry points. CI (.github/workflows/ci.yml) runs
+# fmt-check, vet, build, test and race; bench-json tracks the parallel
+# layer's performance trajectory in BENCH_parallel.json.
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke bench-json fmt fmt-check vet all
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel fan-out paths with the race detector on: the work pool, the
+# simulation harness that fans worker rounds out over it, the shared
+# off-chain store, and the concurrent crypto (PoQoEA batch prove/verify,
+# QAP quotient, Groth16 MSM fork/join, parallel Miller loops).
+race:
+	$(GO) test -race ./internal/parallel ./internal/sim ./internal/swarm \
+		./internal/poqoea ./internal/qap ./internal/groth16 ./internal/bn254
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# One iteration of the fast benchmarks only (-short skips the slow generic
+# ZKP baselines and full end-to-end sims) — CI's smoke bench, < 1 minute.
+bench-smoke:
+	$(GO) test -short -bench=. -benchtime=1x -run='^$$' .
+
+# Regenerate BENCH_parallel.json: sequential-vs-parallel timings and
+# speedups for the crypto hot paths, tracked PR over PR.
+bench-json:
+	$(GO) run ./cmd/benchtables -json BENCH_parallel.json
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...

@@ -122,6 +122,8 @@ func BenchmarkTableI_Ours_PoQoEA_Prove(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	reportPerQuestion(b, len(f.cts))
 }
 
 // genericVPKESize is the benchmark circuit size for one in-circuit
@@ -260,6 +262,16 @@ func BenchmarkTableII_Ours_PoQoEA_Verify(b *testing.B) {
 			b.Fatal("verification failed")
 		}
 	}
+	b.StopTimer()
+	reportPerQuestion(b, len(f.cts))
+}
+
+// reportPerQuestion adds an ns/question metric so runs at different task
+// sizes stay comparable.
+func reportPerQuestion(b *testing.B, questions int) {
+	if b.N > 0 && questions > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(questions), "ns/question")
+	}
 }
 
 // BenchmarkTableII_Generic_VPKE_Verify measures Groth16 verification (a
@@ -364,6 +376,9 @@ func runImageNet(tb testing.TB, scenario string) *sim.Result {
 // and reports the gas rows as custom metrics (paper: overall ≈12164k gas,
 // $2.09).
 func BenchmarkTableIII_BestCase(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full BN254 end-to-end simulation is slow")
+	}
 	for i := 0; i < b.N; i++ {
 		res := runImageNet(b, "best")
 		b.ReportMetric(float64(res.GasTotal), "gas-total")
@@ -375,6 +390,9 @@ func BenchmarkTableIII_BestCase(b *testing.B) {
 // BenchmarkTableIII_WorstCase runs the task with every submission rejected
 // via PoQoEA (paper: overall ≈12877k gas, $2.22; ≈180k per rejection).
 func BenchmarkTableIII_WorstCase(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full BN254 end-to-end simulation is slow")
+	}
 	for i := 0; i < b.N; i++ {
 		res := runImageNet(b, "worst")
 		b.ReportMetric(float64(res.GasTotal), "gas-total")
@@ -387,6 +405,9 @@ func BenchmarkTableIII_WorstCase(b *testing.B) {
 // BenchmarkAblationPoQoEAGolden sweeps the number of golden standards: the
 // concrete proof's cost must be linear in |G| (and independent of N).
 func BenchmarkAblationPoQoEAGolden(b *testing.B) {
+	if testing.Short() {
+		b.Skip("ablation sweep is slow")
+	}
 	g := group.TestSchnorr()
 	sk, err := elgamal.KeyGen(g, nil)
 	if err != nil {
@@ -441,6 +462,9 @@ func BenchmarkAblationGroth16Prove(b *testing.B) {
 // scale linearly in N while the rejection gas stays constant (PoQoEA's
 // proof size is independent of N).
 func BenchmarkAblationGasVsQuestions(b *testing.B) {
+	if testing.Short() {
+		b.Skip("ablation sweep is slow")
+	}
 	for _, n := range []int{26, 56, 106, 206} {
 		b.Run(benchName("N", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/big"
@@ -29,6 +30,7 @@ import (
 	"dragoon/internal/gas"
 	"dragoon/internal/groth16"
 	"dragoon/internal/group"
+	"dragoon/internal/parallel"
 	"dragoon/internal/poqoea"
 	"dragoon/internal/protocol"
 	"dragoon/internal/r1cs"
@@ -45,6 +47,7 @@ func main() {
 		sweep    = flag.Bool("sweep", false, "Groth16 scaling sweep")
 		all      = flag.Bool("all", false, "regenerate everything")
 		steps    = flag.Int("steps", 1024, "generic-ZKP circuit size (chain steps per decryption)")
+		jsonPath = flag.String("json", "", "write parallel-speedup benchmark results to this JSON file")
 	)
 	flag.Parse()
 
@@ -75,10 +78,150 @@ func main() {
 		run(groth16Sweep())
 		did = true
 	}
+	if *jsonPath != "" {
+		run(writeParallelJSON(*jsonPath))
+		did = true
+	}
 	if !did {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// parallelBenchResult is one measured operation at one pool size.
+type parallelBenchResult struct {
+	Name          string  `json:"name"`
+	Workers       int     `json:"workers"`
+	Questions     int     `json:"questions,omitempty"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	NsPerQuestion float64 `json:"ns_per_question,omitempty"`
+}
+
+// parallelBenchReport is the BENCH_parallel.json schema: per-operation
+// timings at workers=1 and workers=NumCPU plus the resulting speedups, so
+// the performance trajectory of the parallel layer is tracked PR over PR.
+type parallelBenchReport struct {
+	Timestamp string                `json:"timestamp"`
+	GoVersion string                `json:"go_version"`
+	NumCPU    int                   `json:"num_cpu"`
+	Results   []parallelBenchResult `json:"results"`
+	Speedups  map[string]float64    `json:"speedups"`
+}
+
+// writeParallelJSON benchmarks the parallel hot paths sequentially and at
+// full parallelism and writes the comparison to path.
+func writeParallelJSON(path string) error {
+	const (
+		nQuestions = 64
+		nGolden    = 32
+		g16Steps   = 256
+	)
+	g := group.BN254G1()
+	sk, err := elgamal.KeyGen(g, nil)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(4))
+	inst, err := task.Generate(task.GenerateParams{
+		ID: "parbench", N: nQuestions, RangeSize: 4, NumGolden: nGolden,
+		Workers: 1, Threshold: 1, Budget: 100,
+	}, rng)
+	if err != nil {
+		return err
+	}
+	st := inst.Golden.Statement(inst.Task.RangeSize)
+	answers := append([]int64{}, inst.GroundTruth...)
+	for _, gi := range inst.Golden.Indices[:nGolden/2] {
+		answers[gi] = (answers[gi] + 1) % inst.Task.RangeSize
+	}
+	cts, err := poqoea.EncryptAnswers(&sk.PublicKey, answers, nil)
+	if err != nil {
+		return err
+	}
+	chi, proof, err := poqoea.Prove(sk, cts, st, nil)
+	if err != nil {
+		return err
+	}
+	g16, err := buildGeneric(g16Steps, false)
+	if err != nil {
+		return err
+	}
+
+	ops := []struct {
+		name      string
+		questions int
+		fn        func()
+	}{
+		{"poqoea_prove", nQuestions, func() {
+			if _, _, err := poqoea.Prove(sk, cts, st, nil); err != nil {
+				panic(err)
+			}
+		}},
+		{"poqoea_verify", nQuestions, func() {
+			if !poqoea.Verify(&sk.PublicKey, cts, chi, proof, st) {
+				panic("verify failed")
+			}
+		}},
+		{"encrypt_answers", nQuestions, func() {
+			if _, err := poqoea.EncryptAnswers(&sk.PublicKey, answers, nil); err != nil {
+				panic(err)
+			}
+		}},
+		{"groth16_prove", 0, func() {
+			if _, err := groth16.Prove(g16.cs, g16.pk, g16.w, nil); err != nil {
+				panic(err)
+			}
+		}},
+	}
+
+	report := parallelBenchReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Speedups:  map[string]float64{},
+	}
+	seqNs := map[string]int64{}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		prev := parallel.SetDefaultWorkers(workers)
+		for _, op := range ops {
+			t, _ := measure(op.fn)
+			r := parallelBenchResult{
+				Name:      op.name,
+				Workers:   workers,
+				Questions: op.questions,
+				NsPerOp:   t.Nanoseconds(),
+			}
+			if op.questions > 0 {
+				r.NsPerQuestion = float64(t.Nanoseconds()) / float64(op.questions)
+			}
+			report.Results = append(report.Results, r)
+			if workers == 1 {
+				seqNs[op.name] = t.Nanoseconds()
+			} else if seq := seqNs[op.name]; seq > 0 && t.Nanoseconds() > 0 {
+				report.Speedups[op.name] = float64(seq) / float64(t.Nanoseconds())
+			}
+		}
+		parallel.SetDefaultWorkers(prev)
+		if runtime.NumCPU() == 1 {
+			break // the comparison is void on a single core
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d CPUs", path, report.NumCPU)
+	for _, op := range ops {
+		if s, ok := report.Speedups[op.name]; ok {
+			fmt.Printf(", %s ×%.2f", op.name, s)
+		}
+	}
+	fmt.Println(")")
+	return nil
 }
 
 // fixture builds the paper's ImageNet proving workload over BN254.

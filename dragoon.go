@@ -27,6 +27,29 @@
 //	    Group:    dragoon.BN254(),
 //	    Workers:  []dragoon.WorkerModel{dragoon.PerfectWorker("w0", inst.GroundTruth), ...},
 //	})
+//
+// # Parallelism
+//
+// All crypto hot paths — per-question ElGamal encryption, PoQoEA proving
+// and batch verification, Groth16 proving (per-wire MSMs and the QAP
+// quotient) and pairing-product verification, and the per-round off-chain
+// worker computation of the simulation harness — run on a bounded work
+// pool (internal/parallel) sized to runtime.NumCPU() by default. Two knobs
+// control it:
+//
+//   - SetParallelism(n) bounds the process-wide pool, affecting every
+//     library call (SetParallelism(1) forces fully sequential execution);
+//   - SimulationConfig.Parallelism bounds only how many simulated workers
+//     compute concurrently within a round, overriding the default for that
+//     run.
+//
+// Parallel execution is deterministic: results are combined in input order
+// and randomness is always drawn sequentially from the caller's stream
+// before the fan-out, so a seeded run produces byte-for-byte identical
+// transcripts, transactions and gas at any parallelism level. Simulated
+// workers compute concurrently but their transactions apply to the chain
+// in a fixed worker order, preserving the differential tests against the
+// ideal functionality F_hit.
 package dragoon
 
 import (
@@ -36,10 +59,21 @@ import (
 	"dragoon/internal/elgamal"
 	"dragoon/internal/group"
 	"dragoon/internal/ledger"
+	"dragoon/internal/parallel"
 	"dragoon/internal/poqoea"
 	"dragoon/internal/task"
 	"dragoon/internal/vpke"
 )
+
+// SetParallelism bounds the process-wide worker pool used by every parallel
+// hot path (MSMs, pairing products, batch encryption/proving/verification,
+// simulated worker rounds). n <= 0 restores the runtime.NumCPU() default;
+// n == 1 forces fully sequential execution. It returns the previous setting
+// so callers can restore it.
+func SetParallelism(n int) int { return parallel.SetDefaultWorkers(n) }
+
+// Parallelism reports the effective process-wide worker pool size.
+func Parallelism() int { return parallel.Workers(0) }
 
 // Group is a prime-order cyclic group backend for the protocol crypto.
 type Group = group.Group

@@ -1,0 +1,3 @@
+module dragoon
+
+go 1.24

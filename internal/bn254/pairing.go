@@ -1,6 +1,11 @@
 package bn254
 
-import "math/big"
+import (
+	"context"
+	"math/big"
+
+	"dragoon/internal/parallel"
+)
 
 // GT is an element of the pairing target group (the order-r subgroup of
 // Fp12*). GT values are immutable.
@@ -141,17 +146,48 @@ func Pair(g1 *G1, g2 *G2) *GT {
 // PairingCheck reports whether ∏ e(Pᵢ, Qᵢ) = 1 for the given point slices.
 // This is the operation the EVM pairing precompile exposes, and the one the
 // Groth16 verifier needs. Slices must have equal length.
+//
+// The Miller loops — the dominant cost — run concurrently on the default
+// worker pool (see PairingCheckWorkers for an explicit bound); the loop
+// outputs are multiplied in index order and share a single final
+// exponentiation, so the result is identical to the sequential product.
 func PairingCheck(ps []*G1, qs []*G2) bool {
+	return PairingCheckWorkers(ps, qs, 0)
+}
+
+// PairingCheckWorkers is PairingCheck with an explicit worker bound
+// (<= 0 selects the parallel package default).
+func PairingCheckWorkers(ps []*G1, qs []*G2, workers int) bool {
 	if len(ps) != len(qs) {
 		return false
 	}
 	cp := params()
-	acc := fp12One()
-	for i := range ps {
+	loops, err := parallel.Map(context.Background(), len(ps), workers, func(i int) (fp12Elem, error) {
 		if ps[i].IsInfinity() || qs[i].IsInfinity() {
-			continue
+			return fp12One(), nil
 		}
-		acc = fp12MulP(acc, millerLoop(ps[i], qs[i]), cp.P)
+		return millerLoop(ps[i], qs[i]), nil
+	})
+	if err != nil {
+		return false
+	}
+	acc := fp12One()
+	for _, l := range loops {
+		acc = fp12MulP(acc, l, cp.P)
 	}
 	return finalExponentiation(acc).isOne()
+}
+
+// PairMany computes e(Pᵢ, Qᵢ) for every pair concurrently, returning the
+// results in input order. It exists for callers that need the individual
+// pairing values (amortizing the per-pair final exponentiations across the
+// pool) rather than the product check.
+func PairMany(ps []*G1, qs []*G2) []*GT {
+	if len(ps) != len(qs) {
+		return nil
+	}
+	out, _ := parallel.Map(context.Background(), len(ps), 0, func(i int) (*GT, error) {
+		return Pair(ps[i], qs[i]), nil
+	})
+	return out
 }

@@ -58,10 +58,26 @@ func (pk *PublicKey) Encrypt(m int64, rnd io.Reader) (Ciphertext, *big.Int, erro
 	if err != nil {
 		return Ciphertext{}, nil, fmt.Errorf("elgamal: encrypt: %w", err)
 	}
+	ct, err := pk.EncryptWithRandomness(m, r)
+	if err != nil {
+		return Ciphertext{}, nil, err
+	}
+	return ct, r, nil
+}
+
+// EncryptWithRandomness encrypts m with caller-supplied encryption
+// randomness r. It exists so batch encryptors can draw their randomness
+// sequentially from one stream (keeping seeded runs reproducible) and then
+// compute the expensive group operations concurrently; the output is
+// identical to Encrypt consuming the same r.
+func (pk *PublicKey) EncryptWithRandomness(m int64, r *big.Int) (Ciphertext, error) {
+	if m < 0 {
+		return Ciphertext{}, errors.New("elgamal: negative plaintext")
+	}
 	g := pk.Group
 	c1 := g.ScalarBaseMul(r)
 	c2 := g.Add(g.ScalarBaseMul(big.NewInt(m)), g.ScalarMul(pk.H, r))
-	return Ciphertext{C1: c1, C2: c2}, r, nil
+	return Ciphertext{C1: c1, C2: c2}, nil
 }
 
 // Plaintext is the result of a short-range decryption: either a recovered

@@ -9,6 +9,7 @@
 package groth16
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 
 	"dragoon/internal/bn254"
 	"dragoon/internal/ff"
+	"dragoon/internal/parallel"
 	"dragoon/internal/qap"
 	"dragoon/internal/r1cs"
 )
@@ -186,18 +188,41 @@ func Prove(cs *r1cs.System, pk *ProvingKey, witness r1cs.Witness, rnd io.Reader)
 		return nil, fmt.Errorf("groth16: sampling s: %w", err)
 	}
 
-	// A = α + Σ z_i·u_i(τ) + r·δ  (in G1).
-	a := pk.Alpha1.Add(MSMG1(pk.A1, witness)).Add(pk.Delta1.ScalarMul(r))
-	// B = β + Σ z_i·v_i(τ) + s·δ  (in G2, plus a G1 copy for C).
-	b2 := pk.Beta2.Add(MSMG2(pk.B2, witness)).Add(pk.Delta2.ScalarMul(s))
-	b1 := pk.Beta1.Add(MSMG1(pk.B1, witness)).Add(pk.Delta1.ScalarMul(s))
-
-	// C = Σ_priv z_i·k_i/δ + h(τ)·Z(τ)/δ + s·A + r·B1 − r·s·δ.
+	// The five per-wire MSMs (A, the two B halves, and C's private-wire and
+	// quotient parts) are mutually independent, so they run as one fork/join
+	// on top of the chunk-parallel MSM itself.
 	nPub := cs.NumPublic()
 	privPoints := pk.K1[nPub+1:]
 	privScalars := witness[nPub+1:]
-	c := MSMG1(privPoints, privScalars)
-	c = c.Add(MSMG1(pk.Z1[:len(h)], h))
+	var a, b1, c *bn254.G1
+	var b2 *bn254.G2
+	var cz *bn254.G1
+	_ = parallel.Do(
+		func() error {
+			// A = α + Σ z_i·u_i(τ) + r·δ  (in G1).
+			a = pk.Alpha1.Add(MSMG1(pk.A1, witness)).Add(pk.Delta1.ScalarMul(r))
+			return nil
+		},
+		func() error {
+			// B = β + Σ z_i·v_i(τ) + s·δ  (in G2, plus a G1 copy for C).
+			b2 = pk.Beta2.Add(MSMG2(pk.B2, witness)).Add(pk.Delta2.ScalarMul(s))
+			return nil
+		},
+		func() error {
+			b1 = pk.Beta1.Add(MSMG1(pk.B1, witness)).Add(pk.Delta1.ScalarMul(s))
+			return nil
+		},
+		func() error {
+			// C = Σ_priv z_i·k_i/δ + h(τ)·Z(τ)/δ + s·A + r·B1 − r·s·δ.
+			c = MSMG1(privPoints, privScalars)
+			return nil
+		},
+		func() error {
+			cz = MSMG1(pk.Z1[:len(h)], h)
+			return nil
+		},
+	)
+	c = c.Add(cz)
 	c = c.Add(a.ScalarMul(s))
 	c = c.Add(b1.ScalarMul(r))
 	rs := f.Mul(r, s)
@@ -235,8 +260,39 @@ type curvePoint[P any] interface {
 	IsInfinity() bool
 }
 
-// msm is a windowed Pippenger multi-scalar multiplication.
+// msmParallelThreshold is the input size below which the chunking overhead
+// of a parallel multi-scalar multiplication outweighs the win.
+const msmParallelThreshold = 32
+
+// msm is a multi-scalar multiplication: below msmParallelThreshold it runs
+// the windowed Pippenger core directly; above it the input is split into one
+// contiguous chunk per pool worker, the chunks run concurrently, and the
+// partial sums are combined in chunk order. Group addition is associative,
+// so the combined point is exactly the sequential result.
 func msm[P curvePoint[P]](identity P, points []P, scalars []*big.Int, order *big.Int) P {
+	n := len(points)
+	workers := parallel.Workers(0)
+	if n < msmParallelThreshold || workers <= 1 {
+		return msmChunk(identity, points, scalars, order)
+	}
+	type span struct{ start, end int }
+	var spans []span
+	parallel.Chunks(n, workers, func(_, start, end int) {
+		spans = append(spans, span{start, end})
+	})
+	partials, _ := parallel.Map(context.Background(), len(spans), len(spans), func(c int) (P, error) {
+		s := spans[c]
+		return msmChunk(identity, points[s.start:s.end], scalars[s.start:s.end], order), nil
+	})
+	acc := identity
+	for _, p := range partials {
+		acc = acc.Add(p)
+	}
+	return acc
+}
+
+// msmChunk is the sequential windowed Pippenger core.
+func msmChunk[P curvePoint[P]](identity P, points []P, scalars []*big.Int, order *big.Int) P {
 	n := len(points)
 	if n == 0 {
 		return identity

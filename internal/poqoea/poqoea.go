@@ -18,12 +18,15 @@
 package poqoea
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math/big"
 
 	"dragoon/internal/elgamal"
 	"dragoon/internal/group"
+	"dragoon/internal/parallel"
 	"dragoon/internal/vpke"
 )
 
@@ -99,22 +102,39 @@ type Proof struct {
 // proof that χ is (an upper bound on) that quality. Only golden-standard
 // positions are ever decrypted into the proof; all other answers stay
 // confidential.
+// Prove draws one Schnorr nonce per golden standard sequentially from rnd
+// (so seeded runs stay reproducible) and then computes the per-question
+// decryptions and VPKE transcripts concurrently; the resulting proof is
+// byte-for-byte the sequential one.
 func Prove(sk *elgamal.PrivateKey, cts []elgamal.Ciphertext, st Statement, rnd io.Reader) (int, *Proof, error) {
 	if err := st.Validate(len(cts)); err != nil {
 		return 0, nil, err
 	}
-	quality := 0
-	pf := &Proof{}
+	nonces := make([]*big.Int, len(st.GoldenIndices))
 	for j, idx := range st.GoldenIndices {
-		plain, pi, err := vpke.Prove(sk, cts[idx], st.RangeSize, rnd)
+		x, err := group.RandomScalar(sk.Group, rnd)
 		if err != nil {
 			return 0, nil, fmt.Errorf("poqoea: proving decryption of answer %d: %w", idx, err)
 		}
-		if plain.InRange && plain.Value == st.GoldenAnswers[j] {
+		nonces[j] = x
+	}
+	type opened struct {
+		plain elgamal.Plaintext
+		proof *vpke.Proof
+	}
+	results, _ := parallel.Map(context.Background(), len(st.GoldenIndices), 0, func(j int) (opened, error) {
+		plain, pi := vpke.ProveWithNonce(sk, cts[st.GoldenIndices[j]], st.RangeSize, nonces[j])
+		return opened{plain: plain, proof: pi}, nil
+	})
+	quality := 0
+	pf := &Proof{}
+	for j, idx := range st.GoldenIndices {
+		r := results[j]
+		if r.plain.InRange && r.plain.Value == st.GoldenAnswers[j] {
 			quality++
 			continue
 		}
-		pf.Wrong = append(pf.Wrong, WrongAnswer{Index: idx, Plain: plain, Proof: pi})
+		pf.Wrong = append(pf.Wrong, WrongAnswer{Index: idx, Plain: r.plain, Proof: r.proof})
 	}
 	return quality, pf, nil
 }
@@ -131,6 +151,11 @@ func Verify(pk *elgamal.PublicKey, cts []elgamal.Ciphertext, claimedQuality int,
 	if claimedQuality < 0 || claimedQuality > len(st.GoldenIndices) {
 		return false
 	}
+	// Structural checks (distinctness, golden membership, wrong-vs-truth)
+	// are cheap and run first; the VPKE verifications — the dominant cost,
+	// a handful of scalar multiplications each — then run as a batch on the
+	// worker pool. The accept/reject verdict is unchanged: every revelation
+	// must verify either way.
 	counted := claimedQuality
 	seen := make(map[int]bool, len(pf.Wrong))
 	for _, w := range pf.Wrong {
@@ -146,18 +171,25 @@ func Verify(pk *elgamal.PublicKey, cts []elgamal.Ciphertext, claimedQuality int,
 			if w.Plain.Value == expect {
 				return false // revealed answer is actually correct
 			}
-			if !vpke.VerifyValue(pk, w.Plain.Value, cts[w.Index], w.Proof) {
-				return false
-			}
-		} else {
-			if w.Plain.Element == nil {
-				return false
-			}
-			if !vpke.VerifyElement(pk, w.Plain.Element, cts[w.Index], w.Proof) {
-				return false
-			}
+		} else if w.Plain.Element == nil {
+			return false
 		}
 		counted++
+	}
+	errInvalid := errors.New("poqoea: invalid revelation")
+	err := parallel.For(context.Background(), len(pf.Wrong), 0, func(i int) error {
+		w := pf.Wrong[i]
+		if w.Plain.InRange {
+			if !vpke.VerifyValue(pk, w.Plain.Value, cts[w.Index], w.Proof) {
+				return errInvalid
+			}
+		} else if !vpke.VerifyElement(pk, w.Plain.Element, cts[w.Index], w.Proof) {
+			return errInvalid
+		}
+		return nil
+	})
+	if err != nil {
+		return false
 	}
 	return counted >= len(st.GoldenIndices)
 }
@@ -176,17 +208,27 @@ func Quality(answers []int64, st Statement) int {
 }
 
 // EncryptAnswers encrypts a full answer vector under pk — the worker-side
-// helper used throughout the protocol and tests.
+// helper used throughout the protocol and tests. Encryption randomness is
+// drawn sequentially from rnd (one scalar per question, matching the
+// sequential consumption order), then the 2N scalar multiplications run
+// concurrently, so the ciphertext vector is identical to a sequential
+// encryption with the same stream.
 func EncryptAnswers(pk *elgamal.PublicKey, answers []int64, rnd io.Reader) ([]elgamal.Ciphertext, error) {
-	cts := make([]elgamal.Ciphertext, len(answers))
-	for i, a := range answers {
-		ct, _, err := pk.Encrypt(a, rnd)
+	rs := make([]*big.Int, len(answers))
+	for i := range answers {
+		r, err := group.RandomScalar(pk.Group, rnd)
 		if err != nil {
 			return nil, fmt.Errorf("poqoea: encrypting answer %d: %w", i, err)
 		}
-		cts[i] = ct
+		rs[i] = r
 	}
-	return cts, nil
+	return parallel.Map(context.Background(), len(answers), 0, func(i int) (elgamal.Ciphertext, error) {
+		ct, err := pk.EncryptWithRandomness(answers[i], rs[i])
+		if err != nil {
+			return elgamal.Ciphertext{}, fmt.Errorf("poqoea: encrypting answer %d: %w", i, err)
+		}
+		return ct, nil
+	})
 }
 
 // ProofSize returns the marshaled size of the proof in bytes for the given

@@ -11,6 +11,7 @@ import (
 	"dragoon/internal/elgamal"
 	"dragoon/internal/group"
 	"dragoon/internal/ledger"
+	"dragoon/internal/poqoea"
 	"dragoon/internal/swarm"
 	"dragoon/internal/task"
 )
@@ -54,6 +55,10 @@ type Worker struct {
 	committed bool
 	revealed  bool
 	reveal    *contract.RevealMsg
+
+	// preparedAnswers holds the answer vector resolved by Prepare, consumed
+	// by the next commit attempt.
+	preparedAnswers []int64
 }
 
 // WorkerConfig configures a worker client.
@@ -91,34 +96,79 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	}, nil
 }
 
-// Step advances the worker one clock round.
+// Step advances the worker one clock round, submitting whatever
+// transactions are due straight to the chain.
 func (w *Worker) Step() error {
-	view := observe(w.chain, w.contractID)
-	if view.publishedParams == nil {
-		return nil
+	txs, err := w.StepTxs()
+	if err != nil {
+		return err
 	}
-	if !w.committed {
-		return w.doCommit(view)
-	}
-	if !w.revealed && view.committedRound >= 0 && w.reveal != nil {
-		round := w.chain.Round()
-		if round > view.committedRound+contract.RevealRounds {
-			return nil // window missed
-		}
-		w.revealed = true
-		w.chain.Submit(&chain.Tx{
-			From:     w.Addr,
-			Contract: w.contractID,
-			Method:   contract.MethodReveal,
-			Data:     w.reveal.Marshal(),
-		})
+	for _, tx := range txs {
+		w.chain.Submit(tx)
 	}
 	return nil
 }
 
-// doCommit runs phase 2-a: fetch the task content, verify it against the
+// Prepare resolves the worker's plaintext answers ahead of its commit, if
+// one is due. It exists for harnesses that run many workers' StepTxs
+// concurrently: answer models may share a single seeded rng across workers
+// (package worker documents reproducibility given a seeded rng), so the
+// rng-consuming answering step must run sequentially in worker order —
+// call Prepare on each worker in order, then fan out StepTxs, which picks up
+// the prepared vector and performs only per-worker crypto. Prepare is
+// optional: an unprepared StepTxs resolves the answers itself.
+func (w *Worker) Prepare() error {
+	if w.committed || w.preparedAnswers != nil || w.answerFn == nil ||
+		w.strategy == StrategyCopyCommit {
+		return nil
+	}
+	view := observe(w.chain, w.contractID)
+	if view.publishedParams == nil {
+		return nil
+	}
+	questions, err := w.fetchQuestions(view.publishedParams)
+	if err != nil {
+		return err
+	}
+	w.preparedAnswers = w.answerFn(questions, view.publishedParams.RangeSize)
+	return nil
+}
+
+// StepTxs advances the worker one clock round and returns the transactions
+// it wants mined, without submitting them. The split lets the simulation
+// harness run every worker's off-chain computation (answering, encrypting,
+// committing) concurrently and then submit the returned transactions in a
+// fixed worker order, keeping the chain's transaction stream — and therefore
+// the whole run — deterministic. StepTxs only reads mined chain state
+// (receipts and events), never the mempool, so workers observe identical
+// views regardless of execution order within a round.
+func (w *Worker) StepTxs() ([]*chain.Tx, error) {
+	view := observe(w.chain, w.contractID)
+	if view.publishedParams == nil {
+		return nil, nil
+	}
+	if !w.committed {
+		return w.commitTxs(view)
+	}
+	if !w.revealed && view.committedRound >= 0 && w.reveal != nil {
+		round := w.chain.Round()
+		if round > view.committedRound+contract.RevealRounds {
+			return nil, nil // window missed
+		}
+		w.revealed = true
+		return []*chain.Tx{{
+			From:     w.Addr,
+			Contract: w.contractID,
+			Method:   contract.MethodReveal,
+			Data:     w.reveal.Marshal(),
+		}}, nil
+	}
+	return nil, nil
+}
+
+// commitTxs runs phase 2-a: fetch the task content, verify it against the
 // on-chain digest, answer, encrypt, and commit.
-func (w *Worker) doCommit(view *chainView) error {
+func (w *Worker) commitTxs(view *chainView) ([]*chain.Tx, error) {
 	params := view.publishedParams
 
 	if w.strategy == StrategyCopyCommit {
@@ -131,52 +181,47 @@ func (w *Worker) doCommit(view *chainView) error {
 				continue
 			}
 			w.committed = true
-			w.chain.Submit(&chain.Tx{
+			return []*chain.Tx{{
 				From:     w.Addr,
 				Contract: w.contractID,
 				Method:   contract.MethodCommit,
 				Data:     rcpt.Tx.Data, // byte-identical copy
-			})
-			return nil
+			}}, nil
 		}
-		return nil // nothing to copy yet; stay in commit phase
+		return nil, nil // nothing to copy yet; stay in commit phase
 	}
 
-	// Fetch and integrity-check the question content from off-chain
-	// storage (the digest was committed on-chain at publish).
-	content, err := w.store.Get(swarm.Digest(params.QuestionsDigest))
-	if err != nil {
-		return fmt.Errorf("protocol: fetching task content: %w", err)
+	answers := w.preparedAnswers
+	w.preparedAnswers = nil
+	if answers == nil {
+		questions, err := w.fetchQuestions(params)
+		if err != nil {
+			return nil, err
+		}
+		answers = w.answerFn(questions, params.RangeSize)
 	}
-	questions, err := task.UnmarshalQuestions(content)
-	if err != nil {
-		return fmt.Errorf("protocol: decoding task content: %w", err)
-	}
-	if len(questions) != params.N {
-		return fmt.Errorf("protocol: content has %d questions, chain says %d", len(questions), params.N)
-	}
-
-	answers := w.answerFn(questions, params.RangeSize)
 	if len(answers) != params.N {
-		return fmt.Errorf("protocol: behaviour produced %d answers, want %d", len(answers), params.N)
+		return nil, fmt.Errorf("protocol: behaviour produced %d answers, want %d", len(answers), params.N)
 	}
 	h, err := w.g.Unmarshal(params.PubKey)
 	if err != nil {
-		return fmt.Errorf("protocol: requester key: %w", err)
+		return nil, fmt.Errorf("protocol: requester key: %w", err)
 	}
 	pk := &elgamal.PublicKey{Group: w.g, H: h}
 
+	// Per-question parallel encryption (randomness drawn sequentially from
+	// this worker's private stream inside EncryptAnswers).
+	encrypted, err := poqoea.EncryptAnswers(pk, answers, w.rand)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: encrypting answers: %w", err)
+	}
 	cts := make([][]byte, params.N)
-	for i, a := range answers {
-		ct, _, err := pk.Encrypt(a, w.rand)
-		if err != nil {
-			return fmt.Errorf("protocol: encrypting answer %d: %w", i, err)
-		}
+	for i, ct := range encrypted {
 		cts[i] = elgamal.MarshalCiphertext(w.g, ct)
 	}
 	key, err := commit.NewKey(w.rand)
 	if err != nil {
-		return fmt.Errorf("protocol: commitment key: %w", err)
+		return nil, fmt.Errorf("protocol: commitment key: %w", err)
 	}
 	reveal := &contract.RevealMsg{Cts: cts, Key: key}
 	comm := commit.Commit(reveal.CommitmentPayload(), key)
@@ -186,11 +231,27 @@ func (w *Worker) doCommit(view *chainView) error {
 		w.reveal = reveal
 	}
 	msg := &contract.CommitMsg{Comm: comm}
-	w.chain.Submit(&chain.Tx{
+	return []*chain.Tx{{
 		From:     w.Addr,
 		Contract: w.contractID,
 		Method:   contract.MethodCommit,
 		Data:     msg.Marshal(),
-	})
-	return nil
+	}}, nil
+}
+
+// fetchQuestions retrieves the task content from off-chain storage and
+// integrity-checks it against the on-chain digest committed at publish.
+func (w *Worker) fetchQuestions(params *contract.PublishMsg) ([]task.Question, error) {
+	content, err := w.store.Get(swarm.Digest(params.QuestionsDigest))
+	if err != nil {
+		return nil, fmt.Errorf("protocol: fetching task content: %w", err)
+	}
+	questions, err := task.UnmarshalQuestions(content)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: decoding task content: %w", err)
+	}
+	if len(questions) != params.N {
+		return nil, fmt.Errorf("protocol: content has %d questions, chain says %d", len(questions), params.N)
+	}
+	return questions, nil
 }

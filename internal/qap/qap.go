@@ -10,10 +10,12 @@
 package qap
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
 	"dragoon/internal/ff"
+	"dragoon/internal/parallel"
 	"dragoon/internal/r1cs"
 )
 
@@ -100,24 +102,33 @@ func (q *QAP) QuotientCoeffs(witness r1cs.Witness) ([]*big.Int, error) {
 	n := q.Domain.N
 
 	// Evaluations of A, B, C on the domain come directly from the
-	// constraints: A(ω^j) = ⟨A_j, z⟩.
+	// constraints: A(ω^j) = ⟨A_j, z⟩. Constraints are independent, so the
+	// sparse dot products run on the worker pool.
 	aEv, bEv, cEv := zeros(n), zeros(n), zeros(n)
-	for j, c := range q.CS.Constraints() {
+	constraints := q.CS.Constraints()
+	_ = parallel.For(context.Background(), len(constraints), 0, func(j int) error {
+		c := constraints[j]
 		aEv[j] = q.CS.Eval(c.A, witness)
 		bEv[j] = q.CS.Eval(c.B, witness)
 		cEv[j] = q.CS.Eval(c.C, witness)
-	}
+		return nil
+	})
 
 	// Interpolate, move to the coset, divide pointwise by the (constant)
-	// vanishing value, and come back.
-	aC := q.Domain.CosetFFT(q.Domain.IFFT(aEv))
-	bC := q.Domain.CosetFFT(q.Domain.IFFT(bEv))
-	cC := q.Domain.CosetFFT(q.Domain.IFFT(cEv))
+	// vanishing value, and come back. The three NTT chains are independent;
+	// the pointwise division parallelizes per evaluation point.
+	var aC, bC, cC []*big.Int
+	_ = parallel.Do(
+		func() error { aC = q.Domain.CosetFFT(q.Domain.IFFT(aEv)); return nil },
+		func() error { bC = q.Domain.CosetFFT(q.Domain.IFFT(bEv)); return nil },
+		func() error { cC = q.Domain.CosetFFT(q.Domain.IFFT(cEv)); return nil },
+	)
 	zInv := f.Inv(q.Domain.VanishingAtCoset())
 	hC := make([]*big.Int, n)
-	for i := 0; i < n; i++ {
+	_ = parallel.For(context.Background(), n, 0, func(i int) error {
 		hC[i] = f.Mul(f.Sub(f.Mul(aC[i], bC[i]), cC[i]), zInv)
-	}
+		return nil
+	})
 	h := q.Domain.CosetIFFT(hC)
 
 	// For a satisfying witness the top coefficient vanishes; a nonzero one

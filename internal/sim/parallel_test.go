@@ -1,0 +1,131 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dragoon/internal/group"
+	"dragoon/internal/sim"
+	"dragoon/internal/task"
+	"dragoon/internal/worker"
+)
+
+// fingerprint folds every observable artifact of a run — worker outcomes,
+// gas accounting, the full receipt stream and event log, payments, and the
+// harvested answers — into one comparable string, so the determinism test
+// below is effectively byte-for-byte.
+func fingerprint(res *sim.Result) string {
+	s := fmt.Sprintf("rounds=%d finalized=%v cancelled=%v gas=%d reqbal=%d\n",
+		res.Rounds, res.Finalized, res.Cancelled, res.GasTotal, res.RequesterBalance)
+	for _, o := range res.Outcomes {
+		s += fmt.Sprintf("outcome %s %s answers=%v q=%d revealed=%v paid=%v rejected=%v\n",
+			o.Name, o.Addr, o.Answers, o.Quality, o.Revealed, o.Paid, o.Rejected)
+	}
+	for _, method := range []string{"deploy", "publish", "commit", "reveal", "golden", "outrange", "evaluate", "finalize"} {
+		s += fmt.Sprintf("gas[%s]=%d\n", method, res.GasByMethod[method])
+	}
+	for _, rcpt := range res.Chain.Receipts() {
+		s += fmt.Sprintf("rcpt r=%d from=%s method=%s gas=%d err=%v data=%x\n",
+			rcpt.Round, rcpt.Tx.From, rcpt.Tx.Method, rcpt.GasUsed, rcpt.Err, rcpt.Tx.Data)
+	}
+	for _, ev := range res.Chain.Events() {
+		s += fmt.Sprintf("event r=%d %s data=%x\n", ev.Round, ev.Name, ev.Data)
+	}
+	for _, o := range res.Outcomes {
+		s += fmt.Sprintf("harvest %s=%v\n", o.Addr, res.HarvestedAnswers[o.Addr])
+	}
+	return s
+}
+
+// mixedConfig builds a workload that exercises every parallel code path:
+// honest, inaccurate (shared rng), bot (same shared rng), out-of-range,
+// no-reveal and copy-paste workers, so the run includes commits, reveals,
+// VPKE out-of-range rejections and PoQoEA quality rejections.
+func mixedConfig(t *testing.T, seed int64, parallelism int) sim.Config {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inst, err := task.Generate(task.GenerateParams{
+		ID: "det", N: 40, RangeSize: 4, NumGolden: 8,
+		Workers: 6, Threshold: 6, Budget: 6000,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := rand.New(rand.NewSource(seed * 17))
+	return sim.Config{
+		Instance: inst,
+		Group:    group.TestSchnorr(),
+		Workers: []worker.Model{
+			worker.Perfect("perfect", inst.GroundTruth),
+			worker.Accurate("acc", inst.GroundTruth, 0.5, shared),
+			worker.Bot("bot", shared),
+			worker.OutOfRange("oor", inst.GroundTruth, 3, 99),
+			worker.NoReveal("mute", inst.GroundTruth),
+			worker.CopyPaster("copycat"),
+		},
+		Seed:        seed,
+		Parallelism: parallelism,
+	}
+}
+
+// TestParallelRunMatchesSequential is the determinism regression test for
+// the parallel execution layer: with the same seed, a run at full
+// parallelism must reproduce a sequential (Parallelism=1) run exactly —
+// same transactions, same gas, same events, same payments, same harvested
+// answers. Run it under -race to also certify the fan-out is data-race
+// free.
+func TestParallelRunMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{1, 42, 2020} {
+		seq, err := sim.Run(mixedConfig(t, seed, 1))
+		if err != nil {
+			t.Fatalf("seed %d sequential: %v", seed, err)
+		}
+		for _, parallelism := range []int{0, 2, 8} {
+			par, err := sim.Run(mixedConfig(t, seed, parallelism))
+			if err != nil {
+				t.Fatalf("seed %d parallelism %d: %v", seed, parallelism, err)
+			}
+			fseq, fpar := fingerprint(seq), fingerprint(par)
+			if fseq != fpar {
+				t.Errorf("seed %d: parallelism %d diverged from sequential run\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					seed, parallelism, fseq, fpar)
+			}
+		}
+	}
+}
+
+// TestParallelRunBN254 smoke-tests the parallel layer over the production
+// curve as well (the paths differ: fixed-base tables, Jacobian arithmetic).
+func TestParallelRunBN254(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BN254 end-to-end run is slow")
+	}
+	rngSeq := rand.New(rand.NewSource(5))
+	instSeq, err := task.Generate(task.GenerateParams{
+		ID: "det-bn", N: 12, RangeSize: 2, NumGolden: 4,
+		Workers: 2, Threshold: 4, Budget: 2000,
+	}, rngSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(parallelism int) *sim.Result {
+		res, err := sim.Run(sim.Config{
+			Instance: instSeq,
+			Group:    group.BN254G1(),
+			Workers: []worker.Model{
+				worker.Perfect("w0", instSeq.GroundTruth),
+				worker.Accurate("w1", instSeq.GroundTruth, 0, rand.New(rand.NewSource(6))),
+			},
+			Seed:        5,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return res
+	}
+	if fingerprint(run(1)) != fingerprint(run(0)) {
+		t.Error("BN254 parallel run diverged from sequential run")
+	}
+}

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -16,6 +17,7 @@ import (
 	"dragoon/internal/elgamal"
 	"dragoon/internal/group"
 	"dragoon/internal/ledger"
+	"dragoon/internal/parallel"
 	"dragoon/internal/poqoea"
 	"dragoon/internal/protocol"
 	"dragoon/internal/swarm"
@@ -52,6 +54,14 @@ type Config struct {
 	MaxRounds int
 	// CommitRounds bounds the commit phase (default 8).
 	CommitRounds int
+	// Parallelism bounds how many workers compute their off-chain round
+	// work (answering, encrypting, committing) concurrently. 0 uses the
+	// process default (runtime.NumCPU() unless overridden via
+	// parallel.SetDefaultWorkers); 1 forces a fully sequential round.
+	// Whatever the setting, the run is deterministic for a fixed Seed:
+	// workers draw randomness from private per-worker streams and their
+	// transactions are applied to the chain in worker order.
+	Parallelism int
 }
 
 // WorkerOutcome reports one worker's fate.
@@ -171,9 +181,32 @@ func Run(cfg Config) (*Result, error) {
 		if err := req.Step(); err != nil {
 			return nil, fmt.Errorf("sim: requester step (round %d): %w", round, err)
 		}
+		// Answer models may share one seeded rng across workers, so the
+		// answering step runs sequentially in worker order first; the
+		// heavy per-worker crypto then fans out below.
 		for i, w := range clients {
-			if err := w.Step(); err != nil {
-				return nil, fmt.Errorf("sim: worker %d step (round %d): %w", i, round, err)
+			if err := w.Prepare(); err != nil {
+				return nil, fmt.Errorf("sim: worker %d prepare (round %d): %w", i, round, err)
+			}
+		}
+		// Workers compute their round work concurrently — each reads only
+		// mined chain state and draws from its own randomness stream — and
+		// the resulting transactions enter the mempool in worker order, so
+		// the mined chain is identical to a sequential round.
+		txsPerWorker, err := parallel.Map(context.Background(), len(clients), cfg.Parallelism,
+			func(i int) ([]*chain.Tx, error) {
+				txs, err := clients[i].StepTxs()
+				if err != nil {
+					return nil, fmt.Errorf("sim: worker %d step (round %d): %w", i, round, err)
+				}
+				return txs, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		for _, txs := range txsPerWorker {
+			for _, tx := range txs {
+				ch.Submit(tx)
 			}
 		}
 		if _, err := ch.MineRound(); err != nil {

@@ -36,13 +36,23 @@ type Proof struct {
 // proof of correct decryption. It returns the plaintext (integer or bare
 // group element, per elgamal.Plaintext) along with the proof.
 func Prove(sk *elgamal.PrivateKey, ct elgamal.Ciphertext, rangeSize int64, rnd io.Reader) (elgamal.Plaintext, *Proof, error) {
-	g := sk.Group
-	plain := sk.Decrypt(ct, rangeSize)
-
-	x, err := group.RandomScalar(g, rnd)
+	x, err := group.RandomScalar(sk.Group, rnd)
 	if err != nil {
 		return elgamal.Plaintext{}, nil, fmt.Errorf("vpke: sampling nonce: %w", err)
 	}
+	plain, pi := ProveWithNonce(sk, ct, rangeSize, x)
+	return plain, pi, nil
+}
+
+// ProveWithNonce is Prove with a caller-supplied Schnorr nonce x. Batch
+// provers (PoQoEA over many golden standards) draw their nonces sequentially
+// from one randomness stream and then run the expensive decryptions and
+// group operations concurrently; given the same nonce, the output transcript
+// is identical to Prove's.
+func ProveWithNonce(sk *elgamal.PrivateKey, ct elgamal.Ciphertext, rangeSize int64, x *big.Int) (elgamal.Plaintext, *Proof) {
+	g := sk.Group
+	plain := sk.Decrypt(ct, rangeSize)
+
 	a := g.ScalarMul(ct.C1, x)
 	b := g.ScalarBaseMul(x)
 	c := challenge(g, a, b, sk.H, ct, plain.Element)
@@ -50,7 +60,7 @@ func Prove(sk *elgamal.PrivateKey, ct elgamal.Ciphertext, rangeSize int64, rnd i
 	z := new(big.Int).Mul(sk.K, c)
 	z.Add(z, x)
 	z.Mod(z, g.Order())
-	return plain, &Proof{A: a, B: b, Z: z}, nil
+	return plain, &Proof{A: a, B: b, Z: z}
 }
 
 // VerifyValue checks that ct decrypts to the in-range integer m.
