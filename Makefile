@@ -15,25 +15,31 @@ test:
 	$(GO) test ./...
 
 # The parallel fan-out paths with the race detector on: the work pool, the
-# simulation harness that fans worker rounds out over it, the shared
-# off-chain store, and the concurrent crypto (PoQoEA batch prove/verify,
-# QAP quotient, Groth16 MSM fork/join, parallel Miller loops).
+# multi-task marketplace and the single-task harness that fan worker rounds
+# out over it, the shared chain with its per-contract event cursors, the
+# shared off-chain store, and the concurrent crypto (PoQoEA batch
+# prove/verify, QAP quotient, Groth16 MSM fork/join, parallel Miller loops).
 race:
-	$(GO) test -race ./internal/parallel ./internal/sim ./internal/swarm \
-		./internal/poqoea ./internal/qap ./internal/groth16 ./internal/bn254
+	$(GO) test -race ./internal/parallel ./internal/market ./internal/sim \
+		./internal/chain ./internal/swarm ./internal/poqoea ./internal/qap \
+		./internal/groth16 ./internal/bn254
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
 # One iteration of the fast benchmarks only (-short skips the slow generic
-# ZKP baselines and full end-to-end sims) — CI's smoke bench, < 1 minute.
+# ZKP baselines and full end-to-end sims; BenchmarkMarketplace stays in) —
+# CI's smoke bench, < 1 minute.
 bench-smoke:
 	$(GO) test -short -bench=. -benchtime=1x -run='^$$' .
 
 # Regenerate BENCH_parallel.json: sequential-vs-parallel timings and
-# speedups for the crypto hot paths, tracked PR over PR.
+# speedups for the crypto hot paths and the marketplace, tracked PR over
+# PR. BENCH_WORKERS sets the parallel pool size (0 = NumCPU); benchtables
+# floors it at 2, so the speedups map is populated even on 1-CPU hosts.
+BENCH_WORKERS ?= 0
 bench-json:
-	$(GO) run ./cmd/benchtables -json BENCH_parallel.json
+	$(GO) run ./cmd/benchtables -json BENCH_parallel.json -workers $(BENCH_WORKERS)
 
 fmt:
 	gofmt -w .

@@ -30,6 +30,7 @@ import (
 	"dragoon/internal/gas"
 	"dragoon/internal/groth16"
 	"dragoon/internal/group"
+	"dragoon/internal/market"
 	"dragoon/internal/parallel"
 	"dragoon/internal/poqoea"
 	"dragoon/internal/protocol"
@@ -48,6 +49,7 @@ func main() {
 		all      = flag.Bool("all", false, "regenerate everything")
 		steps    = flag.Int("steps", 1024, "generic-ZKP circuit size (chain steps per decryption)")
 		jsonPath = flag.String("json", "", "write parallel-speedup benchmark results to this JSON file")
+		workers  = flag.Int("workers", 0, "parallel pool size for the -json comparison (0 = NumCPU; floored at 2 so a sequential/parallel pair is always measured, even on 1-CPU hosts)")
 	)
 	flag.Parse()
 
@@ -79,7 +81,7 @@ func main() {
 		did = true
 	}
 	if *jsonPath != "" {
-		run(writeParallelJSON(*jsonPath))
+		run(writeParallelJSON(*jsonPath, *workers))
 		did = true
 	}
 	if !did {
@@ -98,19 +100,26 @@ type parallelBenchResult struct {
 }
 
 // parallelBenchReport is the BENCH_parallel.json schema: per-operation
-// timings at workers=1 and workers=NumCPU plus the resulting speedups, so
-// the performance trajectory of the parallel layer is tracked PR over PR.
+// timings at workers=1 and workers=ParallelWorkers plus the resulting
+// speedups, so the performance trajectory of the parallel layer is tracked
+// PR over PR.
 type parallelBenchReport struct {
-	Timestamp string                `json:"timestamp"`
-	GoVersion string                `json:"go_version"`
-	NumCPU    int                   `json:"num_cpu"`
-	Results   []parallelBenchResult `json:"results"`
-	Speedups  map[string]float64    `json:"speedups"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// ParallelWorkers is the pool size of the parallel rows (the -workers
+	// flag; never 1, so Speedups is never empty).
+	ParallelWorkers int                   `json:"parallel_workers"`
+	Results         []parallelBenchResult `json:"results"`
+	Speedups        map[string]float64    `json:"speedups"`
 }
 
 // writeParallelJSON benchmarks the parallel hot paths sequentially and at
-// full parallelism and writes the comparison to path.
-func writeParallelJSON(path string) error {
+// parWorkers-way parallelism (NumCPU if 0, floored at 2) and writes the
+// comparison to path. Both pool sizes are always measured — on a 1-CPU
+// host the parallel rows quantify the pool's overhead rather than a
+// speedup, but the speedups map is never silently empty.
+func writeParallelJSON(path string, parWorkers int) error {
 	const (
 		nQuestions = 64
 		nGolden    = 32
@@ -146,6 +155,7 @@ func writeParallelJSON(path string) error {
 	if err != nil {
 		return err
 	}
+	marketCfg := marketBenchConfig()
 
 	ops := []struct {
 		name      string
@@ -172,16 +182,36 @@ func writeParallelJSON(path string) error {
 				panic(err)
 			}
 		}},
+		{"marketplace_run", marketBenchTasks * marketBenchQuestions, func() {
+			res, err := market.Run(marketCfg)
+			if err != nil {
+				panic(err)
+			}
+			for _, tr := range res.Tasks {
+				if !tr.Finalized {
+					panic("marketplace task did not finalize")
+				}
+			}
+		}},
 	}
 
+	if parWorkers <= 0 {
+		parWorkers = runtime.NumCPU()
+	}
+	if parWorkers < 2 {
+		// Always measure a sequential/parallel pair so Speedups is never
+		// empty: on a single core the parallel rows measure pool overhead.
+		parWorkers = 2
+	}
 	report := parallelBenchReport{
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Speedups:  map[string]float64{},
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
+		ParallelWorkers: parWorkers,
+		Speedups:        map[string]float64{},
 	}
 	seqNs := map[string]int64{}
-	for _, workers := range []int{1, runtime.NumCPU()} {
+	for _, workers := range []int{1, parWorkers} {
 		prev := parallel.SetDefaultWorkers(workers)
 		for _, op := range ops {
 			t, _ := measure(op.fn)
@@ -202,9 +232,6 @@ func writeParallelJSON(path string) error {
 			}
 		}
 		parallel.SetDefaultWorkers(prev)
-		if runtime.NumCPU() == 1 {
-			break // the comparison is void on a single core
-		}
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -222,6 +249,53 @@ func writeParallelJSON(path string) error {
 	}
 	fmt.Println(")")
 	return nil
+}
+
+// Marketplace benchmark workload: M small concurrent tasks on one shared
+// chain over the test group, so protocol and harness logic rather than
+// curve arithmetic dominates the measurement.
+const (
+	marketBenchTasks     = 6
+	marketBenchQuestions = 16
+	marketBenchWorkers   = 4
+)
+
+func marketBenchConfig() market.Config {
+	population := []worker.Model{{
+		Name:     "shared",
+		Strategy: protocol.StrategyHonest,
+		Answers: func(qs []task.Question, rangeSize int64) []int64 {
+			out := make([]int64, len(qs))
+			for i := range out {
+				out[i] = int64(i) % rangeSize
+			}
+			return out
+		},
+	}}
+	specs := make([]market.TaskSpec, marketBenchTasks)
+	for ti := range specs {
+		inst, err := task.Generate(task.GenerateParams{
+			ID: fmt.Sprintf("jsonbench-%d", ti), N: marketBenchQuestions,
+			RangeSize: 4, NumGolden: 4, Workers: marketBenchWorkers,
+			Threshold: 2, Budget: 4000,
+		}, rand.New(rand.NewSource(int64(600+ti))))
+		if err != nil {
+			panic(err)
+		}
+		enroll := []int{0}
+		for w := 0; w < marketBenchWorkers-1; w++ {
+			enroll = append(enroll, len(population))
+			population = append(population,
+				worker.Perfect(fmt.Sprintf("w%d-%d", ti, w), inst.GroundTruth))
+		}
+		specs[ti] = market.TaskSpec{Instance: inst, Enroll: enroll}
+	}
+	return market.Config{
+		Tasks:      specs,
+		Group:      group.TestSchnorr(),
+		Population: population,
+		Seed:       600,
+	}
 }
 
 // fixture builds the paper's ImageNet proving workload over BN254.

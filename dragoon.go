@@ -28,6 +28,30 @@
 //	    Workers:  []dragoon.WorkerModel{dragoon.PerfectWorker("w0", inst.GroundTruth), ...},
 //	})
 //
+// # Marketplace
+//
+// SimulateMarketplace runs M concurrent HIT contracts on ONE shared chain —
+// the paper's deployment model, where one requester key pair serves all of
+// a requester's tasks (§VI) and a real chain hosts many instances at once:
+//
+//	res, _ := dragoon.SimulateMarketplace(dragoon.MarketplaceConfig{
+//	    Tasks:      []dragoon.MarketplaceTask{{Instance: instA}, {Instance: instB}},
+//	    Group:      dragoon.BN254(),
+//	    Population: pop,       // shared workers; MarketplaceTask.Enroll picks subsets
+//	    SharedKey:  key,       // optional §VI key reuse across every requester
+//	    Seed:       7,
+//	})
+//
+// Each round mines every task's transactions interleaved under one
+// scheduler (adversarial or FIFO), each task's own requester client drives
+// its contract, and a shared worker population enrolls in any subset of
+// tasks. Contract storage and event logs are namespaced per contract and
+// every observer polls a per-contract event cursor, so tasks cannot observe
+// each other's state and polling cost does not grow with other tasks'
+// traffic. With an honest scheduler a task's payments, gas and harvested
+// answers are identical to running it alone; Simulate is exactly the M=1
+// case of the marketplace.
+//
 // # Parallelism
 //
 // All crypto hot paths — per-question ElGamal encryption, PoQoEA proving
@@ -39,9 +63,10 @@
 //
 //   - SetParallelism(n) bounds the process-wide pool, affecting every
 //     library call (SetParallelism(1) forces fully sequential execution);
-//   - SimulationConfig.Parallelism bounds only how many simulated workers
-//     compute concurrently within a round, overriding the default for that
-//     run.
+//   - SimulationConfig.Parallelism / MarketplaceConfig.Parallelism bound
+//     only how many simulated workers compute concurrently within a round
+//     (across all tasks, for the marketplace), overriding the default for
+//     that run.
 //
 // Parallel execution is deterministic: results are combined in input order
 // and randomness is always drawn sequentially from the caller's stream

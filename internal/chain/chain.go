@@ -94,6 +94,7 @@ type Chain struct {
 	mempool   []*Tx
 	receipts  []*Receipt
 	events    []Event
+	eventsFor map[ledger.ContractID][]Event
 	scheduler Scheduler
 	gasByAddr map[Address]uint64
 }
@@ -107,6 +108,7 @@ func New(l *ledger.Ledger, s Scheduler) *Chain {
 		ledger:    l,
 		contracts: make(map[ledger.ContractID]Contract),
 		storage:   make(map[ledger.ContractID]map[string][]byte),
+		eventsFor: make(map[ledger.ContractID][]Event),
 		scheduler: s,
 		gasByAddr: make(map[Address]uint64),
 	}
@@ -236,6 +238,9 @@ func (c *Chain) execute(tx *Tx) *Receipt {
 			} else {
 				rcpt.Events = env.events
 				c.events = append(c.events, env.events...)
+				// Every event of this call carries tx.Contract (Emit stamps
+				// the env's contract ID), so the whole batch indexes there.
+				c.eventsFor[tx.Contract] = append(c.eventsFor[tx.Contract], env.events...)
 			}
 		}
 	}
@@ -259,6 +264,50 @@ func (c *Chain) Events() []Event {
 	defer c.mu.Unlock()
 	out := make([]Event, len(c.events))
 	copy(out, c.events)
+	return out
+}
+
+// EventsFor returns all events emitted by one contract, in emission order.
+// Observers polling a single contract should prefer this (or a Cursor) over
+// Events: the cost is proportional to that contract's own log, not the
+// global one, which matters when many contracts share the chain.
+func (c *Chain) EventsFor(id ledger.ContractID) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.eventsFor[id]))
+	copy(out, c.eventsFor[id])
+	return out
+}
+
+// Cursor is a stateful per-contract event cursor: each Poll returns only the
+// events the contract emitted since the previous Poll, so a client polling
+// every round pays O(new events) instead of rescanning the whole log. A
+// Cursor is not safe for concurrent use by multiple goroutines, but distinct
+// cursors over one chain are independent.
+type Cursor struct {
+	chain *Chain
+	id    ledger.ContractID
+	next  int
+}
+
+// Cursor returns a new event cursor for one contract, positioned at the
+// start of its log.
+func (c *Chain) Cursor(id ledger.ContractID) *Cursor {
+	return &Cursor{chain: c, id: id}
+}
+
+// Poll returns the contract's events emitted since the last Poll (nil if
+// none) and advances the cursor past them.
+func (cur *Cursor) Poll() []Event {
+	cur.chain.mu.Lock()
+	defer cur.chain.mu.Unlock()
+	evs := cur.chain.eventsFor[cur.id]
+	if cur.next >= len(evs) {
+		return nil
+	}
+	out := make([]Event, len(evs)-cur.next)
+	copy(out, evs[cur.next:])
+	cur.next = len(evs)
 	return out
 }
 

@@ -230,7 +230,10 @@ func (h *HIT) commit(env *chain.Env, from chain.Address, data []byte) error {
 	if _, closed := loadUint(env, "commitDone"); closed {
 		return errors.New("contract: commit phase closed")
 	}
-	pubRound, _ := loadUint(env, "publishRound")
+	pubRound, ok := loadUint(env, "publishRound")
+	if !ok {
+		return errors.New("contract: publish round missing")
+	}
 	if env.Round() > int(pubRound)+params.CommitRounds {
 		return errors.New("contract: commit deadline passed")
 	}
@@ -599,7 +602,15 @@ func (h *HIT) finalize(env *chain.Env) error {
 	reward := params.Budget / ledger.Amount(params.Workers)
 
 	if _, committed := loadUint(env, "commitDone"); !committed {
-		pubRound, _ := loadUint(env, "publishRound")
+		// Defense-in-depth: publish writes "params" and "publishRound" in
+		// one journaled call, so the key cannot be absent here — but if
+		// storage were ever partially written, defaulting to round 0 would
+		// treat the commit deadline as long past and mis-gate an early
+		// cancellation, so a missing key fails loudly instead.
+		pubRound, ok := loadUint(env, "publishRound")
+		if !ok {
+			return errors.New("contract: publish round missing")
+		}
 		if env.Round() <= int(pubRound)+params.CommitRounds {
 			return errors.New("contract: commit phase still open")
 		}
@@ -649,43 +660,60 @@ func (h *HIT) finalize(env *chain.Env) error {
 	return nil
 }
 
-// CurrentPhase derives the contract phase for observers (free function used
-// by clients and tests; reads go through a throwaway env-less path).
-func CurrentPhase(c *chain.Chain, id ledger.ContractID, round int) Phase {
-	// Observers read events instead of storage (storage is contract-
-	// internal); this helper interprets the event stream.
-	var published, committed, finalized, cancelled bool
-	var commitRound int
-	for _, ev := range c.Events() {
-		if ev.Contract != id {
-			continue
-		}
+// PhaseObserver incrementally derives the contract phase from the contract's
+// own event log. Observers read events instead of storage (storage is
+// contract-internal); each Phase call folds only the events emitted since
+// the previous call, so polling every round costs O(new events) — not a
+// rescan of the log, and never a scan of other contracts' events.
+type PhaseObserver struct {
+	cursor *chain.Cursor
+
+	published, committed, finalized, cancelled bool
+	commitRound                                int
+}
+
+// NewPhaseObserver returns a phase observer for one contract, positioned at
+// the start of its event log.
+func NewPhaseObserver(c *chain.Chain, id ledger.ContractID) *PhaseObserver {
+	return &PhaseObserver{cursor: c.Cursor(id)}
+}
+
+// Phase drains the cursor and derives the phase as of the given round.
+func (o *PhaseObserver) Phase(round int) Phase {
+	for _, ev := range o.cursor.Poll() {
 		switch ev.Name {
 		case "published":
-			published = true
+			o.published = true
 		case "committed":
-			committed = true
-			commitRound = ev.Round
+			o.committed = true
+			o.commitRound = ev.Round
 		case "finalized":
-			finalized = true
+			o.finalized = true
 		case "cancelled":
-			cancelled = true
+			o.cancelled = true
 		}
 	}
 	switch {
-	case cancelled:
+	case o.cancelled:
 		return PhaseCancelled
-	case finalized:
+	case o.finalized:
 		return PhaseDone
-	case !published:
+	case !o.published:
 		return 0
-	case !committed:
+	case !o.committed:
 		return PhaseCommit
-	case round <= commitRound+RevealRounds:
+	case round <= o.commitRound+RevealRounds:
 		return PhaseReveal
 	default:
 		return PhaseEvaluate
 	}
+}
+
+// CurrentPhase derives the contract phase for observers (free function used
+// by clients and tests). It is the one-shot form of PhaseObserver: callers
+// polling repeatedly should hold a PhaseObserver instead.
+func CurrentPhase(c *chain.Chain, id ledger.ContractID, round int) Phase {
+	return NewPhaseObserver(c, id).Phase(round)
 }
 
 // RewardOf returns B/K for published params (helper for clients).

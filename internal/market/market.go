@@ -1,0 +1,470 @@
+// Package market is the multi-task marketplace harness: it runs M
+// concurrent HIT contracts on ONE shared chain, the deployment model of the
+// paper's §VI evaluation (a requester key pair serves "all her tasks", and a
+// real chain hosts many instances at once). It wires a single ledger, a
+// single simulated chain with one pluggable network adversary, and a shared
+// off-chain store; on top of those it runs a task registry of independent
+// HIT instances — each with its own requester client and its own contract —
+// over a shared worker population whose members may enroll in several tasks.
+//
+// Every clock round the harness steps all requesters, resolves the enrolled
+// workers' answers sequentially (answer models may share a seeded rng),
+// fans the heavy per-worker crypto of ALL tasks out over one work pool
+// (internal/parallel), submits the resulting transactions in a fixed
+// (task, worker) order, and mines a single round that interleaves every
+// task's transactions under the one scheduler. Contract storage and event
+// logs are namespaced per contract, and each observer polls its own event
+// cursor, so tasks cannot observe — or pay for — each other's traffic.
+//
+// A single-task simulation (package sim) is exactly the M=1 case of this
+// harness: with an honest FIFO scheduler, a seeded marketplace run yields
+// per-task payments, gas and harvested answers identical to running each
+// task alone on its own chain (the differential test in market_test.go).
+package market
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/contract"
+	"dragoon/internal/drbg"
+	"dragoon/internal/elgamal"
+	"dragoon/internal/group"
+	"dragoon/internal/ledger"
+	"dragoon/internal/parallel"
+	"dragoon/internal/poqoea"
+	"dragoon/internal/protocol"
+	"dragoon/internal/swarm"
+	"dragoon/internal/task"
+	"dragoon/internal/worker"
+)
+
+// seedStride separates the derived per-task randomness streams of tasks
+// that do not pin an explicit TaskSpec.Seed.
+const seedStride = 0x9E3779B9
+
+// TaskSpec describes one HIT instance inside a marketplace run.
+type TaskSpec struct {
+	// Instance is the task with its secrets. Its Task.ID names the on-chain
+	// contract and must be unique within the marketplace.
+	Instance *task.Instance
+	// Enroll lists the population indices of the workers taking this task,
+	// in arrival order; duplicates are rejected. Empty (nil or zero-length)
+	// enrolls the whole population in order. A population member may enroll
+	// in any number of tasks; it keeps one chain address across all of them
+	// but draws per-task randomness.
+	Enroll []int
+	// Policy is the requester's behaviour (honest if zero).
+	Policy protocol.RequesterPolicy
+	// Requester is the requester's chain address (defaults to
+	// "requester-<index>"). Distinct tasks may share one address.
+	Requester chain.Address
+	// Key optionally pins this task's requester key pair, overriding
+	// Config.SharedKey; with both nil a fresh pair is derived from the
+	// task's randomness stream.
+	Key *elgamal.PrivateKey
+	// Seed pins this task's randomness stream. 0 derives one from
+	// Config.Seed and the task index (see Config.TaskSeed).
+	Seed int64
+	// CommitRounds bounds the commit phase (default 8).
+	CommitRounds int
+}
+
+// Config configures a marketplace run.
+type Config struct {
+	// Tasks are the HIT instances to run concurrently on the shared chain.
+	Tasks []TaskSpec
+	// Group selects the crypto backend for every task.
+	Group group.Group
+	// Population is the shared worker pool tasks enroll from.
+	Population []worker.Model
+	// Scheduler is the network adversary for the one shared chain (honest
+	// FIFO if nil). It sees every task's transactions interleaved.
+	Scheduler chain.Scheduler
+	// SharedKey optionally makes every requester share one ElGamal key pair
+	// — the paper's §VI key-reuse deployment ("the requester manages only
+	// one private-public key pair throughout all her tasks").
+	SharedKey *elgamal.PrivateKey
+	// Seed makes the whole marketplace reproducible; per-task streams are
+	// derived from it unless a TaskSpec pins its own Seed.
+	Seed int64
+	// WorkerBalance funds each population member's ledger account once
+	// (workers need no balance for the protocol itself).
+	WorkerBalance ledger.Amount
+	// MaxRounds bounds the run (default 40).
+	MaxRounds int
+	// Parallelism bounds how many workers — across ALL tasks — compute
+	// their off-chain round work concurrently. 0 uses the process default;
+	// 1 forces fully sequential rounds. Runs are deterministic for a fixed
+	// Seed at any setting.
+	Parallelism int
+}
+
+// TaskSeed returns the effective randomness seed of task i: the spec's own
+// Seed if pinned, otherwise a stream derived from Config.Seed and i.
+func (c *Config) TaskSeed(i int) int64 {
+	if c.Tasks[i].Seed != 0 {
+		return c.Tasks[i].Seed
+	}
+	return c.Seed + int64(i)*seedStride
+}
+
+// WorkerOutcome reports one worker's fate in one task.
+type WorkerOutcome struct {
+	Name     string
+	Addr     chain.Address
+	Answers  []int64 // plaintext answers (nil if never produced)
+	Quality  int     // true quality (-1 if no answers)
+	Revealed bool
+	Paid     bool
+	Rejected bool
+}
+
+// TaskResult reports one task's end state within a marketplace run.
+type TaskResult struct {
+	// ID is the task (and contract) identifier.
+	ID string
+	// Requester is the task's requester address.
+	Requester chain.Address
+	// Outcomes reports the enrolled workers, in enrollment order.
+	Outcomes []WorkerOutcome
+	// GasByMethod aggregates this contract's gas per method.
+	GasByMethod map[string]uint64
+	// GasTotal is this task's whole on-chain handling cost.
+	GasTotal uint64
+	// Rounds is the clock round at which the task ended (or the run's last
+	// round if it never did).
+	Rounds int
+	// Finalized / Cancelled report how the task ended.
+	Finalized bool
+	Cancelled bool
+	// RequesterBalance is the requester's final ledger balance.
+	RequesterBalance ledger.Amount
+	// HarvestedAnswers is what the requester decrypted per worker address.
+	HarvestedAnswers map[chain.Address][]int64
+}
+
+// Result reports a full marketplace run.
+type Result struct {
+	// Tasks holds per-task results in Config.Tasks order.
+	Tasks []TaskResult
+	// Rounds is the number of clock rounds the whole marketplace took.
+	Rounds int
+	// GasTotal is the cumulative handling cost across all tasks.
+	GasTotal uint64
+	// Ledger and Chain expose the shared final state for deeper assertions.
+	Ledger *ledger.Ledger
+	Chain  *chain.Chain
+}
+
+// taskRun is the runtime state of one task inside the marketplace loop.
+type taskRun struct {
+	spec    TaskSpec
+	id      ledger.ContractID
+	reqAddr chain.Address
+	req     *protocol.Requester
+	clients []*protocol.Worker
+	addrs   []chain.Address
+	models  []worker.Model
+	answers [][]int64
+	phase   *contract.PhaseObserver
+
+	finished   bool
+	finalized  bool
+	cancelled  bool
+	finalRound int
+}
+
+// Run executes every task of the marketplace to completion on one shared
+// chain.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Tasks) == 0 {
+		return nil, errors.New("market: no tasks")
+	}
+	if cfg.Group == nil {
+		return nil, errors.New("market: no group backend")
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 40
+	}
+
+	led := ledger.New()
+	ch := chain.New(led, cfg.Scheduler)
+	store := swarm.New()
+
+	popAddrs := make([]chain.Address, len(cfg.Population))
+	for i, m := range cfg.Population {
+		popAddrs[i] = chain.Address(fmt.Sprintf("worker-%d-%s", i, m.Name))
+		if cfg.WorkerBalance > 0 {
+			led.Mint(ledger.AccountID(popAddrs[i]), cfg.WorkerBalance)
+		}
+	}
+
+	tasks := make([]*taskRun, len(cfg.Tasks))
+	seen := make(map[ledger.ContractID]int, len(cfg.Tasks))
+	for ti, spec := range cfg.Tasks {
+		if spec.Instance == nil {
+			return nil, fmt.Errorf("market: task %d has no instance", ti)
+		}
+		id := ledger.ContractID(spec.Instance.Task.ID)
+		if prev, dup := seen[id]; dup {
+			return nil, fmt.Errorf("market: tasks %d and %d share contract ID %q", prev, ti, id)
+		}
+		seen[id] = ti
+
+		t := &taskRun{spec: spec, id: id, reqAddr: spec.Requester}
+		if t.reqAddr == "" {
+			t.reqAddr = chain.Address(fmt.Sprintf("requester-%d", ti))
+		}
+		seed := cfg.TaskSeed(ti)
+		led.Mint(ledger.AccountID(t.reqAddr), spec.Instance.Task.Budget*2)
+
+		key := spec.Key
+		if key == nil {
+			key = cfg.SharedKey
+		}
+		req, err := protocol.NewRequester(protocol.RequesterConfig{
+			Addr:         t.reqAddr,
+			Chain:        ch,
+			Store:        store,
+			Instance:     spec.Instance,
+			Policy:       spec.Policy,
+			Group:        cfg.Group,
+			Key:          key,
+			CommitRounds: spec.CommitRounds,
+			Rand:         drbg.New(seed, "requester"),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("market: task %q: %w", id, err)
+		}
+		t.req = req
+
+		enroll := spec.Enroll
+		if len(enroll) == 0 {
+			enroll = make([]int, len(cfg.Population))
+			for i := range enroll {
+				enroll[i] = i
+			}
+		}
+		enrolled := make(map[int]bool, len(enroll))
+		t.models = make([]worker.Model, len(enroll))
+		t.addrs = make([]chain.Address, len(enroll))
+		t.answers = make([][]int64, len(enroll))
+		t.clients = make([]*protocol.Worker, len(enroll))
+		for i, pi := range enroll {
+			if pi < 0 || pi >= len(cfg.Population) {
+				return nil, fmt.Errorf("market: task %q enrolls population index %d (have %d members)", id, pi, len(cfg.Population))
+			}
+			if enrolled[pi] {
+				return nil, fmt.Errorf("market: task %q enrolls population index %d twice", id, pi)
+			}
+			enrolled[pi] = true
+			m := cfg.Population[pi]
+			t.models[i] = m
+			t.addrs[i] = popAddrs[pi]
+			var fn protocol.AnswerFn
+			if m.Answers != nil {
+				i, m, t := i, m, t
+				fn = func(qs []task.Question, rangeSize int64) []int64 {
+					if t.answers[i] == nil {
+						t.answers[i] = m.Answers(qs, rangeSize)
+					}
+					return t.answers[i]
+				}
+			}
+			// Each enrollment draws from a private per-task stream labelled
+			// by its arrival position (index first, delimited, so names
+			// ending in digits cannot collide with other positions), and a
+			// task's transcript is invariant under whatever else its
+			// workers are enrolled in.
+			w, err := protocol.NewWorker(protocol.WorkerConfig{
+				Addr:       t.addrs[i],
+				Chain:      ch,
+				Store:      store,
+				Group:      cfg.Group,
+				ContractID: id,
+				Strategy:   m.Strategy,
+				AnswerFn:   fn,
+				Rand:       drbg.New(seed, fmt.Sprintf("worker-%d-%s", i, m.Name)),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("market: task %q worker %d: %w", id, i, err)
+			}
+			t.clients[i] = w
+		}
+		tasks[ti] = t
+	}
+
+	for _, t := range tasks {
+		if err := t.req.Launch(); err != nil {
+			return nil, fmt.Errorf("market: launching task %q: %w", t.id, err)
+		}
+		t.phase = contract.NewPhaseObserver(ch, t.id)
+	}
+
+	// The marketplace clock: all live tasks advance in lockstep, one shared
+	// mined round per iteration.
+	type slot struct {
+		t *taskRun
+		i int
+	}
+	for round := 0; round < cfg.MaxRounds; round++ {
+		var active []*taskRun
+		for _, t := range tasks {
+			if !t.finished {
+				active = append(active, t)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+		for _, t := range active {
+			if err := t.req.Step(); err != nil {
+				return nil, fmt.Errorf("market: task %q requester step (round %d): %w", t.id, round, err)
+			}
+		}
+		// Answer models may share one seeded rng across workers and tasks,
+		// so the answering step runs sequentially in (task, worker) order
+		// first; the heavy per-worker crypto then fans out below.
+		var slots []slot
+		for _, t := range active {
+			for i, w := range t.clients {
+				if err := w.Prepare(); err != nil {
+					return nil, fmt.Errorf("market: task %q worker %d prepare (round %d): %w", t.id, i, round, err)
+				}
+				slots = append(slots, slot{t: t, i: i})
+			}
+		}
+		// Workers of ALL tasks compute their round work on one pool — each
+		// reads only mined chain state through its own event cursor and
+		// draws from its own randomness stream — and the resulting
+		// transactions enter the mempool in (task, worker) order, so the
+		// mined chain is identical to a sequential round.
+		txsPerSlot, err := parallel.Map(context.Background(), len(slots), cfg.Parallelism,
+			func(k int) ([]*chain.Tx, error) {
+				s := slots[k]
+				txs, err := s.t.clients[s.i].StepTxs()
+				if err != nil {
+					return nil, fmt.Errorf("market: task %q worker %d step (round %d): %w", s.t.id, s.i, round, err)
+				}
+				return txs, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		for _, txs := range txsPerSlot {
+			for _, tx := range txs {
+				ch.Submit(tx)
+			}
+		}
+		if _, err := ch.MineRound(); err != nil {
+			return nil, fmt.Errorf("market: mining round %d: %w", round, err)
+		}
+		for _, t := range active {
+			switch t.phase.Phase(ch.Round()) {
+			case contract.PhaseDone:
+				t.finished, t.finalized, t.finalRound = true, true, ch.Round()
+			case contract.PhaseCancelled:
+				t.finished, t.cancelled, t.finalRound = true, true, ch.Round()
+			}
+		}
+	}
+
+	res := &Result{
+		Tasks:  make([]TaskResult, len(tasks)),
+		Rounds: ch.Round(),
+		Ledger: led,
+		Chain:  ch,
+	}
+
+	// Fold gas by contract and method in one pass over the receipts.
+	gasByTask := make(map[ledger.ContractID]map[string]uint64, len(tasks))
+	for _, t := range tasks {
+		gasByTask[t.id] = make(map[string]uint64)
+	}
+	for _, rcpt := range ch.Receipts() {
+		if methods, ok := gasByTask[rcpt.Tx.Contract]; ok {
+			methods[rcpt.Tx.Method] += rcpt.GasUsed
+		}
+	}
+
+	for ti, t := range tasks {
+		if !t.finished {
+			t.finalRound = ch.Round()
+		}
+		tr := TaskResult{
+			ID:               string(t.id),
+			Requester:        t.reqAddr,
+			GasByMethod:      gasByTask[t.id],
+			Rounds:           t.finalRound,
+			Finalized:        t.finalized,
+			Cancelled:        t.cancelled,
+			RequesterBalance: led.Balance(ledger.AccountID(t.reqAddr)),
+			HarvestedAnswers: make(map[chain.Address][]int64),
+		}
+		for _, g := range tr.GasByMethod {
+			tr.GasTotal += g
+		}
+		res.GasTotal += tr.GasTotal
+
+		// Worker outcomes from the contract's own event log and the true
+		// answers.
+		paid, rejected, revealed := outcomesFromEvents(ch, t.id)
+		st := t.spec.Instance.Golden.Statement(t.spec.Instance.Task.RangeSize)
+		for i, m := range t.models {
+			o := WorkerOutcome{
+				Name:     m.Name,
+				Addr:     t.addrs[i],
+				Answers:  t.answers[i],
+				Quality:  -1,
+				Revealed: revealed[t.addrs[i]],
+				Paid:     paid[t.addrs[i]],
+				Rejected: rejected[t.addrs[i]],
+			}
+			if t.answers[i] != nil {
+				o.Quality = poqoea.Quality(t.answers[i], st)
+			}
+			tr.Outcomes = append(tr.Outcomes, o)
+		}
+
+		if t.finalized {
+			harvested, err := t.req.Answers()
+			if err != nil {
+				return nil, fmt.Errorf("market: harvesting task %q: %w", t.id, err)
+			}
+			tr.HarvestedAnswers = harvested
+		}
+		res.Tasks[ti] = tr
+	}
+
+	if err := led.CheckConservation(); err != nil {
+		return nil, fmt.Errorf("market: %w", err)
+	}
+	return res, nil
+}
+
+// outcomesFromEvents extracts per-worker verdicts from one contract's event
+// log.
+func outcomesFromEvents(ch *chain.Chain, id ledger.ContractID) (paid, rejected, revealed map[chain.Address]bool) {
+	paid = make(map[chain.Address]bool)
+	rejected = make(map[chain.Address]bool)
+	revealed = make(map[chain.Address]bool)
+	for _, ev := range ch.EventsFor(id) {
+		switch ev.Name {
+		case "paid":
+			paid[chain.Address(ev.Data)] = true
+		case "rejected":
+			if i := bytes.IndexByte(ev.Data, 0); i > 0 {
+				rejected[chain.Address(ev.Data[:i])] = true
+			}
+		case "revealed":
+			if i := bytes.IndexByte(ev.Data, 0); i > 0 {
+				revealed[chain.Address(ev.Data[:i])] = true
+			}
+		}
+	}
+	return paid, rejected, revealed
+}

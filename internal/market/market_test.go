@@ -1,0 +1,345 @@
+package market_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/drbg"
+	"dragoon/internal/elgamal"
+	"dragoon/internal/group"
+	"dragoon/internal/ledger"
+	"dragoon/internal/market"
+	"dragoon/internal/protocol"
+	"dragoon/internal/sim"
+	"dragoon/internal/task"
+	"dragoon/internal/worker"
+)
+
+const marketTasks = 8
+
+// diligent is a task-shape-agnostic honest worker: its answers depend only
+// on the questions it is given, so one population member can take every
+// task. (worker.Perfect closes over one task's ground truth and cannot be
+// shared across tasks with different truths.)
+func diligent(name string, salt int64) worker.Model {
+	return worker.Model{
+		Name:     name,
+		Strategy: protocol.StrategyHonest,
+		Answers: func(qs []task.Question, rangeSize int64) []int64 {
+			out := make([]int64, len(qs))
+			for i := range out {
+				out[i] = (int64(i) + salt) % rangeSize
+			}
+			return out
+		},
+	}
+}
+
+// outranger answers in range except one out-of-range entry, independent of
+// the task's ground truth.
+func outranger(name string) worker.Model {
+	return worker.Model{
+		Name:     name,
+		Strategy: protocol.StrategyHonest,
+		Answers: func(qs []task.Question, rangeSize int64) []int64 {
+			out := make([]int64, len(qs))
+			out[len(out)/2] = rangeSize + 7
+			return out
+		},
+	}
+}
+
+// buildConfig constructs the 8-task marketplace afresh: every call returns
+// identical instances, models and rng states, so a second construction can
+// be consumed by an isolated single-task run without sharing mutable state
+// with the marketplace run. Stateful models (Accurate/Bot, which advance a
+// shared rng) enroll in exactly one task each; stateless models are shared
+// across tasks.
+func buildConfig(t *testing.T) market.Config {
+	t.Helper()
+	key, err := elgamal.KeyGen(group.TestSchnorr(), drbg.New(77, "market-shared-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Population: 4 cross-task members + one (Accurate, Bot) pair per task
+	// sharing a per-task rng.
+	population := []worker.Model{
+		diligent("dili", 1),          // 0
+		diligent("mute", 2),          // 1 — committed below with StrategyNoReveal
+		worker.CopyPaster("copycat"), // 2
+		outranger("oor"),             // 3
+	}
+	population[1].Strategy = protocol.StrategyNoReveal
+
+	specs := make([]market.TaskSpec, marketTasks)
+	for ti := 0; ti < marketTasks; ti++ {
+		inst, err := task.Generate(task.GenerateParams{
+			ID: fmt.Sprintf("mkt-%d", ti), N: 20, RangeSize: 4, NumGolden: 5,
+			Workers: 5, Threshold: 3,
+			// Budgets chosen so several tasks leave division dust
+			// (Budget % Workers != 0).
+			Budget: ledger.Amount(1000 + 7*ti),
+		}, rand.New(rand.NewSource(int64(500+ti))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(1000 + ti)))
+		acc := len(population)
+		population = append(population,
+			worker.Accurate(fmt.Sprintf("acc%d", ti), inst.GroundTruth, 0.6, rng),
+			worker.Bot(fmt.Sprintf("bot%d", ti), rng))
+		enroll := []int{0, acc, acc + 1, 3, 1, 2}
+		if ti == 0 {
+			// Task 0 enrolls the identity prefix of the population, so its
+			// worker addresses coincide with a plain sim.Run of the same
+			// models — the cross-harness check in TestSingleTaskMatchesSim.
+			enroll = []int{0, 1, 2, 3, 4, 5}
+		}
+		specs[ti] = market.TaskSpec{
+			Instance: inst,
+			Enroll:   enroll,
+		}
+	}
+	specs[4].Policy = protocol.PolicyNoGolden
+	specs[5].Policy = protocol.PolicyFalseReport
+	specs[6].Policy = protocol.PolicySilent
+	// Task 7 never fills its quota of 5: only the diligent worker enrolls,
+	// so its commit phase expires and the requester cancels for a refund.
+	specs[7].Enroll = []int{0}
+
+	return market.Config{
+		Tasks:      specs,
+		Group:      group.TestSchnorr(),
+		Population: population,
+		SharedKey:  key,
+		Seed:       42,
+	}
+}
+
+// isolatedRun executes one task of the marketplace alone on its own chain —
+// a single-task marketplace over the same population, so every worker keeps
+// the chain address (and thus the calldata/log gas) it has in the shared
+// run. The config is built afresh so no rng state is shared.
+func isolatedRun(t *testing.T, ti int) *market.TaskResult {
+	t.Helper()
+	cfg := buildConfig(t)
+	spec := cfg.Tasks[ti]
+	spec.Seed = cfg.TaskSeed(ti)
+	spec.Requester = chain.Address(fmt.Sprintf("requester-%d", ti))
+	cfg.Tasks = []market.TaskSpec{spec}
+	res, err := market.Run(cfg)
+	if err != nil {
+		t.Fatalf("isolated task %d: %v", ti, err)
+	}
+	return &res.Tasks[0]
+}
+
+// taskFP folds one task's observable end state — payments, gas, rounds and
+// harvested answers — into a comparable string. Worker addresses differ
+// between the marketplace (population-indexed) and isolation
+// (task-position-indexed), so outcomes compare positionally by name.
+func taskFP(finalized, cancelled bool, rounds int, gasByMethod map[string]uint64,
+	gasTotal uint64, reqBal ledger.Amount, outcomes []market.WorkerOutcome,
+	harvested map[string][]int64) string {
+	s := fmt.Sprintf("finalized=%v cancelled=%v rounds=%d gas=%d reqbal=%d\n",
+		finalized, cancelled, rounds, gasTotal, reqBal)
+	for _, m := range []string{"deploy", "publish", "commit", "reveal", "golden", "outrange", "evaluate", "finalize"} {
+		s += fmt.Sprintf("gas[%s]=%d\n", m, gasByMethod[m])
+	}
+	for _, o := range outcomes {
+		s += fmt.Sprintf("outcome %s answers=%v q=%d revealed=%v paid=%v rejected=%v harvest=%v\n",
+			o.Name, o.Answers, o.Quality, o.Revealed, o.Paid, o.Rejected, harvested[o.Name])
+	}
+	return s
+}
+
+func marketTaskFP(tr *market.TaskResult) string {
+	harvested := make(map[string][]int64, len(tr.Outcomes))
+	for _, o := range tr.Outcomes {
+		harvested[o.Name] = tr.HarvestedAnswers[o.Addr]
+	}
+	return taskFP(tr.Finalized, tr.Cancelled, tr.Rounds, tr.GasByMethod,
+		tr.GasTotal, tr.RequesterBalance, tr.Outcomes, harvested)
+}
+
+func simTaskFP(res *sim.Result) string {
+	harvested := make(map[string][]int64, len(res.Outcomes))
+	for _, o := range res.Outcomes {
+		harvested[o.Name] = res.HarvestedAnswers[o.Addr]
+	}
+	return taskFP(res.Finalized, res.Cancelled, res.Rounds, res.GasByMethod,
+		res.GasTotal, res.RequesterBalance, res.Outcomes, harvested)
+}
+
+// TestMarketplaceMatchesIsolation is the differential determinism test of
+// the marketplace: 8 concurrent tasks on one shared chain must yield
+// per-task payments, gas, rounds and harvested answers identical to the
+// same tasks each run alone on their own chain (honest FIFO scheduler), at
+// any parallelism level. Run under -race it also certifies the cross-task
+// fan-out is data-race free.
+func TestMarketplaceMatchesIsolation(t *testing.T) {
+	iso := make([]string, marketTasks)
+	for ti := 0; ti < marketTasks; ti++ {
+		iso[ti] = marketTaskFP(isolatedRun(t, ti))
+	}
+
+	for _, parallelism := range []int{1, 0, 3} {
+		cfg := buildConfig(t)
+		cfg.Parallelism = parallelism
+		res, err := market.Run(cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		var finalized, cancelled, rejected int
+		for ti := range res.Tasks {
+			tr := &res.Tasks[ti]
+			if got := marketTaskFP(tr); got != iso[ti] {
+				t.Errorf("parallelism %d: task %d diverged from isolation\n--- marketplace ---\n%s\n--- isolation ---\n%s",
+					parallelism, ti, got, iso[ti])
+			}
+			if tr.Finalized {
+				finalized++
+			}
+			if tr.Cancelled {
+				cancelled++
+			}
+			for _, o := range tr.Outcomes {
+				if o.Rejected {
+					rejected++
+				}
+			}
+		}
+		// Guard that the workload exercises the paths it claims to.
+		if finalized < marketTasks-1 || cancelled != 1 || rejected == 0 {
+			t.Fatalf("parallelism %d: workload degenerated: %d finalized, %d cancelled, %d rejections",
+				parallelism, finalized, cancelled, rejected)
+		}
+	}
+}
+
+// TestSingleTaskMatchesSim pins sim.Run as the M=1 case of the
+// marketplace: task 0 enrolls the identity prefix of the population, so a
+// plain single-task simulation of the same models — addresses included —
+// must reproduce the marketplace's task 0 byte for byte (payments, gas,
+// rounds, harvested answers).
+func TestSingleTaskMatchesSim(t *testing.T) {
+	cfg := buildConfig(t)
+	res, err := market.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &res.Tasks[0]
+
+	cfg2 := buildConfig(t)
+	spec := cfg2.Tasks[0]
+	sres, err := sim.Run(sim.Config{
+		Instance:     spec.Instance,
+		Group:        cfg2.Group,
+		Workers:      cfg2.Population[:6],
+		Policy:       spec.Policy,
+		RequesterKey: cfg2.SharedKey,
+		Seed:         cfg2.TaskSeed(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := marketTaskFP(tr), simTaskFP(sres); got != want {
+		t.Errorf("marketplace task 0 diverged from sim.Run\n--- marketplace ---\n%s\n--- sim ---\n%s", got, want)
+	}
+	for i, o := range tr.Outcomes {
+		if o.Addr != sres.Outcomes[i].Addr {
+			t.Errorf("worker %d address %q in marketplace, %q in sim", i, o.Addr, sres.Outcomes[i].Addr)
+		}
+	}
+}
+
+// TestMarketplaceContractIsolation runs two byte-identical tasks (same
+// questions, same golden standards, same worker randomness via a pinned
+// per-task seed) on one shared chain. The worker submits the SAME
+// commitment bytes to both contracts: if contract storage leaked across
+// instances, the second contract's anti-copy-paste duplicate check would
+// reject it. Both tasks must complete and pay, and neither contract's event
+// log may contain the other's events.
+func TestMarketplaceContractIsolation(t *testing.T) {
+	g := group.TestSchnorr()
+	newInst := func(id string) *task.Instance {
+		inst, err := task.Generate(task.GenerateParams{
+			ID: id, N: 8, RangeSize: 2, NumGolden: 2,
+			Workers: 1, Threshold: 1, Budget: 100,
+		}, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst
+	}
+	res, err := market.Run(market.Config{
+		Tasks: []market.TaskSpec{
+			{Instance: newInst("twin-a"), Seed: 33},
+			{Instance: newInst("twin-b"), Seed: 33},
+		},
+		Group:      g,
+		Population: []worker.Model{diligent("d", 0)},
+		Seed:       33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range res.Tasks {
+		if !tr.Finalized {
+			t.Fatalf("task %d (%s) did not finalize", i, tr.ID)
+		}
+		if !tr.Outcomes[0].Paid {
+			t.Errorf("task %d (%s): duplicate-across-contracts commitment not paid — storage leak?", i, tr.ID)
+		}
+		for _, ev := range res.Chain.EventsFor(ledger.ContractID(tr.ID)) {
+			if string(ev.Contract) != tr.ID {
+				t.Errorf("EventsFor(%s) leaked event of %q", tr.ID, ev.Contract)
+			}
+		}
+	}
+	evA := res.Chain.EventsFor("twin-a")
+	evB := res.Chain.EventsFor("twin-b")
+	if len(evA) == 0 || len(evA) != len(evB) {
+		t.Errorf("twin event logs diverged: %d vs %d events", len(evA), len(evB))
+	}
+	if got := len(res.Chain.Events()); got != len(evA)+len(evB) {
+		t.Errorf("global log has %d events, want %d", got, len(evA)+len(evB))
+	}
+}
+
+// TestMarketplaceValidation covers the registry's structural checks.
+func TestMarketplaceValidation(t *testing.T) {
+	g := group.TestSchnorr()
+	inst, err := task.Generate(task.GenerateParams{
+		ID: "dup", N: 4, RangeSize: 2, NumGolden: 1,
+		Workers: 1, Threshold: 1, Budget: 10,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := []worker.Model{diligent("d", 0)}
+	if _, err := market.Run(market.Config{Group: g}); err == nil {
+		t.Error("empty marketplace accepted")
+	}
+	if _, err := market.Run(market.Config{
+		Tasks: []market.TaskSpec{{Instance: inst}, {Instance: inst}},
+		Group: g, Population: pop,
+	}); err == nil {
+		t.Error("duplicate contract ID accepted")
+	}
+	if _, err := market.Run(market.Config{
+		Tasks: []market.TaskSpec{{Instance: inst, Enroll: []int{3}}},
+		Group: g, Population: pop,
+	}); err == nil {
+		t.Error("out-of-range enrollment accepted")
+	}
+	if _, err := market.Run(market.Config{
+		Tasks: []market.TaskSpec{{Instance: inst, Enroll: []int{0, 0}}},
+		Group: g, Population: pop,
+	}); err == nil {
+		t.Error("duplicate enrollment accepted")
+	}
+}

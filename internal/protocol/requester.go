@@ -67,6 +67,10 @@ type Requester struct {
 	evaluationsSent bool
 	finalizeSent    bool
 
+	// obs is the requester's incrementally-updated view of its contract's
+	// event log (each round folds only the new events).
+	obs *viewObserver
+
 	// logTable amortizes short-range decryption across the K·N
 	// ciphertexts of a task (lazily built).
 	logTable *elgamal.ShortLogTable
@@ -117,6 +121,7 @@ func NewRequester(cfg RequesterConfig) (*Requester, error) {
 		return nil, fmt.Errorf("protocol: key over group %q, task over %q",
 			sk.Group.Name(), cfg.Group.Name())
 	}
+	id := ledger.ContractID(cfg.Instance.Task.ID)
 	return &Requester{
 		Addr:         cfg.Addr,
 		chain:        cfg.Chain,
@@ -124,9 +129,10 @@ func NewRequester(cfg RequesterConfig) (*Requester, error) {
 		rand:         cfg.Rand,
 		inst:         cfg.Instance,
 		sk:           sk,
-		contractID:   ledger.ContractID(cfg.Instance.Task.ID),
+		contractID:   id,
 		policy:       cfg.Policy,
 		commitRounds: cfg.CommitRounds,
+		obs:          newViewObserver(cfg.Chain, id),
 	}, nil
 }
 
@@ -185,7 +191,7 @@ func (r *Requester) Step() error {
 	if !r.published {
 		return nil
 	}
-	view := observe(r.chain, r.contractID)
+	view := r.obs.refresh()
 	round := r.chain.Round()
 	if view.publishedParams == nil || view.finalized || view.cancelled {
 		return nil
@@ -352,7 +358,7 @@ func (r *Requester) submitEval(method string, data []byte) {
 // the crowdsourced data). It returns a map from worker to plaintext answer
 // vector.
 func (r *Requester) Answers() (map[chain.Address][]int64, error) {
-	view := observe(r.chain, r.contractID)
+	view := r.obs.refresh()
 	out := make(map[chain.Address][]int64, len(view.submissions))
 	for _, sub := range view.submissions {
 		cts, err := decodeSubmission(r.sk.Group, sub.data, r.inst.Task.N())

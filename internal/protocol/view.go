@@ -33,48 +33,70 @@ type chainView struct {
 	cancelled       bool
 }
 
-// observe folds the contract's event log into a chainView.
-func observe(c *chain.Chain, id ledger.ContractID) *chainView {
-	v := &chainView{
+func newChainView() *chainView {
+	return &chainView{
 		committedRound: -1,
 		paid:           make(map[chain.Address]bool),
 		rejected:       make(map[chain.Address]bool),
 	}
-	for _, ev := range c.Events() {
-		if ev.Contract != id {
-			continue
+}
+
+// apply folds one contract event into the view. Events are append-only, so
+// a view fed each event exactly once — in any number of batches — equals a
+// view built from the full log.
+func (v *chainView) apply(ev chain.Event) {
+	switch ev.Name {
+	case "published":
+		if msg, err := contract.UnmarshalPublish(ev.Data); err == nil {
+			v.publishedParams = msg
+			v.publishedRound = ev.Round
 		}
-		switch ev.Name {
-		case "published":
-			if msg, err := contract.UnmarshalPublish(ev.Data); err == nil {
-				v.publishedParams = msg
-				v.publishedRound = ev.Round
-			}
-		case "committed":
-			v.committedRound = ev.Round
-		case "revealed":
-			if i := bytes.IndexByte(ev.Data, 0); i > 0 {
-				v.submissions = append(v.submissions, submission{
-					worker: chain.Address(ev.Data[:i]),
-					data:   ev.Data[i+1:],
-				})
-			}
-		case "goldenrevealed":
-			v.goldenRevealed = true
-			v.goldenData = ev.Data
-		case "paid":
-			v.paid[chain.Address(ev.Data)] = true
-		case "rejected":
-			if i := bytes.IndexByte(ev.Data, 0); i > 0 {
-				v.rejected[chain.Address(ev.Data[:i])] = true
-			}
-		case "finalized":
-			v.finalized = true
-		case "cancelled":
-			v.cancelled = true
+	case "committed":
+		v.committedRound = ev.Round
+	case "revealed":
+		if i := bytes.IndexByte(ev.Data, 0); i > 0 {
+			v.submissions = append(v.submissions, submission{
+				worker: chain.Address(ev.Data[:i]),
+				data:   ev.Data[i+1:],
+			})
 		}
+	case "goldenrevealed":
+		v.goldenRevealed = true
+		v.goldenData = ev.Data
+	case "paid":
+		v.paid[chain.Address(ev.Data)] = true
+	case "rejected":
+		if i := bytes.IndexByte(ev.Data, 0); i > 0 {
+			v.rejected[chain.Address(ev.Data[:i])] = true
+		}
+	case "finalized":
+		v.finalized = true
+	case "cancelled":
+		v.cancelled = true
 	}
-	return v
+}
+
+// viewObserver is a client's persistent, incrementally-updated view of one
+// contract: a chainView plus the event cursor that feeds it. Each refresh
+// folds only the events emitted since the previous refresh, so a client
+// polling every round pays O(new events) per round instead of rescanning
+// the global event log (which, with many contracts on a shared chain, grows
+// with everyone else's traffic too).
+type viewObserver struct {
+	view   *chainView
+	cursor *chain.Cursor
+}
+
+func newViewObserver(c *chain.Chain, id ledger.ContractID) *viewObserver {
+	return &viewObserver{view: newChainView(), cursor: c.Cursor(id)}
+}
+
+// refresh drains the cursor into the view and returns it.
+func (o *viewObserver) refresh() *chainView {
+	for _, ev := range o.cursor.Poll() {
+		o.view.apply(ev)
+	}
+	return o.view
 }
 
 // decodeSubmission decodes a revealed event payload into ciphertexts.

@@ -56,6 +56,12 @@ type Worker struct {
 	revealed  bool
 	reveal    *contract.RevealMsg
 
+	// obs is the worker's incrementally-updated view of its contract's
+	// event log. It is refreshed from Prepare and StepTxs only; harnesses
+	// running many workers' StepTxs concurrently give each worker its own
+	// observer, so no cursor is ever shared across goroutines.
+	obs *viewObserver
+
 	// preparedAnswers holds the answer vector resolved by Prepare, consumed
 	// by the next commit attempt.
 	preparedAnswers []int64
@@ -93,6 +99,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		contractID: cfg.ContractID,
 		strategy:   cfg.Strategy,
 		answerFn:   cfg.AnswerFn,
+		obs:        newViewObserver(cfg.Chain, cfg.ContractID),
 	}, nil
 }
 
@@ -122,7 +129,7 @@ func (w *Worker) Prepare() error {
 		w.strategy == StrategyCopyCommit {
 		return nil
 	}
-	view := observe(w.chain, w.contractID)
+	view := w.obs.refresh()
 	if view.publishedParams == nil {
 		return nil
 	}
@@ -143,7 +150,7 @@ func (w *Worker) Prepare() error {
 // (receipts and events), never the mempool, so workers observe identical
 // views regardless of execution order within a round.
 func (w *Worker) StepTxs() ([]*chain.Tx, error) {
-	view := observe(w.chain, w.contractID)
+	view := w.obs.refresh()
 	if view.publishedParams == nil {
 		return nil, nil
 	}

@@ -1,0 +1,247 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dragoon/internal/group"
+	"dragoon/internal/ledger"
+	"dragoon/internal/market"
+	"dragoon/internal/protocol"
+	"dragoon/internal/sim"
+	"dragoon/internal/task"
+	"dragoon/internal/worker"
+)
+
+// goldenWrong returns a worker answering every question correctly EXCEPT
+// the golden standards, which it answers wrongly — quality 0, the cleanest
+// way to force a PoQoEA rejection.
+func goldenWrong(name string, inst *task.Instance) worker.Model {
+	return worker.Model{
+		Name:     name,
+		Strategy: protocol.StrategyHonest,
+		Answers: func(qs []task.Question, rangeSize int64) []int64 {
+			out := make([]int64, len(qs))
+			copy(out, inst.GroundTruth)
+			for _, gi := range inst.Golden.Indices {
+				out[gi] = (out[gi] + 1) % rangeSize
+			}
+			return out
+		},
+	}
+}
+
+// checkConserved asserts the ledger invariants every finalize path must
+// preserve: total supply is exactly what the harness minted, the contract
+// escrow is fully drained, and the requester ends with the expected
+// balance (the unspent budget, division dust included, returns to her).
+func checkConserved(t *testing.T, res *sim.Result, inst *task.Instance,
+	workers int, workerBalance, wantRequester ledger.Amount) {
+	t.Helper()
+	if err := res.Ledger.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	minted := inst.Task.Budget*2 + ledger.Amount(workers)*workerBalance
+	if got := res.Ledger.TotalSupply(); got != minted {
+		t.Errorf("total supply = %d, want %d", got, minted)
+	}
+	if got := res.Ledger.Escrow(ledger.ContractID(inst.Task.ID)); got != 0 {
+		t.Errorf("contract escrow = %d after settlement, want 0", got)
+	}
+	if got := res.RequesterBalance; got != wantRequester {
+		t.Errorf("requester balance = %d, want %d", got, wantRequester)
+	}
+	// Every coin is accounted for on some party's liquid balance.
+	var sum ledger.Amount
+	for _, acct := range res.Ledger.Accounts() {
+		sum += res.Ledger.Balance(acct)
+	}
+	if sum != minted {
+		t.Errorf("liquid balances sum to %d, want %d", sum, minted)
+	}
+}
+
+// TestFundConservationAcrossFinalizePaths drives every settlement path the
+// contract has — all paid, quality-rejected, out-of-range-rejected,
+// unrevealed, cancelled, and the false-reporting requester — with a budget
+// that does NOT divide evenly by the worker quota, and asserts the ledger
+// conserves coins and returns the dust to the requester in each.
+func TestFundConservationAcrossFinalizePaths(t *testing.T) {
+	newInst := func(id string, workers int, budget ledger.Amount) *task.Instance {
+		inst, err := task.Generate(task.GenerateParams{
+			ID: id, N: 12, RangeSize: 3, NumGolden: 4,
+			Workers: workers, Threshold: 3, Budget: budget,
+		}, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst
+	}
+	run := func(inst *task.Instance, models []worker.Model, policy protocol.RequesterPolicy, balance ledger.Amount) *sim.Result {
+		t.Helper()
+		res, err := sim.Run(sim.Config{
+			Instance:      inst,
+			Group:         group.TestSchnorr(),
+			Workers:       models,
+			Policy:        policy,
+			Seed:          11,
+			WorkerBalance: balance,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Task.ID, err)
+		}
+		return res
+	}
+
+	t.Run("all paid, dust refunded", func(t *testing.T) {
+		// 1000 / 3 = 333 per worker: 999 paid, 1 coin of dust back.
+		inst := newInst("paid", 3, 1000)
+		res := run(inst, []worker.Model{
+			worker.Perfect("w0", inst.GroundTruth),
+			worker.Perfect("w1", inst.GroundTruth),
+			worker.Perfect("w2", inst.GroundTruth),
+		}, 0, 0)
+		if !res.Finalized {
+			t.Fatal("did not finalize")
+		}
+		for _, o := range res.Outcomes {
+			if !o.Paid {
+				t.Errorf("%s not paid", o.Name)
+			}
+		}
+		checkConserved(t, res, inst, 3, 0, 2000-3*333)
+	})
+
+	t.Run("quality rejected, full refund", func(t *testing.T) {
+		inst := newInst("rejected", 2, 501) // reward 250, dust 1
+		res := run(inst, []worker.Model{
+			goldenWrong("bad0", inst),
+			goldenWrong("bad1", inst),
+		}, 0, 0)
+		if !res.Finalized {
+			t.Fatal("did not finalize")
+		}
+		for _, o := range res.Outcomes {
+			if !o.Rejected || o.Paid {
+				t.Errorf("%s: rejected=%v paid=%v, want rejected unpaid", o.Name, o.Rejected, o.Paid)
+			}
+		}
+		checkConserved(t, res, inst, 2, 0, 2*501)
+	})
+
+	t.Run("out of range rejected", func(t *testing.T) {
+		inst := newInst("outrange", 2, 501)
+		res := run(inst, []worker.Model{
+			worker.Perfect("good", inst.GroundTruth),
+			worker.OutOfRange("oor", inst.GroundTruth, 5, 99),
+		}, 0, 7)
+		if !res.Finalized {
+			t.Fatal("did not finalize")
+		}
+		if !res.Outcomes[0].Paid || !res.Outcomes[1].Rejected {
+			t.Errorf("outcomes = %+v", res.Outcomes)
+		}
+		checkConserved(t, res, inst, 2, 7, 2*501-250)
+	})
+
+	t.Run("unrevealed forfeits", func(t *testing.T) {
+		inst := newInst("unrevealed", 2, 1001) // reward 500, dust 1
+		res := run(inst, []worker.Model{
+			worker.Perfect("good", inst.GroundTruth),
+			worker.NoReveal("mute", inst.GroundTruth),
+		}, 0, 0)
+		if !res.Finalized {
+			t.Fatal("did not finalize")
+		}
+		if !res.Outcomes[0].Paid || res.Outcomes[1].Paid {
+			t.Errorf("outcomes = %+v", res.Outcomes)
+		}
+		checkConserved(t, res, inst, 2, 0, 2*1001-500)
+	})
+
+	t.Run("cancelled refunds everything", func(t *testing.T) {
+		inst := newInst("cancelled", 3, 1000)
+		res := run(inst, []worker.Model{
+			worker.Perfect("lonely", inst.GroundTruth), // quota of 3 never fills
+		}, 0, 0)
+		if !res.Cancelled {
+			t.Fatal("did not cancel")
+		}
+		checkConserved(t, res, inst, 1, 0, 2000)
+	})
+
+	t.Run("false report pays the workers", func(t *testing.T) {
+		inst := newInst("falsereport", 2, 667) // reward 333, dust 1
+		res := run(inst, []worker.Model{
+			worker.Perfect("w0", inst.GroundTruth),
+			worker.Perfect("w1", inst.GroundTruth),
+		}, protocol.PolicyFalseReport, 0)
+		if !res.Finalized {
+			t.Fatal("did not finalize")
+		}
+		for _, o := range res.Outcomes {
+			if !o.Paid {
+				t.Errorf("%s not paid despite invalid rejection", o.Name)
+			}
+		}
+		checkConserved(t, res, inst, 2, 0, 2*667-2*333)
+	})
+}
+
+// TestFundConservationMarketplace checks conservation on a shared chain:
+// several contracts with dusty budgets settle concurrently and every escrow
+// drains back to its own requester.
+func TestFundConservationMarketplace(t *testing.T) {
+	g := group.TestSchnorr()
+	specs := make([]market.TaskSpec, 4)
+	var minted ledger.Amount
+	for i := range specs {
+		inst, err := task.Generate(task.GenerateParams{
+			ID: fmt.Sprintf("cons-%d", i), N: 10, RangeSize: 3, NumGolden: 3,
+			Workers: 3, Threshold: 2, Budget: ledger.Amount(1000 + i), // dust for i != 2
+		}, rand.New(rand.NewSource(int64(20+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = market.TaskSpec{Instance: inst, Enroll: []int{0, 1, 2}}
+		minted += inst.Task.Budget * 2
+	}
+	res, err := market.Run(market.Config{
+		Tasks: specs,
+		Group: g,
+		Population: []worker.Model{
+			diligentModel("d0"), diligentModel("d1"), diligentModel("d2"),
+		},
+		Seed: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Ledger.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Ledger.TotalSupply(); got != minted {
+		t.Errorf("total supply = %d, want %d", got, minted)
+	}
+	for _, tr := range res.Tasks {
+		if !tr.Finalized && !tr.Cancelled {
+			t.Errorf("task %s never settled", tr.ID)
+		}
+		if got := res.Ledger.Escrow(ledger.ContractID(tr.ID)); got != 0 {
+			t.Errorf("task %s escrow = %d after settlement, want 0", tr.ID, got)
+		}
+	}
+}
+
+// diligentModel answers whatever questions it is given deterministically
+// (task-shape agnostic, shareable across tasks).
+func diligentModel(name string) worker.Model {
+	return worker.Model{
+		Name:     name,
+		Strategy: protocol.StrategyHonest,
+		Answers: func(qs []task.Question, rangeSize int64) []int64 {
+			return make([]int64, len(qs))
+		},
+	}
+}

@@ -1,26 +1,23 @@
-// Package sim is the end-to-end experiment harness: it wires the ledger,
-// the simulated chain with a pluggable network adversary, off-chain storage,
-// one requester client and a set of worker clients, runs the protocol to
-// completion round by round, and reports payments, per-method gas usage and
-// the requester's harvested answers. It also hosts the executable ideal
-// functionality F_hit (ideal.go), which integration tests run
-// differentially against the real protocol.
+// Package sim is the end-to-end experiment harness for a single task: it
+// wires the ledger, the simulated chain with a pluggable network adversary,
+// off-chain storage, one requester client and a set of worker clients, runs
+// the protocol to completion round by round, and reports payments,
+// per-method gas usage and the requester's harvested answers. A single-task
+// run is exactly the M=1 case of the multi-task marketplace harness
+// (package market), which this package delegates to. It also hosts the
+// executable ideal functionality F_hit (ideal.go), which integration tests
+// run differentially against the real protocol.
 package sim
 
 import (
-	"context"
 	"errors"
-	"fmt"
 
 	"dragoon/internal/chain"
-	"dragoon/internal/contract"
 	"dragoon/internal/elgamal"
 	"dragoon/internal/group"
 	"dragoon/internal/ledger"
-	"dragoon/internal/parallel"
-	"dragoon/internal/poqoea"
+	"dragoon/internal/market"
 	"dragoon/internal/protocol"
-	"dragoon/internal/swarm"
 	"dragoon/internal/task"
 	"dragoon/internal/worker"
 )
@@ -65,15 +62,7 @@ type Config struct {
 }
 
 // WorkerOutcome reports one worker's fate.
-type WorkerOutcome struct {
-	Name     string
-	Addr     chain.Address
-	Answers  []int64 // plaintext answers (nil if never produced)
-	Quality  int     // true quality (-1 if no answers)
-	Revealed bool
-	Paid     bool
-	Rejected bool
-}
+type WorkerOutcome = market.WorkerOutcome
 
 // Result reports a full protocol run.
 type Result struct {
@@ -97,7 +86,8 @@ type Result struct {
 	HarvestedAnswers map[chain.Address][]int64
 }
 
-// Run executes the protocol to completion.
+// Run executes the protocol to completion: one task, one contract, its
+// workers — the M=1 marketplace.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Instance == nil {
 		return nil, errors.New("sim: no task instance")
@@ -105,192 +95,38 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Group == nil {
 		return nil, errors.New("sim: no group backend")
 	}
-	if cfg.MaxRounds == 0 {
-		cfg.MaxRounds = 40
-	}
-
-	led := ledger.New()
-	led.Mint(ledger.AccountID(RequesterAddr), cfg.Instance.Task.Budget*2)
-	ch := chain.New(led, cfg.Scheduler)
-	store := swarm.New()
-
-	req, err := protocol.NewRequester(protocol.RequesterConfig{
-		Addr:         RequesterAddr,
-		Chain:        ch,
-		Store:        store,
-		Instance:     cfg.Instance,
-		Policy:       cfg.Policy,
-		Group:        cfg.Group,
-		Key:          cfg.RequesterKey,
-		CommitRounds: cfg.CommitRounds,
-		Rand:         newDRBG(cfg.Seed, "requester"),
+	mres, err := market.Run(market.Config{
+		Tasks: []market.TaskSpec{{
+			Instance:     cfg.Instance,
+			Policy:       cfg.Policy,
+			Requester:    RequesterAddr,
+			Key:          cfg.RequesterKey,
+			Seed:         cfg.Seed,
+			CommitRounds: cfg.CommitRounds,
+		}},
+		Group:         cfg.Group,
+		Population:    cfg.Workers,
+		Scheduler:     cfg.Scheduler,
+		WorkerBalance: cfg.WorkerBalance,
+		MaxRounds:     cfg.MaxRounds,
+		Parallelism:   cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
 	}
-
-	// Materialize every worker's answers once, so the real run and the
-	// ideal functionality judge exactly the same inputs.
-	answers := make([][]int64, len(cfg.Workers))
-	clients := make([]*protocol.Worker, len(cfg.Workers))
-	addrs := make([]chain.Address, len(cfg.Workers))
-	for i, m := range cfg.Workers {
-		addrs[i] = chain.Address(fmt.Sprintf("worker-%d-%s", i, m.Name))
-		if cfg.WorkerBalance > 0 {
-			led.Mint(ledger.AccountID(addrs[i]), cfg.WorkerBalance)
-		}
-		var fn protocol.AnswerFn
-		if m.Answers != nil {
-			i := i
-			m := m
-			fn = func(qs []task.Question, rangeSize int64) []int64 {
-				if answers[i] == nil {
-					answers[i] = m.Answers(qs, rangeSize)
-				}
-				return answers[i]
-			}
-		}
-		w, err := protocol.NewWorker(protocol.WorkerConfig{
-			Addr:       addrs[i],
-			Chain:      ch,
-			Store:      store,
-			Group:      cfg.Group,
-			ContractID: ledger.ContractID(cfg.Instance.Task.ID),
-			Strategy:   m.Strategy,
-			AnswerFn:   fn,
-			Rand:       newDRBG(cfg.Seed, "worker-"+m.Name+fmt.Sprint(i)),
-		})
-		if err != nil {
-			return nil, err
-		}
-		clients[i] = w
-	}
-
-	if err := req.Launch(); err != nil {
-		return nil, err
-	}
-
-	res := &Result{
-		GasByMethod:      make(map[string]uint64),
-		Ledger:           led,
-		Chain:            ch,
-		HarvestedAnswers: make(map[chain.Address][]int64),
-	}
-	id := req.ContractID()
-	for round := 0; round < cfg.MaxRounds; round++ {
-		if err := req.Step(); err != nil {
-			return nil, fmt.Errorf("sim: requester step (round %d): %w", round, err)
-		}
-		// Answer models may share one seeded rng across workers, so the
-		// answering step runs sequentially in worker order first; the
-		// heavy per-worker crypto then fans out below.
-		for i, w := range clients {
-			if err := w.Prepare(); err != nil {
-				return nil, fmt.Errorf("sim: worker %d prepare (round %d): %w", i, round, err)
-			}
-		}
-		// Workers compute their round work concurrently — each reads only
-		// mined chain state and draws from its own randomness stream — and
-		// the resulting transactions enter the mempool in worker order, so
-		// the mined chain is identical to a sequential round.
-		txsPerWorker, err := parallel.Map(context.Background(), len(clients), cfg.Parallelism,
-			func(i int) ([]*chain.Tx, error) {
-				txs, err := clients[i].StepTxs()
-				if err != nil {
-					return nil, fmt.Errorf("sim: worker %d step (round %d): %w", i, round, err)
-				}
-				return txs, nil
-			})
-		if err != nil {
-			return nil, err
-		}
-		for _, txs := range txsPerWorker {
-			for _, tx := range txs {
-				ch.Submit(tx)
-			}
-		}
-		if _, err := ch.MineRound(); err != nil {
-			return nil, fmt.Errorf("sim: mining round %d: %w", round, err)
-		}
-		if phase := contract.CurrentPhase(ch, id, ch.Round()); phase == contract.PhaseDone || phase == contract.PhaseCancelled {
-			res.Finalized = phase == contract.PhaseDone
-			res.Cancelled = phase == contract.PhaseCancelled
-			break
-		}
-	}
-	res.Rounds = ch.Round()
-
-	// Fold gas by method.
-	for _, rcpt := range ch.Receipts() {
-		if rcpt.Tx.Contract != id {
-			continue
-		}
-		res.GasByMethod[rcpt.Tx.Method] += rcpt.GasUsed
-		res.GasTotal += rcpt.GasUsed
-	}
-
-	// Worker outcomes from the public event log and the true answers.
-	paid, rejected, revealed := outcomesFromEvents(ch, id)
-	st := cfg.Instance.Golden.Statement(cfg.Instance.Task.RangeSize)
-	for i, m := range cfg.Workers {
-		o := WorkerOutcome{
-			Name:     m.Name,
-			Addr:     addrs[i],
-			Answers:  answers[i],
-			Quality:  -1,
-			Revealed: revealed[addrs[i]],
-			Paid:     paid[addrs[i]],
-			Rejected: rejected[addrs[i]],
-		}
-		if answers[i] != nil {
-			o.Quality = poqoea.Quality(answers[i], st)
-		}
-		res.Outcomes = append(res.Outcomes, o)
-	}
-	res.RequesterBalance = led.Balance(ledger.AccountID(RequesterAddr))
-
-	if res.Finalized {
-		harvested, err := req.Answers()
-		if err != nil {
-			return nil, fmt.Errorf("sim: harvesting answers: %w", err)
-		}
-		res.HarvestedAnswers = harvested
-	}
-	if err := led.CheckConservation(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-	return res, nil
-}
-
-// outcomesFromEvents extracts per-worker verdicts from the event log.
-func outcomesFromEvents(ch *chain.Chain, id ledger.ContractID) (paid, rejected, revealed map[chain.Address]bool) {
-	paid = make(map[chain.Address]bool)
-	rejected = make(map[chain.Address]bool)
-	revealed = make(map[chain.Address]bool)
-	for _, ev := range ch.Events() {
-		if ev.Contract != id {
-			continue
-		}
-		switch ev.Name {
-		case "paid":
-			paid[chain.Address(ev.Data)] = true
-		case "rejected":
-			for i, b := range ev.Data {
-				if b == 0 {
-					rejected[chain.Address(ev.Data[:i])] = true
-					break
-				}
-			}
-		case "revealed":
-			for i, b := range ev.Data {
-				if b == 0 {
-					revealed[chain.Address(ev.Data[:i])] = true
-					break
-				}
-			}
-		}
-	}
-	return paid, rejected, revealed
+	t := &mres.Tasks[0]
+	return &Result{
+		Outcomes:         t.Outcomes,
+		GasByMethod:      t.GasByMethod,
+		GasTotal:         t.GasTotal,
+		Rounds:           t.Rounds,
+		Finalized:        t.Finalized,
+		Cancelled:        t.Cancelled,
+		RequesterBalance: t.RequesterBalance,
+		Ledger:           mres.Ledger,
+		Chain:            mres.Chain,
+		HarvestedAnswers: t.HarvestedAnswers,
+	}, nil
 }
 
 // IdealInputs derives the ideal-functionality inputs corresponding to a
