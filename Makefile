@@ -4,7 +4,8 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json fmt fmt-check vet all
+.PHONY: build test race bench bench-smoke bench-json fmt fmt-check vet all \
+	golden cover fuzz-smoke
 
 all: build test
 
@@ -21,8 +22,31 @@ test:
 # prove/verify, QAP quotient, Groth16 MSM fork/join, parallel Miller loops).
 race:
 	$(GO) test -race ./internal/parallel ./internal/market ./internal/sim \
-		./internal/chain ./internal/swarm ./internal/poqoea ./internal/qap \
-		./internal/groth16 ./internal/bn254
+		./internal/adversary ./internal/chain ./internal/swarm \
+		./internal/poqoea ./internal/qap ./internal/groth16 ./internal/bn254
+
+# Regenerate the committed golden fingerprint files after an INTENTIONAL
+# protocol/gas/rng-order change (then commit the testdata diff). The golden
+# tests otherwise catch any determinism break in a single run.
+golden:
+	$(GO) test ./internal/sim ./internal/market -run TestGoldenFingerprint -update-golden
+
+# Coverage summary over every package (single profile, per-function table
+# tail + total in the CI log; cover.out is left for `go tool cover -html`).
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
+	$(GO) tool cover -func=cover.out | tail -n 25
+
+# Short fuzz pass over the codec fuzz targets (wire reader/round-trip,
+# commitment open, contract message decoders), seeded from the checked-in
+# corpus under each package's testdata/fuzz. CI runs this as a smoke job;
+# run with a larger FUZZTIME locally for a real hunt.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReaderOps -fuzztime=$(FUZZTIME) -run='^$$' ./internal/wire
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) -run='^$$' ./internal/wire
+	$(GO) test -fuzz=FuzzCommitOpen -fuzztime=$(FUZZTIME) -run='^$$' ./internal/commit
+	$(GO) test -fuzz=FuzzUnmarshalMessages -fuzztime=$(FUZZTIME) -run='^$$' ./internal/contract
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

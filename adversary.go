@@ -1,0 +1,92 @@
+package dragoon
+
+import (
+	"math/rand"
+
+	"dragoon/internal/adversary"
+	"dragoon/internal/chain"
+)
+
+// Scenario is one adversarial protocol execution: a byzantine worker
+// lineup with a known honest subset, a requester policy, a network
+// scheduler, and the outcome the protocol's security argument predicts.
+// Run one with its RunSim (single task) or RunMarket (M concurrent
+// instances on one shared chain) methods, and check the result with
+// ScenarioReport.CheckInvariants.
+type Scenario = adversary.Scenario
+
+// ScenarioOptions configures a scenario run: crypto backend, seed,
+// parallelism and worker pre-funding.
+type ScenarioOptions = adversary.Options
+
+// ScenarioReport is a completed scenario run: the final chain and ledger
+// plus per-task outcomes, ready for CheckInvariants (fund conservation,
+// escrow drainage, honest payment, phase monotonicity).
+type ScenarioReport = adversary.Report
+
+// ScenarioTaskReport is one task's end state within a scenario run.
+type ScenarioTaskReport = adversary.TaskReport
+
+// ScenarioMatrix returns the standard adversarial scenario catalogue:
+// byzantine workers (garbled/replayed/equivocating/boundary commitments and
+// reveals, copy-paste free-riders), malicious requesters (false reports,
+// forged proofs, premature cancels, withheld content) and hostile network
+// schedulers (rushing, bounded delay, censorship, phase-boundary
+// targeting). Every entry passes CheckInvariants on both harnesses.
+func ScenarioMatrix() []Scenario { return adversary.Matrix() }
+
+// ParticipantScenarioMatrix filters ScenarioMatrix down to the scenarios
+// without a pinned network scheduler — the ones RunScenarioMatrix can
+// co-locate on one shared chain.
+func ParticipantScenarioMatrix() []Scenario { return adversary.ParticipantMatrix() }
+
+// RunScenarioMatrix runs many scenarios as concurrent tasks of one
+// marketplace on one shared chain — the full participant-level adversarial
+// matrix attacking side by side — and returns the shared-state report.
+func RunScenarioMatrix(scenarios []Scenario, opts ScenarioOptions) (*ScenarioReport, error) {
+	return adversary.RunMatrix(scenarios, opts)
+}
+
+// Network adversaries (values for SimulationConfig.Scheduler,
+// MarketplaceConfig.Scheduler or Scenario.NewScheduler).
+
+// NewRushingScheduler returns the canonical strongest network adversary:
+// it reverses every round's execution order and delays every fresh
+// transaction to the synchrony bound.
+func NewRushingScheduler() Scheduler { return chain.RushingScheduler{} }
+
+// NewBoundedDelayScheduler delays every transaction by exactly one round —
+// the maximum uniform delay synchrony permits — preserving order.
+func NewBoundedDelayScheduler() Scheduler { return chain.BoundedDelayScheduler{} }
+
+// NewReorderScheduler reverses every round's execution order without
+// delaying anything (pure rushing).
+func NewReorderScheduler() Scheduler { return chain.ReorderScheduler{} }
+
+// NewCensorScheduler delays every message from each victim address by one
+// round, every round — per-party censorship to the synchrony bound.
+func NewCensorScheduler(victims ...string) Scheduler {
+	m := make(map[chain.Address]bool, len(victims))
+	for _, v := range victims {
+		m[chain.Address(v)] = true
+	}
+	return chain.CensorScheduler{Victims: m}
+}
+
+// NewMethodDelayScheduler delays every transaction invoking one of the
+// given contract methods ("commit", "reveal", "golden", "evaluate",
+// "outrange", "finalize") — phase-boundary targeting.
+func NewMethodDelayScheduler(methods ...string) Scheduler {
+	m := make(map[string]bool, len(methods))
+	for _, v := range methods {
+		m[v] = true
+	}
+	return chain.MethodDelayScheduler{Methods: m}
+}
+
+// NewRandomScheduler permutes every round and delays each fresh
+// transaction with probability p, driven by a seeded source for
+// reproducible chaos testing.
+func NewRandomScheduler(seed int64, p float64) Scheduler {
+	return &chain.RandomScheduler{Rng: rand.New(rand.NewSource(seed)), DelayProbability: p}
+}

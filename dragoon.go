@@ -75,6 +75,43 @@
 // workers compute concurrently but their transactions apply to the chain
 // in a fixed worker order, preserving the differential tests against the
 // ideal functionality F_hit.
+//
+// # Threat model & adversarial scenarios
+//
+// The paper's security argument (§V) grants the adversary corrupted
+// workers, a corrupted requester, and the network: messages may be
+// reordered within a round and delayed by at most one round (synchrony
+// with a rushing adversary). ScenarioMatrix packages that threat model as
+// an executable catalogue, each entry mapping to a claim of the analysis:
+//
+//   - commitment binding & anti-copy-paste (Fig. 4's duplicate check):
+//     "copy-paste-rejected", "copy-paste-starves", "garbled-reveal",
+//     "replayed-reveal", "equivocator" — forged, replayed or equivocating
+//     commitments and openings are rejected on-chain and only hurt their
+//     sender;
+//   - answer validity (VPKE) and quality soundness (PoQoEA):
+//     "out-of-range", "golden-wrong-rejected" — the requester can reject
+//     exactly the submissions she can cryptographically prove unqualified;
+//   - requester fairness (Fig. 4's pay-on-invalid-rejection rule):
+//     "false-report", "garbled-proof", "silent-requester", "no-golden",
+//     "premature-cancel", "withheld-questions" — every way a requester
+//     can try to keep both the answers and the money ends with the
+//     workers paid or the task cancelled with nobody out of pocket;
+//   - window tolerance under the synchrony bound: "rushing",
+//     "bounded-delay", "reorder", "censor-worker", "censor-requester",
+//     "boundary-reveal", "boundary-evaluation", "late-commit",
+//     "late-commit-starved", "random-chaos" — every protocol window
+//     admits every honest message even when the adversary delays it the
+//     maximum one round, and a message landing past its boundary only
+//     forfeits its sender.
+//
+// Every scenario runs through the real harnesses (Scenario.RunSim,
+// Scenario.RunMarket, RunScenarioMatrix for many scenarios on one shared
+// chain) and is checked by ScenarioReport.CheckInvariants: funds are
+// conserved, every settled escrow drains to zero, honest workers are paid
+// on every finalized task (and lose nothing on a cancelled one), and each
+// contract's event log forms a monotone phase story with every event
+// inside its protocol window. See examples/adversary for the sweep.
 package dragoon
 
 import (

@@ -1,0 +1,392 @@
+// Package adversary is the adversarial scenario engine: a library of
+// byzantine protocol executions — cheating workers, malicious requesters,
+// hostile network schedulers, and combinations of all three — that run
+// through the real end-to-end harnesses (package sim for a single task,
+// package market for many tasks on one shared chain) and are checked
+// against the protocol's security invariants:
+//
+//   - fund conservation: no run creates or destroys coins;
+//   - escrow drainage: every settled contract's escrow is exactly empty;
+//   - honest payment: the paper's core guarantee — an honest worker on a
+//     finalized task is always paid, and never loses funds on a cancelled
+//     one, no matter what anyone else does;
+//   - phase monotonicity: each contract's event log tells a well-formed
+//     story (publish → commit → reveal window → evaluation → settlement)
+//     with every event inside its protocol window.
+//
+// Matrix returns the standard scenario catalogue; tests sweep it through
+// both harnesses at several parallelism levels, and the facade re-exports
+// the engine so it doubles as a reusable adversarial workload generator.
+package adversary
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/group"
+	"dragoon/internal/ledger"
+	"dragoon/internal/market"
+	"dragoon/internal/protocol"
+	"dragoon/internal/sim"
+	"dragoon/internal/task"
+	"dragoon/internal/worker"
+)
+
+// Scenario is one adversarial protocol execution: a worker lineup (with a
+// known honest subset), a requester policy, a network scheduler, and the
+// outcome the protocol's security argument predicts.
+type Scenario struct {
+	// Name identifies the scenario ("garbled-reveal", "censor-requester").
+	Name string
+	// Description says what is being attacked and why the protocol wins.
+	Description string
+	// Quota is the contract's worker quota K. The lineup may be larger
+	// (extra workers race for slots) or exactly K.
+	Quota int
+	// Lineup builds the worker models for one task instance. rng is a
+	// scenario-seeded source for models that need randomness.
+	Lineup func(inst *task.Instance, rng *rand.Rand) []worker.Model
+	// Honest lists lineup indices of honest ground-truth workers — the
+	// ones whose payment the invariant checker enforces.
+	Honest []int
+	// Policy is the requester's behaviour (honest if zero).
+	Policy protocol.RequesterPolicy
+	// NewScheduler builds the network adversary for the run (honest FIFO
+	// if nil). workers holds the enrolled workers' chain addresses in
+	// lineup order; requesters the requester address(es).
+	NewScheduler func(seed int64, workers, requesters []chain.Address) chain.Scheduler
+	// ExpectCancel declares that, under this scenario's own scheduler, the
+	// task must end cancelled (deposit refunded) rather than finalized.
+	ExpectCancel bool
+	// MaxRounds overrides the harness round bound (0 → default).
+	MaxRounds int
+}
+
+// Options configures a scenario run.
+type Options struct {
+	// Group is the crypto backend (required).
+	Group group.Group
+	// Seed makes the run reproducible and derives every model rng.
+	Seed int64
+	// Parallelism bounds concurrent per-worker crypto (0 = NumCPU, 1 =
+	// sequential). Runs are deterministic at any setting.
+	Parallelism int
+	// WorkerBalance pre-funds each population member's account.
+	WorkerBalance ledger.Amount
+	// N overrides the generated tasks' question count (0 → 16).
+	N int
+}
+
+// Task-shape defaults: a dusty budget (997 % quota != 0 for every quota
+// used by the matrix) so conservation checks cover the remainder path, and
+// enough golden standards that honest and golden-wrong workers separate.
+const (
+	defaultN      = 16
+	defaultBudget = 997
+	numGolden     = 5
+	threshold     = 4
+	rangeSize     = 3
+)
+
+// instance generates the idx-th task instance of a scenario run.
+func (s Scenario) instance(opts Options, idx int) (*task.Instance, error) {
+	rng := rand.New(rand.NewSource(opts.Seed ^ int64(idx+1)*0x5DEECE66D))
+	n := opts.N
+	if n == 0 {
+		n = defaultN
+	}
+	id := fmt.Sprintf("%s-%d", s.Name, idx)
+	return task.Generate(task.GenerateParams{
+		ID:        id,
+		N:         n,
+		RangeSize: rangeSize,
+		NumGolden: numGolden,
+		Workers:   s.Quota,
+		Threshold: threshold,
+		Budget:    defaultBudget,
+		// Task-unique question content, so distinct tasks sharing one
+		// off-chain store have distinct content digests (the default
+		// generator content depends only on the task shape — co-resident
+		// tasks would alias each other's storage, and a withholding
+		// requester could free-ride on a sibling task's upload).
+		QuestionFn: func(i int) task.Question {
+			opts := make([]string, rangeSize)
+			for j := range opts {
+				opts[j] = fmt.Sprintf("option-%d", j)
+			}
+			return task.Question{
+				Text:    fmt.Sprintf("%s: question #%d", id, i),
+				Options: opts,
+			}
+		},
+	}, rng)
+}
+
+// lineupRng derives the rng handed to a scenario's Lineup builder.
+func lineupRng(opts Options, idx int) *rand.Rand {
+	return rand.New(rand.NewSource(opts.Seed*31 + int64(idx)*1009 + 7))
+}
+
+// TaskReport is one task's end state plus the scenario metadata the
+// invariant checker needs.
+type TaskReport struct {
+	ID               string
+	Requester        chain.Address
+	RequesterBalance ledger.Amount
+	Finalized        bool
+	Cancelled        bool
+	Outcomes         []market.WorkerOutcome
+	Budget           ledger.Amount
+	Quota            int
+	Honest           []int
+	ExpectCancel     bool
+}
+
+// Report is a completed scenario run, ready for invariant checking.
+type Report struct {
+	// Name labels the run ("garbled-reveal/sim", "matrix").
+	Name string
+	// Ledger and Chain are the run's shared final state.
+	Ledger *ledger.Ledger
+	Chain  *chain.Chain
+	// WorkerBalance is what each population member was pre-funded with.
+	WorkerBalance ledger.Amount
+	// Minted is the total coin supply the harness created.
+	Minted ledger.Amount
+	// Tasks holds per-task reports.
+	Tasks []TaskReport
+}
+
+// workerAddrs maps a population to its chain addresses (the harnesses'
+// naming scheme), so schedulers can target specific workers.
+func workerAddrs(models []worker.Model) []chain.Address {
+	addrs := make([]chain.Address, len(models))
+	for i, m := range models {
+		addrs[i] = market.WorkerAddr(i, m.Name)
+	}
+	return addrs
+}
+
+// RunSim executes the scenario as a single task through the sim harness —
+// the M=1 protocol execution the paper's Fig. 5 describes.
+func (s Scenario) RunSim(opts Options) (*Report, error) {
+	if opts.Group == nil {
+		return nil, errors.New("adversary: no group backend")
+	}
+	inst, err := s.instance(opts, 0)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: %s: %w", s.Name, err)
+	}
+	models := s.Lineup(inst, lineupRng(opts, 0))
+	var sched chain.Scheduler
+	if s.NewScheduler != nil {
+		sched = s.NewScheduler(opts.Seed, workerAddrs(models), []chain.Address{sim.RequesterAddr})
+	}
+	res, err := sim.Run(sim.Config{
+		Instance:      inst,
+		Group:         opts.Group,
+		Workers:       models,
+		Scheduler:     sched,
+		Policy:        s.Policy,
+		Seed:          opts.Seed,
+		WorkerBalance: opts.WorkerBalance,
+		MaxRounds:     s.MaxRounds,
+		Parallelism:   opts.Parallelism,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adversary: %s/sim: %w", s.Name, err)
+	}
+	return &Report{
+		Name:          s.Name + "/sim",
+		Ledger:        res.Ledger,
+		Chain:         res.Chain,
+		WorkerBalance: opts.WorkerBalance,
+		Minted:        inst.Task.Budget*2 + ledger.Amount(len(models))*opts.WorkerBalance,
+		Tasks: []TaskReport{{
+			ID:               inst.Task.ID,
+			Requester:        sim.RequesterAddr,
+			RequesterBalance: res.RequesterBalance,
+			Finalized:        res.Finalized,
+			Cancelled:        res.Cancelled,
+			Outcomes:         res.Outcomes,
+			Budget:           inst.Task.Budget,
+			Quota:            s.Quota,
+			Honest:           s.Honest,
+			ExpectCancel:     s.ExpectCancel,
+		}},
+	}, nil
+}
+
+// RunMarket executes m independent instances of the scenario concurrently
+// on ONE shared chain, each with its own requester and its own slice of the
+// worker population, all scheduled by the scenario's one network adversary.
+func (s Scenario) RunMarket(m int, opts Options) (*Report, error) {
+	if opts.Group == nil {
+		return nil, errors.New("adversary: no group backend")
+	}
+	if m <= 0 {
+		m = 1
+	}
+	specs := make([]market.TaskSpec, m)
+	reports := make([]TaskReport, m)
+	var population []worker.Model
+	var requesters []chain.Address
+	var minted ledger.Amount
+	for i := 0; i < m; i++ {
+		inst, err := s.instance(opts, i)
+		if err != nil {
+			return nil, fmt.Errorf("adversary: %s: %w", s.Name, err)
+		}
+		models := s.Lineup(inst, lineupRng(opts, i))
+		enroll := make([]int, len(models))
+		for j := range enroll {
+			enroll[j] = len(population) + j
+		}
+		population = append(population, models...)
+		// Pin the requester address explicitly (rather than relying on the
+		// harness default) so schedulers targeting requesters and the
+		// reports below share one source of truth.
+		reqAddr := chain.Address(fmt.Sprintf("requester-%d", i))
+		requesters = append(requesters, reqAddr)
+		specs[i] = market.TaskSpec{
+			Instance:  inst,
+			Enroll:    enroll,
+			Policy:    s.Policy,
+			Requester: reqAddr,
+		}
+		reports[i] = TaskReport{
+			ID:           inst.Task.ID,
+			Requester:    reqAddr,
+			Budget:       inst.Task.Budget,
+			Quota:        s.Quota,
+			Honest:       s.Honest,
+			ExpectCancel: s.ExpectCancel,
+		}
+		minted += inst.Task.Budget * 2
+	}
+	minted += ledger.Amount(len(population)) * opts.WorkerBalance
+	var sched chain.Scheduler
+	if s.NewScheduler != nil {
+		sched = s.NewScheduler(opts.Seed, workerAddrs(population), requesters)
+	}
+	res, err := market.Run(market.Config{
+		Tasks:         specs,
+		Group:         opts.Group,
+		Population:    population,
+		Scheduler:     sched,
+		Seed:          opts.Seed,
+		WorkerBalance: opts.WorkerBalance,
+		MaxRounds:     s.MaxRounds,
+		Parallelism:   opts.Parallelism,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adversary: %s/market: %w", s.Name, err)
+	}
+	for i := range reports {
+		tr := &res.Tasks[i]
+		reports[i].RequesterBalance = tr.RequesterBalance
+		reports[i].Finalized = tr.Finalized
+		reports[i].Cancelled = tr.Cancelled
+		reports[i].Outcomes = tr.Outcomes
+	}
+	return &Report{
+		Name:          fmt.Sprintf("%s/market-%d", s.Name, m),
+		Ledger:        res.Ledger,
+		Chain:         res.Chain,
+		WorkerBalance: opts.WorkerBalance,
+		Minted:        minted,
+		Tasks:         reports,
+	}, nil
+}
+
+// RunMatrix co-locates MANY scenarios as concurrent tasks of one
+// marketplace on one shared chain — the full participant-level adversarial
+// matrix attacking side by side. Scenarios with their own scheduler are
+// rejected: a chain has exactly one network adversary, so scheduler
+// scenarios run through RunSim/RunMarket instead.
+func RunMatrix(scenarios []Scenario, opts Options) (*Report, error) {
+	if opts.Group == nil {
+		return nil, errors.New("adversary: no group backend")
+	}
+	if len(scenarios) == 0 {
+		return nil, errors.New("adversary: empty matrix")
+	}
+	specs := make([]market.TaskSpec, len(scenarios))
+	reports := make([]TaskReport, len(scenarios))
+	var population []worker.Model
+	var minted ledger.Amount
+	for i := range scenarios {
+		s := &scenarios[i]
+		if s.NewScheduler != nil {
+			return nil, fmt.Errorf("adversary: scenario %q pins its own scheduler; run it alone", s.Name)
+		}
+		inst, err := s.instance(opts, i)
+		if err != nil {
+			return nil, fmt.Errorf("adversary: %s: %w", s.Name, err)
+		}
+		models := s.Lineup(inst, lineupRng(opts, i))
+		enroll := make([]int, len(models))
+		for j := range enroll {
+			enroll[j] = len(population) + j
+		}
+		population = append(population, models...)
+		reqAddr := chain.Address(fmt.Sprintf("requester-%d", i))
+		specs[i] = market.TaskSpec{
+			Instance:  inst,
+			Enroll:    enroll,
+			Policy:    s.Policy,
+			Requester: reqAddr,
+		}
+		reports[i] = TaskReport{
+			ID:           inst.Task.ID,
+			Requester:    reqAddr,
+			Budget:       inst.Task.Budget,
+			Quota:        s.Quota,
+			Honest:       s.Honest,
+			ExpectCancel: s.ExpectCancel,
+		}
+		minted += inst.Task.Budget * 2
+	}
+	minted += ledger.Amount(len(population)) * opts.WorkerBalance
+	res, err := market.Run(market.Config{
+		Tasks:         specs,
+		Group:         opts.Group,
+		Population:    population,
+		Seed:          opts.Seed,
+		WorkerBalance: opts.WorkerBalance,
+		MaxRounds:     maxRoundsOf(scenarios),
+		Parallelism:   opts.Parallelism,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adversary: matrix: %w", err)
+	}
+	for i := range reports {
+		tr := &res.Tasks[i]
+		reports[i].RequesterBalance = tr.RequesterBalance
+		reports[i].Finalized = tr.Finalized
+		reports[i].Cancelled = tr.Cancelled
+		reports[i].Outcomes = tr.Outcomes
+	}
+	return &Report{
+		Name:          "matrix",
+		Ledger:        res.Ledger,
+		Chain:         res.Chain,
+		WorkerBalance: opts.WorkerBalance,
+		Minted:        minted,
+		Tasks:         reports,
+	}, nil
+}
+
+// maxRoundsOf returns the largest per-scenario round bound (0 if none pin
+// one, letting the harness default apply).
+func maxRoundsOf(scenarios []Scenario) int {
+	max := 0
+	for i := range scenarios {
+		if scenarios[i].MaxRounds > max {
+			max = scenarios[i].MaxRounds
+		}
+	}
+	return max
+}

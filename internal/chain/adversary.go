@@ -41,6 +41,72 @@ func (s TargetedDelayScheduler) Schedule(_ int, mandatory, fresh []*Tx) (order, 
 	return order, delay
 }
 
+// BoundedDelayScheduler delays every fresh transaction by exactly one round
+// — the maximum uniform delay synchrony permits — while preserving arrival
+// order. Every protocol window must tolerate it.
+type BoundedDelayScheduler struct{}
+
+// Schedule implements Scheduler.
+func (BoundedDelayScheduler) Schedule(_ int, mandatory, fresh []*Tx) (order, delay []*Tx) {
+	return append([]*Tx{}, mandatory...), fresh
+}
+
+// ReorderScheduler reverses every round's execution order without delaying
+// anything — pure rushing. Intra-round races (equivocating double commits,
+// commitment copy-paste) resolve in reverse arrival order under it.
+type ReorderScheduler struct{}
+
+// Schedule implements Scheduler.
+func (ReorderScheduler) Schedule(_ int, mandatory, fresh []*Tx) (order, delay []*Tx) {
+	all := append(append([]*Tx{}, mandatory...), fresh...)
+	for i, j := 0, len(all)-1; i < j; i, j = i+1, j-1 {
+		all[i], all[j] = all[j], all[i]
+	}
+	return all, nil
+}
+
+// CensorScheduler delays (once, every round) every fresh transaction from
+// each victim address — per-party censorship to the synchrony bound. A
+// censored party's every message lands one round late.
+type CensorScheduler struct {
+	Victims map[Address]bool
+}
+
+// Schedule implements Scheduler.
+func (s CensorScheduler) Schedule(_ int, mandatory, fresh []*Tx) (order, delay []*Tx) {
+	order = append(order, mandatory...)
+	for _, tx := range fresh {
+		if s.Victims[tx.From] {
+			delay = append(delay, tx)
+		} else {
+			order = append(order, tx)
+		}
+	}
+	return order, delay
+}
+
+// MethodDelayScheduler delays every fresh transaction invoking one of the
+// targeted contract methods — phase-boundary targeting: delaying "reveal"
+// pushes every opening to the edge of its window, delaying "golden" and
+// "evaluate" squeezes the requester's evaluation into the last admissible
+// rounds.
+type MethodDelayScheduler struct {
+	Methods map[string]bool
+}
+
+// Schedule implements Scheduler.
+func (s MethodDelayScheduler) Schedule(_ int, mandatory, fresh []*Tx) (order, delay []*Tx) {
+	order = append(order, mandatory...)
+	for _, tx := range fresh {
+		if s.Methods[tx.Method] {
+			delay = append(delay, tx)
+		} else {
+			order = append(order, tx)
+		}
+	}
+	return order, delay
+}
+
 // RandomScheduler permutes each round's transactions and delays a random
 // subset of the fresh ones, driven by a seeded source for reproducible
 // randomized testing.

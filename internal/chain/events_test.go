@@ -107,3 +107,35 @@ func TestCursorPollsOnlyNewEvents(t *testing.T) {
 		t.Fatalf("independent cursor saw %d events, want 2", len(evs))
 	}
 }
+
+// TestUnknownContractEvents checks the event index on IDs that never
+// deployed or never emitted: EventsFor returns an empty slice, a Cursor
+// polls nothing (and stays usable if the contract appears later).
+func TestUnknownContractEvents(t *testing.T) {
+	c := newTwoContractChain(t)
+	if evs := c.EventsFor("ghost"); len(evs) != 0 {
+		t.Fatalf("EventsFor(unknown) = %d events, want 0", len(evs))
+	}
+	ghost := c.Cursor("ghost")
+	if evs := ghost.Poll(); evs != nil {
+		t.Fatalf("Cursor(unknown).Poll() = %+v, want nil", evs)
+	}
+	// Traffic on other contracts must not leak into the unknown cursor.
+	c.Submit(&chain.Tx{From: "alice", Contract: "a", Method: "inc"})
+	mine(t, c)
+	if evs := ghost.Poll(); evs != nil {
+		t.Fatalf("unknown cursor leaked %d foreign events", len(evs))
+	}
+	// A transaction to an undeployed contract reverts and emits nothing.
+	c.Submit(&chain.Tx{From: "alice", Contract: "ghost", Method: "inc"})
+	rs, err := c.MineRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || !rs[0].Reverted() {
+		t.Fatalf("tx to undeployed contract: receipts %+v, want one revert", rs)
+	}
+	if evs := ghost.Poll(); evs != nil {
+		t.Fatalf("reverted call emitted %d events", len(evs))
+	}
+}

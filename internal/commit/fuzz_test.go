@@ -1,0 +1,34 @@
+package commit
+
+import "testing"
+
+// FuzzCommitOpen checks the commitment scheme's correctness and (keyed)
+// binding over arbitrary messages: every (msg, key) opens its own
+// commitment, and any single-bit mutation of the message or the key is
+// rejected.
+func FuzzCommitOpen(f *testing.F) {
+	f.Add([]byte("answers"), []byte("0123456789abcdef0123456789abcdef"), uint16(0))
+	f.Add([]byte{}, []byte{}, uint16(9))
+	f.Fuzz(func(t *testing.T, msg, keyBytes []byte, flip uint16) {
+		var key Key
+		copy(key[:], keyBytes)
+		c := Commit(msg, key)
+		if !Open(c, msg, key) {
+			t.Fatal("commitment does not open to its own (msg, key)")
+		}
+		// Mutate one bit of the message: must no longer open.
+		if len(msg) > 0 {
+			mutated := append([]byte{}, msg...)
+			mutated[int(flip)%len(mutated)] ^= 1 << (flip % 8)
+			if Open(c, mutated, key) {
+				t.Fatal("commitment opens to a mutated message")
+			}
+		}
+		// Mutate one bit of the key: must no longer open.
+		badKey := key
+		badKey[int(flip)%KeySize] ^= 1 << (flip % 8)
+		if Open(c, msg, badKey) {
+			t.Fatal("commitment opens under a mutated key")
+		}
+	})
+}

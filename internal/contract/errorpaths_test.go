@@ -1,0 +1,208 @@
+package contract_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/contract"
+)
+
+// errorHarness drives a 2-worker task to a named lifecycle stage so the
+// wrong-phase table below can poke every method at every stage.
+type errorHarness struct {
+	*harness
+	commitMsg  *contract.CommitMsg
+	revealMsg  *contract.RevealMsg
+	commitMsg2 *contract.CommitMsg
+	revealMsg2 *contract.RevealMsg
+}
+
+func newErrorHarness(t *testing.T) *errorHarness {
+	h := newHarness(t, 2)
+	eh := &errorHarness{harness: h}
+	eh.commitMsg, eh.revealMsg = h.workerSubmission(h.inst.GroundTruth)
+	eh.commitMsg2, eh.revealMsg2 = h.workerSubmission(h.inst.GroundTruth)
+	return eh
+}
+
+// advance drives the contract to the given stage.
+//
+//	published  — phase 1 done, commit window open
+//	committed  — both workers committed, reveal window open
+//	revealed   — both revealed, still inside the reveal window
+//	evaluating — reveal window over, golden opened, evaluation window open
+//	finalized  — task settled
+func (eh *errorHarness) advance(stage string) {
+	eh.t.Helper()
+	mine := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := eh.chain.MineRound(); err != nil {
+				eh.t.Fatal(err)
+			}
+		}
+	}
+	steps := []struct {
+		name string
+		run  func()
+	}{
+		{"published", func() { eh.publish() }},
+		{"committed", func() {
+			rs := eh.sendMany(
+				&chain.Tx{From: "w1", Method: contract.MethodCommit, Data: eh.commitMsg.Marshal()},
+				&chain.Tx{From: "w2", Method: contract.MethodCommit, Data: eh.commitMsg2.Marshal()},
+			)
+			eh.mustOK(rs[0])
+			eh.mustOK(rs[1])
+		}},
+		{"revealed", func() {
+			rs := eh.sendMany(
+				&chain.Tx{From: "w1", Method: contract.MethodReveal, Data: eh.revealMsg.Marshal()},
+				&chain.Tx{From: "w2", Method: contract.MethodReveal, Data: eh.revealMsg2.Marshal()},
+			)
+			eh.mustOK(rs[0])
+			eh.mustOK(rs[1])
+		}},
+		{"evaluating", func() {
+			mine(contract.RevealRounds - 1) // burn the rest of the reveal window
+			eh.mustOK(eh.send(eh.requester, contract.MethodGolden, eh.goldenMsg().Marshal()))
+		}},
+		{"finalized", func() {
+			mine(contract.EvalRounds)
+			eh.mustOK(eh.send("anyone", contract.MethodFinalize, nil))
+		}},
+	}
+	for _, s := range steps {
+		s.run()
+		if s.name == stage {
+			return
+		}
+	}
+	eh.t.Fatalf("unknown stage %q", stage)
+}
+
+// TestWrongPhaseCalls drives every contract method into every lifecycle
+// stage where it must be rejected, and asserts the revert reason — the
+// phase machine's full negative table.
+func TestWrongPhaseCalls(t *testing.T) {
+	cases := []struct {
+		stage  string // "" = freshly deployed, nothing published
+		method string
+		from   string
+		data   func(eh *errorHarness) []byte
+		want   string
+	}{
+		// Nothing published yet: every method needs params.
+		{"", contract.MethodCommit, "w1", func(eh *errorHarness) []byte { return eh.commitMsg.Marshal() }, "not published"},
+		{"", contract.MethodReveal, "w1", func(eh *errorHarness) []byte { return eh.revealMsg.Marshal() }, "not published"},
+		{"", contract.MethodGolden, "req", func(eh *errorHarness) []byte { return eh.goldenMsg().Marshal() }, "not published"},
+		{"", contract.MethodEvaluate, "req", func(eh *errorHarness) []byte {
+			return (&contract.EvaluateMsg{Worker: "w1", Chi: 0}).Marshal()
+		}, "not published"},
+		{"", contract.MethodFinalize, "req", func(*errorHarness) []byte { return nil }, "not published"},
+
+		// Commit window open: nothing downstream may run yet.
+		{"published", contract.MethodReveal, "w1", func(eh *errorHarness) []byte { return eh.revealMsg.Marshal() }, "before commits closed"},
+		{"published", contract.MethodGolden, "req", func(eh *errorHarness) []byte { return eh.goldenMsg().Marshal() }, "before reveals"},
+		{"published", contract.MethodEvaluate, "req", func(eh *errorHarness) []byte {
+			return (&contract.EvaluateMsg{Worker: "w1", Chi: 0}).Marshal()
+		}, "before reveals"},
+		{"published", contract.MethodOutrange, "req", func(eh *errorHarness) []byte {
+			return (&contract.OutrangeMsg{Worker: "w1"}).Marshal()
+		}, "before reveals"},
+		{"published", contract.MethodFinalize, "req", func(*errorHarness) []byte { return nil }, "still open"},
+		{"published", contract.MethodPublish, "req", func(eh *errorHarness) []byte { return eh.publishMsg().Marshal() }, "already published"},
+
+		// Reveal window open: committing again / evaluating early / settling early.
+		{"committed", contract.MethodCommit, "w3", func(eh *errorHarness) []byte {
+			cm, _ := eh.workerSubmission(eh.inst.GroundTruth)
+			return cm.Marshal()
+		}, "closed"},
+		{"committed", contract.MethodCommit, "w1", func(eh *errorHarness) []byte { return eh.commitMsg.Marshal() }, "closed"},
+		{"committed", contract.MethodGolden, "req", func(eh *errorHarness) []byte { return eh.goldenMsg().Marshal() }, "outside window"},
+		{"committed", contract.MethodEvaluate, "req", func(eh *errorHarness) []byte {
+			return (&contract.EvaluateMsg{Worker: "w1", Chi: 0}).Marshal()
+		}, "outside window"},
+		{"committed", contract.MethodFinalize, "req", func(*errorHarness) []byte { return nil }, "still open"},
+
+		// Both revealed, window still open.
+		{"revealed", contract.MethodReveal, "w1", func(eh *errorHarness) []byte { return eh.revealMsg.Marshal() }, "already revealed"},
+		{"revealed", contract.MethodReveal, "w9", func(eh *errorHarness) []byte { return eh.revealMsg.Marshal() }, "non-committed"},
+		{"revealed", contract.MethodFinalize, "req", func(*errorHarness) []byte { return nil }, "still open"},
+
+		// Evaluation window open: unknown / not-revealed workers, stale phases.
+		{"evaluating", contract.MethodCommit, "w1", func(eh *errorHarness) []byte { return eh.commitMsg.Marshal() }, "closed"},
+		{"evaluating", contract.MethodReveal, "w1", func(eh *errorHarness) []byte { return eh.revealMsg.Marshal() }, "outside window"},
+		{"evaluating", contract.MethodGolden, "req", func(eh *errorHarness) []byte { return eh.goldenMsg().Marshal() }, "already revealed"},
+		{"evaluating", contract.MethodEvaluate, "req", func(eh *errorHarness) []byte {
+			return (&contract.EvaluateMsg{Worker: "ghost", Chi: 0}).Marshal()
+		}, "did not reveal"},
+		{"evaluating", contract.MethodOutrange, "req", func(eh *errorHarness) []byte {
+			return (&contract.OutrangeMsg{Worker: "ghost", Ct: []byte{1}}).Marshal()
+		}, "did not reveal"},
+		{"evaluating", contract.MethodEvaluate, "w1", func(eh *errorHarness) []byte {
+			return (&contract.EvaluateMsg{Worker: "w2", Chi: 0}).Marshal()
+		}, "not from requester"},
+		{"evaluating", contract.MethodOutrange, "req", func(eh *errorHarness) []byte {
+			return (&contract.OutrangeMsg{Worker: "w1", QIdx: 999, Ct: eh.revealMsg.Cts[0]}).Marshal()
+		}, "out of range"},
+		{"evaluating", contract.MethodFinalize, "req", func(*errorHarness) []byte { return nil }, "still open"},
+
+		// Settled: everything is over.
+		{"finalized", contract.MethodFinalize, "req", func(*errorHarness) []byte { return nil }, "already finalized"},
+		{"finalized", contract.MethodGolden, "req", func(eh *errorHarness) []byte { return eh.goldenMsg().Marshal() }, "outside window"},
+		{"finalized", contract.MethodEvaluate, "req", func(eh *errorHarness) []byte {
+			return (&contract.EvaluateMsg{Worker: "w1", Chi: 0}).Marshal()
+		}, "outside window"},
+	}
+	for _, tc := range cases {
+		stage := tc.stage
+		if stage == "" {
+			stage = "deployed"
+		}
+		t.Run(fmt.Sprintf("%s/%s from %s", stage, tc.method, tc.from), func(t *testing.T) {
+			eh := newErrorHarness(t)
+			if tc.stage != "" {
+				eh.advance(tc.stage)
+			}
+			eh.mustRevert(eh.send(chain.Address(tc.from), tc.method, tc.data(eh)), tc.want)
+		})
+	}
+}
+
+// TestDoubleCommitEquivocation lands two DIFFERENT commitments from one
+// worker in a single round: the contract must accept exactly the first and
+// count the worker once.
+func TestDoubleCommitEquivocation(t *testing.T) {
+	eh := newErrorHarness(t)
+	eh.publish()
+	rs := eh.sendMany(
+		&chain.Tx{From: "w1", Method: contract.MethodCommit, Data: eh.commitMsg.Marshal()},
+		&chain.Tx{From: "w1", Method: contract.MethodCommit, Data: eh.commitMsg2.Marshal()},
+	)
+	eh.mustOK(rs[0])
+	eh.mustRevert(rs[1], "already committed")
+	// The quota (2) must not have been consumed by the equivocation: a
+	// second worker still fits, and only ITS commit closes the phase.
+	cm3, _ := eh.workerSubmission(eh.inst.GroundTruth)
+	eh.mustOK(eh.send("w2", contract.MethodCommit, cm3.Marshal()))
+	// The first opening is the binding one.
+	eh.mustOK(eh.send("w1", contract.MethodReveal, eh.revealMsg.Marshal()))
+	// The second (rejected) commitment's opening no longer matches.
+	eh.mustRevert(eh.send("w1", contract.MethodReveal, eh.revealMsg2.Marshal()), "already revealed")
+}
+
+// TestUnknownContractTx sends a transaction to a contract ID that was never
+// deployed.
+func TestUnknownContractTx(t *testing.T) {
+	eh := newErrorHarness(t)
+	eh.chain.Submit(&chain.Tx{From: "w1", Contract: "ghost", Method: contract.MethodCommit, Data: eh.commitMsg.Marshal()})
+	rs, err := eh.chain.MineRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || !rs[0].Reverted() {
+		t.Fatalf("transaction to undeployed contract did not revert: %+v", rs)
+	}
+	eh.mustRevert(rs[0], "no contract")
+}

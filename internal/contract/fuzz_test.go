@@ -1,0 +1,91 @@
+package contract_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dragoon/internal/commit"
+	"dragoon/internal/contract"
+	"dragoon/internal/ledger"
+)
+
+// fuzzSeedMessages returns one valid encoding per contract message type, so
+// the fuzzer starts from the interesting region of the input space.
+func fuzzSeedMessages() [][]byte {
+	pub := &contract.PublishMsg{
+		N: 4, Budget: ledger.Amount(100), Workers: 2, RangeSize: 3,
+		Threshold: 1, PubKey: []byte{1, 2, 3}, CommitRounds: 8,
+	}
+	cm := &contract.CommitMsg{Comm: commit.Commitment{1, 2, 3}}
+	rv := &contract.RevealMsg{Cts: [][]byte{{4, 5}, {6}}, Key: commit.Key{7}}
+	gm := &contract.GoldenMsg{Golden: []byte{8, 9}, Key: commit.Key{10}}
+	om := &contract.OutrangeMsg{Worker: "w", QIdx: 1, Ct: []byte{11}, Element: []byte{12}, Proof: []byte{13}}
+	em := &contract.EvaluateMsg{Worker: "w", Chi: 1, Wrong: []contract.WrongEntry{
+		{QIdx: 0, Ct: []byte{1}, InRange: true, Value: 2, Proof: []byte{3}},
+		{QIdx: 1, Ct: []byte{4}, Element: []byte{5}, Proof: []byte{6}},
+	}}
+	return [][]byte{pub.Marshal(), cm.Marshal(), rv.Marshal(), gm.Marshal(), om.Marshal(), em.Marshal()}
+}
+
+// FuzzUnmarshalMessages throws arbitrary calldata at every contract message
+// decoder — the exact surface a hostile transaction reaches before any
+// signature of validity. Decoders must never panic; when they do accept an
+// input, re-encoding the decoded message must decode to the same message
+// (decode ∘ encode is the identity on the decoder's image), so hashes and
+// gas charged over encodings are well-defined.
+func FuzzUnmarshalMessages(f *testing.F) {
+	for sel, msg := range fuzzSeedMessages() {
+		f.Add(append([]byte{byte(sel)}, msg...))
+	}
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		sel, payload := data[0]%6, data[1:]
+		switch sel {
+		case 0:
+			if m, err := contract.UnmarshalPublish(payload); err == nil {
+				reDecode(t, m, m.Marshal(), func(b []byte) (any, error) { return contract.UnmarshalPublish(b) })
+			}
+		case 1:
+			if m, err := contract.UnmarshalCommit(payload); err == nil {
+				if !bytes.Equal(m.Marshal(), payload) {
+					t.Fatalf("commit re-encoding differs: %x != %x", m.Marshal(), payload)
+				}
+			}
+		case 2:
+			if m, err := contract.UnmarshalReveal(payload); err == nil {
+				reDecode(t, m, m.Marshal(), func(b []byte) (any, error) { return contract.UnmarshalReveal(b) })
+			}
+		case 3:
+			if m, err := contract.UnmarshalGoldenMsg(payload); err == nil {
+				reDecode(t, m, m.Marshal(), func(b []byte) (any, error) { return contract.UnmarshalGoldenMsg(b) })
+			}
+		case 4:
+			if m, err := contract.UnmarshalOutrange(payload); err == nil {
+				reDecode(t, m, m.Marshal(), func(b []byte) (any, error) { return contract.UnmarshalOutrange(b) })
+			}
+		case 5:
+			if m, err := contract.UnmarshalEvaluate(payload); err == nil {
+				reDecode(t, m, m.Marshal(), func(b []byte) (any, error) { return contract.UnmarshalEvaluate(b) })
+			}
+		}
+	})
+}
+
+// reDecode decodes an accepted message's re-encoding and requires it to
+// equal the original decode. (The raw bytes may differ from the input —
+// varints admit non-minimal encodings — but the decoded value must be
+// stable.)
+func reDecode(t *testing.T, m any, encoded []byte, decode func([]byte) (any, error)) {
+	t.Helper()
+	m2, err := decode(encoded)
+	if err != nil {
+		t.Fatalf("re-encoding of accepted message does not decode: %v", err)
+	}
+	if !reflect.DeepEqual(m, m2) {
+		t.Fatalf("decode(encode(m)) != m:\n%+v\n%+v", m, m2)
+	}
+}

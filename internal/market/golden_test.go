@@ -1,0 +1,53 @@
+package market_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dragoon/internal/market"
+)
+
+// updateGolden regenerates the committed fingerprint file instead of
+// comparing against it: `make golden`, or
+// `go test ./internal/market -run TestGoldenFingerprint -update-golden`.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fingerprint files")
+
+// TestGoldenFingerprint pins a seeded 8-task marketplace run — shared
+// chain, shared key, mixed honest/byzantine population, every requester
+// policy, a cancelling task — against a committed golden file, so any
+// determinism break in the multi-task interleaving is caught by one run.
+func TestGoldenFingerprint(t *testing.T) {
+	res, err := market.Run(buildConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("rounds=%d gastotal=%d\n", res.Rounds, res.GasTotal)
+	for i := range res.Tasks {
+		tr := &res.Tasks[i]
+		got += fmt.Sprintf("--- task %s requester=%s ---\n", tr.ID, tr.Requester)
+		got += marketTaskFP(tr)
+	}
+	path := filepath.Join("testdata", "golden_market.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `make golden` to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("seeded market.Run fingerprint drifted from %s.\n"+
+			"If the change is intentional (protocol, gas or rng-order change), regenerate with `make golden` and commit the diff.\n"+
+			"got %d bytes, want %d bytes", path, len(got), len(want))
+	}
+}

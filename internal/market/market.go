@@ -46,6 +46,14 @@ import (
 // that do not pin an explicit TaskSpec.Seed.
 const seedStride = 0x9E3779B9
 
+// WorkerAddr is the chain address of population member i with the given
+// model name — the single definition of the harness's address naming, so
+// schedulers and harnesses targeting specific workers (package adversary)
+// derive addresses from the same scheme the run uses.
+func WorkerAddr(i int, name string) chain.Address {
+	return chain.Address(fmt.Sprintf("worker-%d-%s", i, name))
+}
+
 // TaskSpec describes one HIT instance inside a marketplace run.
 type TaskSpec struct {
 	// Instance is the task with its secrets. Its Task.ID names the on-chain
@@ -197,7 +205,7 @@ func Run(cfg Config) (*Result, error) {
 
 	popAddrs := make([]chain.Address, len(cfg.Population))
 	for i, m := range cfg.Population {
-		popAddrs[i] = chain.Address(fmt.Sprintf("worker-%d-%s", i, m.Name))
+		popAddrs[i] = WorkerAddr(i, m.Name)
 		if cfg.WorkerBalance > 0 {
 			led.Mint(ledger.AccountID(popAddrs[i]), cfg.WorkerBalance)
 		}

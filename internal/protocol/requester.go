@@ -45,6 +45,23 @@ const (
 	// quality χ = 0 and whatever (insufficient) proof exists — the
 	// false-reporting attack; the contract must pay the workers instead.
 	PolicyFalseReport
+	// PolicyPrematureCancel tries to claw the deposit back by submitting
+	// finalize every single round, starting while the commit phase is
+	// still open. The contract must revert every premature attempt; the
+	// one that finally lands (after the evaluation window) pays every
+	// revealed worker, since this requester never rejects anyone.
+	PolicyPrematureCancel
+	// PolicyGarbledProof rejects every worker with χ = 0 backed by
+	// garbled proof bytes (each VPKE proof corrupted after honest
+	// generation) — the forged-proof attack. Proof verification must fail
+	// on-chain and the contract must pay the workers instead.
+	PolicyGarbledProof
+	// PolicyWithholdQuestions publishes the task on-chain but never
+	// uploads the question content to off-chain storage. Workers cannot
+	// verify the content against the on-chain digest, so they never
+	// commit; the quota cannot fill, and after the commit deadline the
+	// task cancels and refunds the deposit — nobody loses funds.
+	PolicyWithholdQuestions
 )
 
 // Requester is the off-chain requester client.
@@ -156,7 +173,15 @@ func (r *Requester) Launch() error {
 	if _, err := r.chain.Deploy(r.contractID, contract.New(g), contract.DeployCodeSize, r.Addr); err != nil {
 		return fmt.Errorf("protocol: deploying contract: %w", err)
 	}
-	questionsDigest := r.store.Put(t.MarshalQuestions())
+	var questionsDigest swarm.Digest
+	if r.policy == PolicyWithholdQuestions {
+		// Commit the digest on-chain but never upload the content: workers
+		// can neither fetch nor verify the questions, so they must not
+		// commit and the task must eventually cancel.
+		questionsDigest = swarm.Address(t.MarshalQuestions())
+	} else {
+		questionsDigest = r.store.Put(t.MarshalQuestions())
+	}
 
 	key, err := commit.NewKey(r.rand)
 	if err != nil {
@@ -194,6 +219,19 @@ func (r *Requester) Step() error {
 	view := r.obs.refresh()
 	round := r.chain.Round()
 	if view.publishedParams == nil || view.finalized || view.cancelled {
+		return nil
+	}
+
+	if r.policy == PolicyPrematureCancel {
+		// Hammer finalize every round, starting while the commit phase is
+		// still open: every premature attempt must revert, and the one
+		// that finally lands settles the task (paying every revealed
+		// worker — this requester never rejected anyone).
+		r.chain.Submit(&chain.Tx{
+			From:     r.Addr,
+			Contract: r.contractID,
+			Method:   contract.MethodFinalize,
+		})
 		return nil
 	}
 
@@ -273,6 +311,14 @@ func (r *Requester) evaluateAll(view *chainView) error {
 			msg := &contract.EvaluateMsg{Worker: sub.worker, Chi: 0}
 			r.submitEval(contract.MethodEvaluate, msg.Marshal())
 			continue
+		case PolicyGarbledProof:
+			// Underclaim χ=0 backed by honestly-generated but garbled
+			// VPKE proofs: on-chain verification must fail and pay the
+			// worker.
+			if err := r.garbledEvaluate(sub.worker, cts, st); err != nil {
+				return err
+			}
+			continue
 		case PolicyHonest:
 		default:
 			continue
@@ -315,6 +361,35 @@ func (r *Requester) evaluateAll(view *chainView) error {
 		}
 		r.submitEval(contract.MethodEvaluate, msg.Marshal())
 	}
+	return nil
+}
+
+// garbledEvaluate sends the forged-proof rejection of PolicyGarbledProof:
+// a χ=0 claim whose wrong-answer entries carry honestly-generated VPKE
+// proofs with their bytes corrupted.
+func (r *Requester) garbledEvaluate(worker chain.Address, cts []elgamal.Ciphertext, st poqoea.Statement) error {
+	_, pf, err := poqoea.Prove(r.sk, cts, st, r.rand)
+	if err != nil {
+		return fmt.Errorf("protocol: proving quality of %s: %w", worker, err)
+	}
+	msg := &contract.EvaluateMsg{Worker: worker, Chi: 0}
+	for _, w := range pf.Wrong {
+		entry := contract.WrongEntry{
+			QIdx:    w.Index,
+			Ct:      elgamal.MarshalCiphertext(r.sk.Group, cts[w.Index]),
+			InRange: w.Plain.InRange,
+			Value:   w.Plain.Value,
+			Proof:   vpke.MarshalProof(r.sk.Group, w.Proof),
+		}
+		if !w.Plain.InRange {
+			entry.Element = r.sk.Group.Marshal(w.Plain.Element)
+		}
+		if len(entry.Proof) > 0 {
+			entry.Proof[0] ^= 0xFF // the forgery
+		}
+		msg.Wrong = append(msg.Wrong, entry)
+	}
+	r.submitEval(contract.MethodEvaluate, msg.Marshal())
 	return nil
 }
 

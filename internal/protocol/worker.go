@@ -37,6 +37,27 @@ const (
 	// contract must reject the duplicate, and the underlying ciphertexts
 	// are unreadable, so there is nothing useful to copy anyway.
 	StrategyCopyCommit
+	// StrategyGarbledReveal commits honestly but opens with a garbled
+	// ciphertext vector (one byte flipped), so Open(comm, c', key) fails:
+	// the commitment binding must reject the opening on-chain and the
+	// worker ends unrevealed and unpaid.
+	StrategyGarbledReveal
+	// StrategyReplayReveal commits honestly but, instead of opening its own
+	// commitment, replays the first reveal transcript another worker
+	// landed on-chain — the transcript-replay attack. The replayed payload
+	// cannot open this worker's commitment, so the reveal must revert.
+	StrategyReplayReveal
+	// StrategyEquivocate lands two different commitments in the same round
+	// (the double-commit equivocation). The contract must accept exactly
+	// one; the worker keeps the opening of the FIRST it sent, so under an
+	// honest schedule it behaves like an honest worker, while a reordering
+	// adversary can make the other commitment win and strand the opening.
+	StrategyEquivocate
+	// StrategyLateCommit waits until the last round of the commit window
+	// and lands its commitment exactly on the phase boundary. Any
+	// adversarial one-round delay pushes it past the deadline and the
+	// commit reverts.
+	StrategyLateCommit
 )
 
 // Worker is the off-chain worker client.
@@ -135,7 +156,11 @@ func (w *Worker) Prepare() error {
 	}
 	questions, err := w.fetchQuestions(view.publishedParams)
 	if err != nil {
-		return err
+		// The content is not (yet) in off-chain storage, or fails its
+		// integrity check against the on-chain digest — e.g. a requester
+		// withholding publication. A real worker waits and retries; it
+		// never commits to questions it could not verify.
+		return nil
 	}
 	w.preparedAnswers = w.answerFn(questions, view.publishedParams.RangeSize)
 	return nil
@@ -157,18 +182,38 @@ func (w *Worker) StepTxs() ([]*chain.Tx, error) {
 	if !w.committed {
 		return w.commitTxs(view)
 	}
-	if !w.revealed && view.committedRound >= 0 && w.reveal != nil {
+	if !w.revealed && view.committedRound >= 0 {
 		round := w.chain.Round()
 		if round > view.committedRound+contract.RevealRounds {
 			return nil, nil // window missed
 		}
-		w.revealed = true
-		return []*chain.Tx{{
-			From:     w.Addr,
-			Contract: w.contractID,
-			Method:   contract.MethodReveal,
-			Data:     w.reveal.Marshal(),
-		}}, nil
+		if w.strategy == StrategyReplayReveal {
+			// Replay the first reveal transcript another worker landed
+			// on-chain, byte for byte. It cannot open this worker's own
+			// commitment, so the contract must revert it.
+			for _, sub := range view.submissions {
+				if sub.worker == w.Addr {
+					continue
+				}
+				w.revealed = true
+				return []*chain.Tx{{
+					From:     w.Addr,
+					Contract: w.contractID,
+					Method:   contract.MethodReveal,
+					Data:     sub.data,
+				}}, nil
+			}
+			return nil, nil // nothing to replay yet; keep watching
+		}
+		if w.reveal != nil {
+			w.revealed = true
+			return []*chain.Tx{{
+				From:     w.Addr,
+				Contract: w.contractID,
+				Method:   contract.MethodReveal,
+				Data:     w.reveal.Marshal(),
+			}}, nil
+		}
 	}
 	return nil, nil
 }
@@ -198,12 +243,22 @@ func (w *Worker) commitTxs(view *chainView) ([]*chain.Tx, error) {
 		return nil, nil // nothing to copy yet; stay in commit phase
 	}
 
+	if w.strategy == StrategyLateCommit &&
+		w.chain.Round() < view.publishedRound+params.CommitRounds {
+		// Wait for the last admissible round: the commit lands exactly on
+		// the phase boundary (any one-round delay pushes it past the
+		// deadline and it reverts).
+		return nil, nil
+	}
+
 	answers := w.preparedAnswers
 	w.preparedAnswers = nil
 	if answers == nil {
 		questions, err := w.fetchQuestions(params)
 		if err != nil {
-			return nil, err
+			// Content unavailable or failing its integrity check: wait and
+			// retry next round rather than committing blind (see Prepare).
+			return nil, nil
 		}
 		answers = w.answerFn(questions, params.RangeSize)
 	}
@@ -234,16 +289,49 @@ func (w *Worker) commitTxs(view *chainView) ([]*chain.Tx, error) {
 	comm := commit.Commit(reveal.CommitmentPayload(), key)
 
 	w.committed = true
-	if w.strategy != StrategyNoReveal {
+	switch w.strategy {
+	case StrategyNoReveal, StrategyReplayReveal:
+		// Never opens its own commitment (the replayer opens someone
+		// else's transcript instead — see StepTxs).
+	case StrategyGarbledReveal:
+		// Keep an opening whose first ciphertext byte is flipped: the
+		// commitment was computed over the honest payload, so the on-chain
+		// Open must fail and the reveal reverts.
+		garbled := make([][]byte, len(reveal.Cts))
+		for i, ct := range reveal.Cts {
+			garbled[i] = append([]byte{}, ct...)
+		}
+		garbled[0][0] ^= 0xFF
+		w.reveal = &contract.RevealMsg{Cts: garbled, Key: reveal.Key}
+	default:
 		w.reveal = reveal
 	}
 	msg := &contract.CommitMsg{Comm: comm}
-	return []*chain.Tx{{
+	txs := []*chain.Tx{{
 		From:     w.Addr,
 		Contract: w.contractID,
 		Method:   contract.MethodCommit,
 		Data:     msg.Marshal(),
-	}}, nil
+	}}
+	if w.strategy == StrategyEquivocate {
+		// The double-commit equivocation: a second, different commitment
+		// to the same payload (fresh blinding key) lands in the same
+		// round. The contract must accept exactly one; the kept opening
+		// matches the first, so a reordering adversary deciding the race
+		// can strand it.
+		key2, err := commit.NewKey(w.rand)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: second commitment key: %w", err)
+		}
+		msg2 := &contract.CommitMsg{Comm: commit.Commit(reveal.CommitmentPayload(), key2)}
+		txs = append(txs, &chain.Tx{
+			From:     w.Addr,
+			Contract: w.contractID,
+			Method:   contract.MethodCommit,
+			Data:     msg2.Marshal(),
+		})
+	}
+	return txs, nil
 }
 
 // fetchQuestions retrieves the task content from off-chain storage and

@@ -1,0 +1,84 @@
+package sim_test
+
+import (
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dragoon/internal/group"
+	"dragoon/internal/sim"
+	"dragoon/internal/task"
+	"dragoon/internal/worker"
+)
+
+// updateGolden regenerates the committed fingerprint files instead of
+// comparing against them: `make golden`, or
+// `go test ./internal/sim -run TestGoldenFingerprint -update-golden`.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fingerprint files")
+
+// goldenConfig is the golden fixture: a run that traverses the WHOLE
+// protocol — commits, reveals, the golden opening, a VPKE out-of-range
+// rejection, a PoQoEA quality rejection, a no-reveal forfeit, default
+// payments and finalize with dust refund. (The mixed workload of
+// parallel_test.go cancels — its copy-paster starves the quota — so it
+// would pin only the cancellation path.)
+func goldenConfig(t *testing.T) sim.Config {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2020))
+	inst, err := task.Generate(task.GenerateParams{
+		ID: "golden", N: 30, RangeSize: 4, NumGolden: 8,
+		Workers: 5, Threshold: 6, Budget: 5003, // dusty: 5003 % 5 != 0
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := rand.New(rand.NewSource(2020 * 17))
+	return sim.Config{
+		Instance: inst,
+		Group:    group.TestSchnorr(),
+		Workers: []worker.Model{
+			worker.Perfect("perfect", inst.GroundTruth),
+			worker.Accurate("acc", inst.GroundTruth, 0.5, shared),
+			worker.Bot("bot", shared),
+			worker.OutOfRange("oor", inst.GroundTruth, 3, 99),
+			worker.NoReveal("mute", inst.GroundTruth),
+		},
+		Seed: 2020,
+	}
+}
+
+// TestGoldenFingerprint pins the complete observable artifact of a seeded
+// run — every receipt, event, payment and harvested answer — against a
+// committed golden file, so ANY determinism break (an rng drawn in a new
+// order, a reordered transaction, a gas-schedule drift) is caught by a
+// single test run instead of surfacing as a hard-to-bisect cross-platform
+// flake.
+func TestGoldenFingerprint(t *testing.T) {
+	res, err := sim.Run(goldenConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fingerprint(res)
+	path := filepath.Join("testdata", "golden_sim.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `make golden` to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("seeded sim.Run fingerprint drifted from %s.\n"+
+			"If the change is intentional (protocol, gas or rng-order change), regenerate with `make golden` and commit the diff.\n"+
+			"got %d bytes, want %d bytes", path, len(got), len(want))
+	}
+}

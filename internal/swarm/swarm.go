@@ -28,9 +28,16 @@ func New() *Store {
 	return &Store{data: make(map[Digest][]byte)}
 }
 
+// Address returns the content address content would be stored at, without
+// storing it — what a party committing to (but withholding) content can
+// compute offline.
+func Address(content []byte) Digest {
+	return Digest(keccak.Sum256(content))
+}
+
 // Put stores content and returns its address.
 func (s *Store) Put(content []byte) Digest {
-	d := Digest(keccak.Sum256(content))
+	d := Address(content)
 	cp := make([]byte, len(content))
 	copy(cp, content)
 	s.mu.Lock()

@@ -116,3 +116,40 @@ func CopyPaster(name string) Model {
 		Strategy: protocol.StrategyCopyCommit,
 	}
 }
+
+// GarbledRevealer returns a byzantine worker who commits honestly but opens
+// the commitment with a garbled ciphertext vector — the commitment binding
+// must reject the opening on-chain, leaving the worker unrevealed and
+// unpaid.
+func GarbledRevealer(name string, groundTruth []int64) Model {
+	m := Perfect(name, groundTruth)
+	m.Strategy = protocol.StrategyGarbledReveal
+	return m
+}
+
+// Replayer returns a byzantine worker who commits honestly but replays
+// another worker's reveal transcript instead of opening its own commitment
+// — the replay cannot open its commitment and must revert.
+func Replayer(name string, groundTruth []int64) Model {
+	m := Perfect(name, groundTruth)
+	m.Strategy = protocol.StrategyReplayReveal
+	return m
+}
+
+// Equivocator returns a byzantine worker who lands two different
+// commitments in one round (double-commit equivocation). The contract must
+// accept exactly one; the worker keeps the opening of the first it sent.
+func Equivocator(name string, groundTruth []int64) Model {
+	m := Perfect(name, groundTruth)
+	m.Strategy = protocol.StrategyEquivocate
+	return m
+}
+
+// LateCommitter returns a worker who lands its (honest) commitment exactly
+// on the commit-phase boundary — one adversarial round of delay pushes it
+// past the deadline.
+func LateCommitter(name string, groundTruth []int64) Model {
+	m := Perfect(name, groundTruth)
+	m.Strategy = protocol.StrategyLateCommit
+	return m
+}

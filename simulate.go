@@ -30,10 +30,13 @@ type RequesterPolicy = protocol.RequesterPolicy
 // Requester policies (honest, plus the misbehaviours the fairness analysis
 // defeats).
 const (
-	HonestRequester      = protocol.PolicyHonest
-	SilentRequester      = protocol.PolicySilent
-	NoGoldenRequester    = protocol.PolicyNoGolden
-	FalseReportRequester = protocol.PolicyFalseReport
+	HonestRequester            = protocol.PolicyHonest
+	SilentRequester            = protocol.PolicySilent
+	NoGoldenRequester          = protocol.PolicyNoGolden
+	FalseReportRequester       = protocol.PolicyFalseReport
+	PrematureCancelRequester   = protocol.PolicyPrematureCancel
+	GarbledProofRequester      = protocol.PolicyGarbledProof
+	WithholdQuestionsRequester = protocol.PolicyWithholdQuestions
 )
 
 // Scheduler is the network adversary interface: it may reorder each round's
@@ -85,6 +88,30 @@ func NoRevealWorker(name string, groundTruth []int64) WorkerModel {
 // the free-riding attack the protocol's confidentiality defeats.
 func CopyPasteWorker(name string) WorkerModel {
 	return worker.CopyPaster(name)
+}
+
+// GarbledRevealWorker commits honestly but opens the commitment with a
+// garbled ciphertext vector; the binding commitment rejects the opening.
+func GarbledRevealWorker(name string, groundTruth []int64) WorkerModel {
+	return worker.GarbledRevealer(name, groundTruth)
+}
+
+// ReplayWorker commits honestly but replays another worker's reveal
+// transcript instead of opening its own commitment.
+func ReplayWorker(name string, groundTruth []int64) WorkerModel {
+	return worker.Replayer(name, groundTruth)
+}
+
+// EquivocatorWorker lands two different commitments in one round; the
+// contract accepts exactly one.
+func EquivocatorWorker(name string, groundTruth []int64) WorkerModel {
+	return worker.Equivocator(name, groundTruth)
+}
+
+// LateCommitWorker lands its commitment exactly on the commit-phase
+// boundary; one adversarial round of delay pushes it past the deadline.
+func LateCommitWorker(name string, groundTruth []int64) WorkerModel {
+	return worker.LateCommitter(name, groundTruth)
 }
 
 // PriceModel converts gas to US dollars.
