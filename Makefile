@@ -5,7 +5,7 @@
 GO ?= go
 
 .PHONY: build test race bench bench-smoke bench-json fmt fmt-check vet all \
-	golden cover fuzz-smoke
+	golden cover fuzz-smoke docs-check
 
 all: build test
 
@@ -23,7 +23,8 @@ test:
 race:
 	$(GO) test -race ./internal/parallel ./internal/market ./internal/sim \
 		./internal/adversary ./internal/chain ./internal/swarm \
-		./internal/poqoea ./internal/qap ./internal/groth16 ./internal/bn254
+		./internal/poqoea ./internal/batch ./internal/qap \
+		./internal/groth16 ./internal/bn254
 
 # Regenerate the committed golden fingerprint files after an INTENTIONAL
 # protocol/gas/rng-order change (then commit the testdata diff). The golden
@@ -64,6 +65,12 @@ bench-smoke:
 BENCH_WORKERS ?= 0
 bench-json:
 	$(GO) run ./cmd/benchtables -json BENCH_parallel.json -workers $(BENCH_WORKERS)
+
+# Documentation lint (cmd/docscheck): requires a godoc comment on every
+# exported facade symbol and checks every relative markdown link in
+# README.md and docs/*.md. CI runs it right after `make vet`.
+docs-check:
+	$(GO) run ./cmd/docscheck
 
 fmt:
 	gofmt -w .

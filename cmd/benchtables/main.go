@@ -90,10 +90,14 @@ func main() {
 	}
 }
 
-// parallelBenchResult is one measured operation at one pool size.
+// parallelBenchResult is one measured operation at one pool size. Each row
+// records the pool size it ran under as parallel_workers, so a row is
+// interpretable on its own — in particular on single-core hosts, where the
+// floored pool (see the -workers flag) makes "parallel" rows measure pool
+// overhead rather than speedup.
 type parallelBenchResult struct {
 	Name          string  `json:"name"`
-	Workers       int     `json:"workers"`
+	Workers       int     `json:"parallel_workers"`
 	Questions     int     `json:"questions,omitempty"`
 	NsPerOp       int64   `json:"ns_per_op"`
 	NsPerQuestion float64 `json:"ns_per_question,omitempty"`
@@ -102,16 +106,27 @@ type parallelBenchResult struct {
 // parallelBenchReport is the BENCH_parallel.json schema: per-operation
 // timings at workers=1 and workers=ParallelWorkers plus the resulting
 // speedups, so the performance trajectory of the parallel layer is tracked
-// PR over PR.
+// PR over PR. docs/BENCHMARKS.md documents how to read it.
 type parallelBenchReport struct {
 	Timestamp string `json:"timestamp"`
 	GoVersion string `json:"go_version"`
 	NumCPU    int    `json:"num_cpu"`
 	// ParallelWorkers is the pool size of the parallel rows (the -workers
 	// flag; never 1, so Speedups is never empty).
-	ParallelWorkers int                   `json:"parallel_workers"`
-	Results         []parallelBenchResult `json:"results"`
-	Speedups        map[string]float64    `json:"speedups"`
+	ParallelWorkers int `json:"parallel_workers"`
+	// SingleCore flags a NumCPU==1 host: the Speedups map then quantifies
+	// the pool's overhead (values ≈ or below 1), NOT parallel scaling —
+	// without this flag such runs read as performance regressions.
+	SingleCore bool                  `json:"single_core"`
+	Results    []parallelBenchResult `json:"results"`
+	// Speedups is sequential-vs-pool for each operation (workers=1 ns over
+	// workers=ParallelWorkers ns).
+	Speedups map[string]float64 `json:"speedups"`
+	// BatchSpeedups is the ALGORITHMIC speedup of folded verification over
+	// per-proof verification at each batch size, measured at workers=1 so
+	// it is independent of core count ("batch=64": 3 means one fold over 64
+	// claims verifies 3x faster per question than 64 per-proof calls).
+	BatchSpeedups map[string]float64 `json:"batch_speedups"`
 }
 
 // writeParallelJSON benchmarks the parallel hot paths sequentially and at
@@ -156,6 +171,10 @@ func writeParallelJSON(path string, parWorkers int) error {
 		return err
 	}
 	marketCfg := marketBenchConfig()
+	batchClaims, err := batchBenchClaims(sk, batchBenchSizes[len(batchBenchSizes)-1])
+	if err != nil {
+		return err
+	}
 
 	ops := []struct {
 		name      string
@@ -194,6 +213,36 @@ func writeParallelJSON(path string, parWorkers int) error {
 			}
 		}},
 	}
+	// Folded vs per-proof verification at each batch size, plus ONE
+	// per-proof baseline over the largest batch (per-proof cost is linear
+	// in the claim count, so smaller baselines are derived from it).
+	for _, size := range batchBenchSizes {
+		size := size
+		claims := batchClaims[:size]
+		ops = append(ops, struct {
+			name      string
+			questions int
+			fn        func()
+		}{fmt.Sprintf("poqoea_verify_batch%d", size), size * batchBenchParams.N, func() {
+			for _, ok := range poqoea.VerifyBatch(&sk.PublicKey, claims) {
+				if !ok {
+					panic("batched verification rejected an honest claim")
+				}
+			}
+		}})
+	}
+	baselineName := fmt.Sprintf("poqoea_verify_perproof%d", batchBenchSizes[len(batchBenchSizes)-1])
+	ops = append(ops, struct {
+		name      string
+		questions int
+		fn        func()
+	}{baselineName, batchBenchSizes[len(batchBenchSizes)-1] * batchBenchParams.N, func() {
+		for _, c := range batchClaims {
+			if !poqoea.Verify(&sk.PublicKey, c.Cts, c.Chi, c.Proof, c.Statement) {
+				panic("per-proof verification rejected an honest claim")
+			}
+		}
+	}})
 
 	if parWorkers <= 0 {
 		parWorkers = runtime.NumCPU()
@@ -208,7 +257,9 @@ func writeParallelJSON(path string, parWorkers int) error {
 		GoVersion:       runtime.Version(),
 		NumCPU:          runtime.NumCPU(),
 		ParallelWorkers: parWorkers,
+		SingleCore:      runtime.NumCPU() == 1,
 		Speedups:        map[string]float64{},
+		BatchSpeedups:   map[string]float64{},
 	}
 	seqNs := map[string]int64{}
 	for _, workers := range []int{1, parWorkers} {
@@ -233,6 +284,18 @@ func writeParallelJSON(path string, parWorkers int) error {
 		}
 		parallel.SetDefaultWorkers(prev)
 	}
+	// Algorithmic batch speedups at workers=1: per-proof cost scales
+	// linearly with the claim count, so every size's baseline derives from
+	// the one measured per-proof sweep over the largest batch.
+	maxSize := batchBenchSizes[len(batchBenchSizes)-1]
+	if base := seqNs[baselineName]; base > 0 {
+		for _, size := range batchBenchSizes {
+			if t := seqNs[fmt.Sprintf("poqoea_verify_batch%d", size)]; t > 0 {
+				report.BatchSpeedups[fmt.Sprintf("batch=%d", size)] =
+					float64(base) / float64(maxSize) * float64(size) / float64(t)
+			}
+		}
+	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -245,6 +308,11 @@ func writeParallelJSON(path string, parWorkers int) error {
 	for _, op := range ops {
 		if s, ok := report.Speedups[op.name]; ok {
 			fmt.Printf(", %s ×%.2f", op.name, s)
+		}
+	}
+	for _, size := range batchBenchSizes {
+		if s, ok := report.BatchSpeedups[fmt.Sprintf("batch=%d", size)]; ok {
+			fmt.Printf(", batch=%d ×%.2f", size, s)
 		}
 	}
 	fmt.Println(")")
@@ -296,6 +364,23 @@ func marketBenchConfig() market.Config {
 		Population: population,
 		Seed:       600,
 	}
+}
+
+// Batch-verification benchmark workload: folded PoQoEA verification is
+// compared against the per-proof loop at these batch sizes (kept modest so
+// regenerating the JSON stays fast; BenchmarkBatchVerify additionally
+// measures size 512). The claim fixture itself is shared with
+// BenchmarkBatchVerify via task.GenerateClaims, so the committed JSON and
+// the Go benchmark always measure the same workload.
+var batchBenchSizes = []int{1, 8, 64}
+
+// batchBenchParams is the shared claim shape (see task.GenerateClaims):
+// each claim carries Wrong VPKE revelations.
+var batchBenchParams = task.ClaimParams{N: 16, NumGolden: 8, Wrong: 4, RangeSize: 4}
+
+// batchBenchClaims builds n distinct quality claims under sk over BN254.
+func batchBenchClaims(sk *elgamal.PrivateKey, n int) ([]poqoea.Claim, error) {
+	return task.GenerateClaims(sk, n, batchBenchParams, rand.New(rand.NewSource(64)))
 }
 
 // fixture builds the paper's ImageNet proving workload over BN254.

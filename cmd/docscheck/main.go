@@ -1,0 +1,130 @@
+// Command docscheck is the documentation lint behind `make docs-check`. It
+// enforces two invariants CI relies on:
+//
+//  1. every exported symbol of the dragoon facade (the root package —
+//     dragoon.go, simulate.go, marketplace.go, adversary.go, incentive.go)
+//     carries a godoc comment, so the public API is never silently
+//     undocumented;
+//  2. every relative markdown link in README.md and docs/*.md resolves to
+//     an existing file, so the docs tree cannot rot as files move.
+//
+// Usage: docscheck [repo root]  (defaults to the current directory).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	problems = append(problems, lintFacadeDocs(root)...)
+	problems = append(problems, lintMarkdownLinks(root)...)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: facade godoc and markdown links OK")
+}
+
+// lintFacadeDocs parses the root package and reports every exported symbol
+// without a doc comment.
+func lintFacadeDocs(root string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, root, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("docscheck: parsing %s: %v", root, err)}
+	}
+	var problems []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems,
+			fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Recv != nil {
+						continue // the facade exports no methods of its own
+					}
+					if d.Name.IsExported() && d.Doc == nil {
+						report(d.Pos(), "function", d.Name.Name)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							// A doc comment on the const/var block covers
+							// its members (the grouped-constants idiom).
+							if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+								continue
+							}
+							for _, name := range s.Names {
+								if name.IsExported() {
+									report(name.Pos(), "const/var", name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// mdLink matches inline markdown links; the first capture is the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// lintMarkdownLinks checks that every relative link target in README.md
+// and docs/*.md exists.
+func lintMarkdownLinks(root string) []string {
+	files := []string{filepath.Join(root, "README.md")}
+	docs, _ := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	files = append(files, docs...)
+	var problems []string
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("docscheck: %v", err))
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; availability is not this lint's business
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" {
+				continue // intra-document anchor
+			}
+			resolved := filepath.Join(filepath.Dir(f), target)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems,
+					fmt.Sprintf("%s: broken link %q (no file at %s)", f, m[1], resolved))
+			}
+		}
+	}
+	return problems
+}

@@ -76,6 +76,23 @@
 // in a fixed worker order, preserving the differential tests against the
 // ideal functionality F_hit.
 //
+// # Batch verification
+//
+// Verification — the requester's single hottest per-question cost — can be
+// amortized: SetBatchVerify(true) folds independent verification equations
+// into ONE multi-scalar multiplication (or one multi-pairing, for Groth16)
+// per batch via a random linear combination with transcript-seeded
+// exponents. VerifyQualityBatch checks many PoQoEA claims in a single fold,
+// the requester client decodes revealed submissions through a batched
+// well-formedness pass, and the marketplace re-verifies every rejection
+// proof landing in a mined round — across all tasks — in one fold (the
+// round auditor). On a failed fold the engine bisects down to per-proof
+// verification, so verdicts (who gets paid, who gets slashed) are identical
+// to per-proof verification; the adversarial scenario sweep asserts
+// byte-identical fingerprints with batching on and off. Per-run overrides:
+// SimulationConfig.BatchVerify / MarketplaceConfig.BatchVerify /
+// ScenarioOptions.BatchVerify (> 0 on, < 0 off, 0 follows the global knob).
+//
 // # Threat model & adversarial scenarios
 //
 // The paper's security argument (§V) grants the adversary corrupted
@@ -118,6 +135,7 @@ import (
 	"io"
 	"math/rand"
 
+	"dragoon/internal/batch"
 	"dragoon/internal/elgamal"
 	"dragoon/internal/group"
 	"dragoon/internal/ledger"
@@ -136,6 +154,18 @@ func SetParallelism(n int) int { return parallel.SetDefaultWorkers(n) }
 
 // Parallelism reports the effective process-wide worker pool size.
 func Parallelism() int { return parallel.Workers(0) }
+
+// SetBatchVerify flips the process-wide batch-verification knob and returns
+// the previous setting. With batching on, verification consumers fold many
+// proof equations into one multi-scalar multiplication (one multi-pairing
+// for Groth16) with bisection on failure, so throughput rises while every
+// accept/reject verdict stays identical to per-proof verification. Off by
+// default. Per-run overrides: SimulationConfig.BatchVerify,
+// MarketplaceConfig.BatchVerify, ScenarioOptions.BatchVerify.
+func SetBatchVerify(on bool) bool { return batch.SetEnabled(on) }
+
+// BatchVerifyEnabled reports the process-wide batch-verification knob.
+func BatchVerifyEnabled() bool { return batch.Enabled() }
 
 // Group is a prime-order cyclic group backend for the protocol crypto.
 type Group = group.Group
@@ -213,6 +243,21 @@ func VerifyQuality(pk *PublicKey, cts []Ciphertext, chi int, proof *QualityProof
 // Quality evaluates the plaintext quality function Σ_{i∈G}[a_i ≡ s_i].
 func Quality(answers []int64, st QualityStatement) int {
 	return poqoea.Quality(answers, st)
+}
+
+// QualityClaim is one quality claim for batch verification: the encrypted
+// answers, the claimed quality χ, the PoQoEA proof and the public statement
+// — exactly the arguments of one VerifyQuality call.
+type QualityClaim = poqoea.Claim
+
+// VerifyQualityBatch verifies many quality claims in ONE folded check (a
+// single multi-scalar multiplication over all claims' VPKE revelations,
+// random-linear-combination soundness, bisection on failure). It returns
+// one verdict per claim, each identical to what VerifyQuality would return
+// for that claim alone — at a fraction of the cost for large batches (see
+// BenchmarkBatchVerify and docs/BENCHMARKS.md).
+func VerifyQualityBatch(pk *PublicKey, claims []QualityClaim) []bool {
+	return poqoea.VerifyBatch(pk, claims)
 }
 
 // Amount is a ledger coin amount (the smallest unit, think wei).

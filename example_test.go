@@ -2,6 +2,7 @@ package dragoon_test
 
 import (
 	"fmt"
+	"math/big"
 	"math/rand"
 
 	"dragoon"
@@ -74,6 +75,46 @@ func ExampleProveQuality() {
 	// Output:
 	// quality: 1
 	// verified: true
+}
+
+// ExampleVerifyQualityBatch verifies several quality claims in ONE folded
+// check: all claims' VPKE revelations land in a single multi-scalar
+// multiplication (with bisection on failure), so the verdicts match
+// per-claim VerifyQuality at a fraction of the cost — here the middle
+// claim's proof is corrupted and is the only one rejected.
+func ExampleVerifyQualityBatch() {
+	g := dragoon.TestGroup()
+	sk, err := dragoon.KeyGen(g, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	st := dragoon.QualityStatement{
+		GoldenIndices: []int{0, 2},
+		GoldenAnswers: []int64{1, 1},
+		RangeSize:     2,
+	}
+	claims := make([]dragoon.QualityClaim, 3)
+	for i := range claims {
+		// Each worker answers golden question 0 wrongly, so every proof
+		// carries one decryption revelation.
+		cts, err := dragoon.EncryptAnswers(&sk.PublicKey, []int64{0, 1, 1, 0}, nil)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		chi, proof, err := dragoon.ProveQuality(sk, cts, st, nil)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		claims[i] = dragoon.QualityClaim{Cts: cts, Chi: chi, Proof: proof, Statement: st}
+	}
+	claims[1].Proof.Wrong[0].Proof.Z.Add(claims[1].Proof.Wrong[0].Proof.Z, big.NewInt(1))
+
+	fmt.Println(dragoon.VerifyQualityBatch(&sk.PublicKey, claims))
+	// Output:
+	// [true false true]
 }
 
 // ExampleHonestEffortDominates checks a task's incentive design before

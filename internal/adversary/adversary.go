@@ -73,6 +73,12 @@ type Options struct {
 	// Parallelism bounds concurrent per-worker crypto (0 = NumCPU, 1 =
 	// sequential). Runs are deterministic at any setting.
 	Parallelism int
+	// BatchVerify overrides the process-wide batch-verification knob for
+	// the run: > 0 forces batching on (folded proof verification plus the
+	// marketplace round auditor), < 0 forces per-proof verification, 0
+	// follows dragoon.SetBatchVerify. Scenario outcomes are byte-identical
+	// in both modes — the fingerprint sweep in the tests proves it.
+	BatchVerify int
 	// WorkerBalance pre-funds each population member's account.
 	WorkerBalance ledger.Amount
 	// N overrides the generated tasks' question count (0 → 16).
@@ -194,6 +200,7 @@ func (s Scenario) RunSim(opts Options) (*Report, error) {
 		WorkerBalance: opts.WorkerBalance,
 		MaxRounds:     s.MaxRounds,
 		Parallelism:   opts.Parallelism,
+		BatchVerify:   opts.BatchVerify,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("adversary: %s/sim: %w", s.Name, err)
@@ -280,6 +287,7 @@ func (s Scenario) RunMarket(m int, opts Options) (*Report, error) {
 		WorkerBalance: opts.WorkerBalance,
 		MaxRounds:     s.MaxRounds,
 		Parallelism:   opts.Parallelism,
+		BatchVerify:   opts.BatchVerify,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("adversary: %s/market: %w", s.Name, err)
@@ -358,6 +366,7 @@ func RunMatrix(scenarios []Scenario, opts Options) (*Report, error) {
 		WorkerBalance: opts.WorkerBalance,
 		MaxRounds:     maxRoundsOf(scenarios),
 		Parallelism:   opts.Parallelism,
+		BatchVerify:   opts.BatchVerify,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("adversary: matrix: %w", err)

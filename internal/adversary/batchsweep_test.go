@@ -1,0 +1,66 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"dragoon/internal/adversary"
+)
+
+// batchOpts pins the batch-verification mode for a sweep run (±1 tri-state,
+// never the racy global knob: matrix tests run in parallel).
+func batchOpts(mode int) adversary.Options {
+	o := opts(0)
+	o.BatchVerify = mode
+	return o
+}
+
+// TestMatrixBatchSweepSim sweeps every scenario through the sim harness
+// with batch verification forced OFF and forced ON: the adversary-matrix
+// semantics — who gets paid, who gets slashed, every receipt, event and gas
+// charge — must be byte-identical, proving the folded verification path
+// (bisection included) decides exactly like per-proof verification.
+func TestMatrixBatchSweepSim(t *testing.T) {
+	for _, s := range adversary.Matrix() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			perProof, err := s.RunSim(batchOpts(-1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := s.RunSim(batchOpts(+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := batched.CheckInvariants(); err != nil {
+				t.Errorf("batched run violates invariants: %v", err)
+			}
+			if fingerprint(perProof) != fingerprint(batched) {
+				t.Error("batched run diverged from per-proof run")
+			}
+		})
+	}
+}
+
+// TestMatrixBatchSweepSharedChain co-locates the whole participant matrix
+// on one shared chain in both modes. The batched run exercises the
+// marketplace round auditor on real adversarial traffic: every rejection
+// proof accepted in a mined round is re-verified in one cross-task fold,
+// and any fold/contract disagreement fails the run.
+func TestMatrixBatchSweepSharedChain(t *testing.T) {
+	scenarios := adversary.ParticipantMatrix()
+	perProof, err := adversary.RunMatrix(scenarios, batchOpts(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := adversary.RunMatrix(scenarios, batchOpts(+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := batched.CheckInvariants(); err != nil {
+		t.Errorf("batched matrix violates invariants: %v", err)
+	}
+	if fingerprint(perProof) != fingerprint(batched) {
+		t.Error("batched matrix run diverged from per-proof run")
+	}
+}

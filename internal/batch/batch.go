@@ -1,0 +1,64 @@
+// Package batch implements amortized ("batch") verification for the
+// protocol's proof systems: many independent verification equations are
+// folded into ONE algebraic check via a random linear combination (RLC)
+// with small random exponents, so the dominant cost — scalar
+// multiplications, or Miller loops for pairing equations — is paid once per
+// batch through a multi-scalar multiplication instead of once per proof.
+//
+// The engine makes three guarantees its consumers rely on:
+//
+//   - determinism: fold exponents are drawn from a DRBG seeded by a keccak
+//     transcript of the statements being verified (a Fiat–Shamir-style
+//     derivation), so a batch over the same statements folds identically in
+//     every run — seeded protocol executions stay byte-for-byte
+//     reproducible with batching on or off;
+//   - exact verdicts: a failed fold is bisected (sub-folds over halves,
+//     exact per-proof verification at singletons) until the offending
+//     statement indices are identified, so who gets paid and who gets
+//     slashed is identical to per-proof verification. The only deviation is
+//     the standard RLC soundness slack: a batch containing an invalid proof
+//     escapes detection with probability ≤ 2⁻¹²⁸ per fold (≤ 1/order for
+//     smaller groups);
+//   - hostile-input hygiene: structurally malformed statements are rejected
+//     before the fold exactly as the per-proof verifiers reject them, and
+//     externally supplied fold exponents are validated (nonzero, canonical,
+//     pairwise distinct) — a zero or duplicated exponent would let
+//     cancelling invalid proofs slip through the combination.
+//
+// Consumers: poqoea.VerifyBatch (quality claims), groth16.BatchVerify (one
+// multi-pairing for many proofs), the requester's batched submission decode
+// (protocol), and the marketplace round auditor that folds every rejection
+// proof landing in one mined round across all tasks (market).
+//
+// The process-wide knob (SetEnabled, surfaced as dragoon.SetBatchVerify)
+// and per-run overrides (Resolve) let every consumer be flipped between
+// batched and per-proof verification; the adversary-matrix sweep asserts
+// the two modes are fingerprint-identical.
+package batch
+
+import "sync/atomic"
+
+// enabled is the process-wide batching knob (off by default: per-proof
+// verification remains the reference semantics).
+var enabled atomic.Bool
+
+// SetEnabled flips the process-wide batch-verification knob and returns the
+// previous setting. The facade exposes it as dragoon.SetBatchVerify.
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Enabled reports the process-wide batch-verification knob.
+func Enabled() bool { return enabled.Load() }
+
+// Resolve resolves a per-run tri-state override against the process-wide
+// knob: > 0 forces batching on, < 0 forces it off, 0 follows Enabled().
+// Harness configs (market, sim, adversary) carry the tri-state so test
+// sweeps can pin both modes without racing on the global.
+func Resolve(override int) bool {
+	if override > 0 {
+		return true
+	}
+	if override < 0 {
+		return false
+	}
+	return Enabled()
+}

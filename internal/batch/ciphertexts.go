@@ -1,0 +1,34 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+
+	"dragoon/internal/elgamal"
+	"dragoon/internal/group"
+	"dragoon/internal/parallel"
+)
+
+// DecodeCiphertexts decodes and well-formedness-checks many marshaled
+// ElGamal ciphertexts in one batched pass: every element is validated for
+// group membership (the subgroup exponentiation of the test backend, the
+// curve check of BN254) exactly as elgamal.UnmarshalCiphertext would, but
+// the checks fan out over the work pool instead of running one by one —
+// the requester validates a whole round's revealed submissions in a single
+// call. On failure the error of the lowest offending index is returned,
+// matching a sequential decode that stops at the first bad ciphertext.
+//
+// Membership checks stay exact per element rather than folded: group
+// membership is not a linear relation (the curve equation is quadratic, and
+// in the Schnorr backend a random fold misses a wrong-coset element with
+// probability ½), so an RLC here would weaken well-formedness — only the
+// proof equations are folded.
+func DecodeCiphertexts(g group.Group, raws [][]byte) ([]elgamal.Ciphertext, error) {
+	return parallel.Map(context.Background(), len(raws), 0, func(i int) (elgamal.Ciphertext, error) {
+		ct, err := elgamal.UnmarshalCiphertext(g, raws[i])
+		if err != nil {
+			return elgamal.Ciphertext{}, fmt.Errorf("batch: ciphertext %d: %w", i, err)
+		}
+		return ct, nil
+	})
+}

@@ -29,6 +29,16 @@ func New(seed int64, label string) *Reader {
 	return d
 }
 
+// NewFromBytes derives a deterministic reader from arbitrary seed material
+// and a domain label. Batch verification seeds its fold-exponent stream from
+// a keccak transcript of the statements being verified, so the same batch
+// folds identically in every run.
+func NewFromBytes(seed []byte, label string) *Reader {
+	d := &Reader{}
+	d.seed = keccak.Sum256Concat(seed, []byte(label))
+	return d
+}
+
 // Read implements io.Reader; it never fails.
 func (d *Reader) Read(p []byte) (int, error) {
 	n := len(p)

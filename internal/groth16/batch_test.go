@@ -1,0 +1,88 @@
+package groth16_test
+
+import (
+	"math/big"
+	"reflect"
+	"testing"
+
+	"dragoon/internal/bn254"
+	"dragoon/internal/groth16"
+)
+
+// batchFixture builds one circuit and n honest (proof, publics) statements.
+func batchFixture(t *testing.T, n int) (*groth16.VerifyingKey, []groth16.Statement) {
+	t.Helper()
+	cs, w := vpkeSetup(t, 16, 31337, 1)
+	pk, vk, err := groth16.Setup(cs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts := make([]groth16.Statement, n)
+	for i := range sts {
+		proof, err := groth16.Prove(cs, pk, w, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sts[i] = groth16.Statement{PublicInputs: cs.PublicInputs(w), Proof: proof}
+	}
+	return vk, sts
+}
+
+func TestBatchVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("groth16 end-to-end is slow")
+	}
+	vk, sts := batchFixture(t, 6)
+
+	t.Run("all valid", func(t *testing.T) {
+		ok, bad := groth16.BatchVerify(vk, sts)
+		if !ok || len(bad) != 0 {
+			t.Errorf("honest batch rejected: ok=%v bad=%v", ok, bad)
+		}
+	})
+
+	t.Run("single corrupted proof fingered", func(t *testing.T) {
+		tampered := append([]groth16.Statement{}, sts...)
+		evil := 3
+		tampered[evil] = groth16.Statement{
+			PublicInputs: sts[evil].PublicInputs,
+			Proof: &groth16.Proof{
+				A: sts[evil].Proof.A.Add(bn254.G1Generator()), // mangle A
+				B: sts[evil].Proof.B,
+				C: sts[evil].Proof.C,
+			},
+		}
+		ok, bad := groth16.BatchVerify(vk, tampered)
+		if ok || !reflect.DeepEqual(bad, []int{evil}) {
+			t.Errorf("corrupted proof: ok=%v bad=%v, want bad=[3]", ok, bad)
+		}
+	})
+
+	t.Run("tampered public input fingered", func(t *testing.T) {
+		tampered := append([]groth16.Statement{}, sts...)
+		pub := append([]*big.Int{}, sts[1].PublicInputs...)
+		pub[0] = new(big.Int).Add(pub[0], big.NewInt(1))
+		tampered[1] = groth16.Statement{PublicInputs: pub, Proof: sts[1].Proof}
+		ok, bad := groth16.BatchVerify(vk, tampered)
+		if ok || !reflect.DeepEqual(bad, []int{1}) {
+			t.Errorf("tampered publics: ok=%v bad=%v, want bad=[1]", ok, bad)
+		}
+	})
+
+	t.Run("malformed statements flagged without fold", func(t *testing.T) {
+		tampered := append([]groth16.Statement{}, sts...)
+		tampered[0].Proof = nil
+		tampered[4].PublicInputs = tampered[4].PublicInputs[:1]
+		ok, bad := groth16.BatchVerify(vk, tampered)
+		if ok || !reflect.DeepEqual(bad, []int{0, 4}) {
+			t.Errorf("malformed statements: ok=%v bad=%v, want bad=[0 4]", ok, bad)
+		}
+	})
+
+	t.Run("singleton", func(t *testing.T) {
+		ok, bad := groth16.BatchVerify(vk, sts[:1])
+		if !ok || len(bad) != 0 {
+			t.Errorf("singleton: ok=%v bad=%v", ok, bad)
+		}
+	})
+}

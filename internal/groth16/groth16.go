@@ -364,10 +364,12 @@ func bucketIndex(s *big.Int, w, width int) int {
 	return idx
 }
 
-// MSMG1 computes Σ scalars[i]·points[i] over G1 (nil points are skipped).
+// MSMG1 computes Σ scalars[i]·points[i] over G1 (nil points and scalars are
+// skipped). It delegates to the curve's native Jacobian-bucket Pippenger
+// (bn254.MSMG1), which pays one field inversion per sum rather than one per
+// point addition — the dominant cost of the affine generic path.
 func MSMG1(points []*bn254.G1, scalars []*big.Int) *bn254.G1 {
-	ps, ss := filterNil(points, scalars)
-	return msm[*bn254.G1](bn254.G1Infinity(), ps, ss, bn254.Order())
+	return bn254.MSMG1(points, scalars)
 }
 
 // MSMG2 computes Σ scalars[i]·points[i] over G2 (nil points are skipped).

@@ -52,6 +52,19 @@ func (bn254G1) ScalarBaseMul(k *big.Int) Element {
 	return g1Elem{pt: bn254.G1ScalarBaseMul(k)}
 }
 
+// MultiScalarMul implements the optional MultiScalarMuler extension with the
+// curve's Jacobian-bucket Pippenger (one field inversion per sum).
+func (bn254G1) MultiScalarMul(points []Element, scalars []*big.Int) Element {
+	pts := make([]*bn254.G1, len(points))
+	for i, e := range points {
+		if e == nil {
+			continue
+		}
+		pts[i] = asG1(e).pt
+	}
+	return g1Elem{pt: bn254.MSMG1(pts, scalars)}
+}
+
 func (bn254G1) Equal(a, b Element) bool { return asG1(a).pt.Equal(asG1(b).pt) }
 
 func (bn254G1) IsIdentity(a Element) bool { return asG1(a).pt.IsInfinity() }

@@ -58,6 +58,16 @@ type Group interface {
 	ElementLen() int
 }
 
+// MultiScalarMuler is an optional Group extension for backends with a native
+// multi-scalar multiplication. Callers folding many verification equations
+// into one sum (package batch) probe for it with a type assertion; backends
+// without it fall back to a generic interface-level Pippenger. nil points
+// and nil scalars must be skipped.
+type MultiScalarMuler interface {
+	// MultiScalarMul returns Σ scalars[i]·points[i].
+	MultiScalarMul(points []Element, scalars []*big.Int) Element
+}
+
 // ErrWrongGroup is returned when an element from another backend is passed in.
 var ErrWrongGroup = errors.New("group: element belongs to a different group")
 

@@ -1,0 +1,127 @@
+package market
+
+// The marketplace round auditor: cross-task batch verification. Every
+// rejection the contracts accepted in one mined round — across ALL tasks —
+// is re-verified off-chain in a single folded VPKE check (package batch), so
+// an auditor tracking a busy chain pays one multi-scalar multiplication per
+// round instead of six scalar multiplications per revelation. This is the
+// paper's audit property ("the golden standards become public auditable
+// once the HIT is done") made cheap at marketplace scale: the audit is
+// read-only, so receipts, events, gas and payments are byte-identical with
+// auditing on or off, and a fold/contract disagreement — which soundness
+// says cannot happen — fails the run loudly.
+
+import (
+	"fmt"
+	"math/big"
+
+	"dragoon/internal/batch"
+	"dragoon/internal/chain"
+	"dragoon/internal/contract"
+	"dragoon/internal/elgamal"
+	"dragoon/internal/group"
+	"dragoon/internal/ledger"
+	"dragoon/internal/vpke"
+)
+
+// roundAuditor accumulates the receipt cursor and fold statistics of one
+// marketplace run's audit.
+type roundAuditor struct {
+	g     group.Group
+	tasks map[ledger.ContractID]*taskRun
+	seen  int // receipts already audited
+	count int // VPKE statements folded so far
+}
+
+func newRoundAuditor(g group.Group, tasks []*taskRun) *roundAuditor {
+	byID := make(map[ledger.ContractID]*taskRun, len(tasks))
+	for _, t := range tasks {
+		byID[t.id] = t
+	}
+	return &roundAuditor{g: g, tasks: byID}
+}
+
+// auditRound folds every rejection proof that landed since the previous
+// call into one batched verification.
+func (a *roundAuditor) auditRound(ch *chain.Chain) error {
+	rcpts := ch.Receipts()
+	var sts []batch.VPKEStatement
+	for _, rcpt := range rcpts[a.seen:] {
+		a.seen++
+		if rcpt.Reverted() {
+			continue
+		}
+		t, ours := a.tasks[rcpt.Tx.Contract]
+		if !ours {
+			continue
+		}
+		// Only transactions the contract answered with a rejection carry a
+		// verified proof; invalid rejections pay the worker instead and
+		// leave nothing to audit.
+		rejected := false
+		for _, ev := range rcpt.Events {
+			if ev.Name == "rejected" {
+				rejected = true
+				break
+			}
+		}
+		if !rejected {
+			continue
+		}
+		h := t.req.PublicKey().H
+		switch rcpt.Tx.Method {
+		case contract.MethodOutrange:
+			msg, err := contract.UnmarshalOutrange(rcpt.Tx.Data)
+			if err != nil {
+				return fmt.Errorf("market: audit: outrange tx on %q: %w", t.id, err)
+			}
+			st, err := a.statement(h, msg.Ct, msg.Element, msg.Proof)
+			if err != nil {
+				return fmt.Errorf("market: audit: outrange proof on %q: %w", t.id, err)
+			}
+			sts = append(sts, st)
+		case contract.MethodEvaluate:
+			msg, err := contract.UnmarshalEvaluate(rcpt.Tx.Data)
+			if err != nil {
+				return fmt.Errorf("market: audit: evaluate tx on %q: %w", t.id, err)
+			}
+			for _, e := range msg.Wrong {
+				elem := e.Element
+				if e.InRange {
+					elem = a.g.Marshal(a.g.ScalarBaseMul(big.NewInt(e.Value)))
+				}
+				st, err := a.statement(h, e.Ct, elem, e.Proof)
+				if err != nil {
+					return fmt.Errorf("market: audit: evaluate proof on %q: %w", t.id, err)
+				}
+				sts = append(sts, st)
+			}
+		}
+	}
+	if len(sts) == 0 {
+		return nil
+	}
+	if ok, bad := batch.VerifyVPKE(a.g, sts); !ok {
+		return fmt.Errorf("market: audit: round %d: %d of %d accepted rejection proofs failed the batch fold (indices %v)",
+			ch.Round(), len(bad), len(sts), bad)
+	}
+	a.count += len(sts)
+	return nil
+}
+
+// statement decodes one on-chain rejection proof into a fold statement.
+func (a *roundAuditor) statement(h group.Element, ctRaw, elemRaw, proofRaw []byte) (batch.VPKEStatement, error) {
+	ct, err := elgamal.UnmarshalCiphertext(a.g, ctRaw)
+	if err != nil {
+		return batch.VPKEStatement{}, err
+	}
+	gm, err := a.g.Unmarshal(elemRaw)
+	if err != nil {
+		return batch.VPKEStatement{}, err
+	}
+	pi, err := vpke.UnmarshalProof(a.g, proofRaw)
+	if err != nil {
+		return batch.VPKEStatement{}, err
+	}
+	return batch.VPKEStatement{H: h, Gm: gm, Ct: ct, Proof: pi}, nil
+}

@@ -1,0 +1,92 @@
+package market_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dragoon/internal/group"
+	"dragoon/internal/market"
+	"dragoon/internal/task"
+	"dragoon/internal/worker"
+)
+
+// auditConfig builds a two-task marketplace in which each task carries one
+// low-quality and one out-of-range worker, so both rejection flavours
+// (evaluate with PoQoEA revelations, outrange with a VPKE opening) land on
+// the shared chain.
+func auditConfig(t *testing.T, batchVerify int) market.Config {
+	t.Helper()
+	var population []worker.Model
+	specs := make([]market.TaskSpec, 2)
+	for ti := range specs {
+		inst, err := task.Generate(task.GenerateParams{
+			ID: fmt.Sprintf("audit-%d", ti), N: 10, RangeSize: 3, NumGolden: 4,
+			Workers: 3, Threshold: 3, Budget: 900,
+		}, rand.New(rand.NewSource(int64(90+ti))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := append([]int64{}, inst.GroundTruth...)
+		for _, gi := range inst.Golden.Indices[:2] {
+			bad[gi] = (bad[gi] + 1) % inst.Task.RangeSize
+		}
+		enroll := []int{len(population), len(population) + 1, len(population) + 2}
+		population = append(population,
+			worker.Perfect(fmt.Sprintf("good-%d", ti), inst.GroundTruth),
+			worker.Perfect(fmt.Sprintf("lowq-%d", ti), bad),
+			worker.OutOfRange(fmt.Sprintf("oor-%d", ti), inst.GroundTruth, 1, 77),
+		)
+		specs[ti] = market.TaskSpec{Instance: inst, Enroll: enroll}
+	}
+	return market.Config{
+		Tasks:       specs,
+		Group:       group.TestSchnorr(),
+		Population:  population,
+		Seed:        90,
+		BatchVerify: batchVerify,
+	}
+}
+
+// TestRoundAuditorFoldsRejections runs the same marketplace with batching
+// off and on: outcomes must be identical, and the batched run's auditor
+// must have re-verified every rejection proof in cross-task folds.
+func TestRoundAuditorFoldsRejections(t *testing.T) {
+	perProof, err := market.Run(auditConfig(t, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := market.Run(auditConfig(t, +1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if perProof.AuditedProofs != 0 {
+		t.Errorf("per-proof run audited %d proofs, want 0", perProof.AuditedProofs)
+	}
+	// Each task rejects one low-quality worker (2 wrong golden revelations)
+	// and one out-of-range worker (1 opening): 3 statements per task.
+	if want := 6; batched.AuditedProofs != want {
+		t.Errorf("audited %d proofs, want %d", batched.AuditedProofs, want)
+	}
+
+	rejections := 0
+	for ti := range perProof.Tasks {
+		a, b := perProof.Tasks[ti], batched.Tasks[ti]
+		if a.GasTotal != b.GasTotal || a.RequesterBalance != b.RequesterBalance {
+			t.Errorf("task %d diverged between modes: gas %d vs %d, balance %d vs %d",
+				ti, a.GasTotal, b.GasTotal, a.RequesterBalance, b.RequesterBalance)
+		}
+		for wi := range a.Outcomes {
+			if a.Outcomes[wi].Paid != b.Outcomes[wi].Paid || a.Outcomes[wi].Rejected != b.Outcomes[wi].Rejected {
+				t.Errorf("task %d worker %d verdict diverged between modes", ti, wi)
+			}
+			if a.Outcomes[wi].Rejected {
+				rejections++
+			}
+		}
+	}
+	if rejections != 4 {
+		t.Errorf("fixture produced %d rejections, want 4 (one quality + one outrange per task)", rejections)
+	}
+}

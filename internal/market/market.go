@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 
+	"dragoon/internal/batch"
 	"dragoon/internal/chain"
 	"dragoon/internal/contract"
 	"dragoon/internal/drbg"
@@ -109,6 +110,14 @@ type Config struct {
 	// 1 forces fully sequential rounds. Runs are deterministic for a fixed
 	// Seed at any setting.
 	Parallelism int
+	// BatchVerify overrides the process-wide batch-verification knob
+	// (dragoon.SetBatchVerify) for this run: > 0 forces batching on, < 0
+	// forces it off, 0 follows the global setting. With batching on, every
+	// requester decodes revealed submissions through the batched
+	// well-formedness path and a round auditor re-verifies all tasks'
+	// accepted rejection proofs in one fold per mined round; receipts,
+	// events, gas and payments are byte-identical in both modes.
+	BatchVerify int
 }
 
 // TaskSeed returns the effective randomness seed of task i: the spec's own
@@ -163,6 +172,9 @@ type Result struct {
 	Rounds int
 	// GasTotal is the cumulative handling cost across all tasks.
 	GasTotal uint64
+	// AuditedProofs counts the VPKE openings the round auditor re-verified
+	// in cross-task folds (0 unless batch verification was enabled).
+	AuditedProofs int
 	// Ledger and Chain expose the shared final state for deeper assertions.
 	Ledger *ledger.Ledger
 	Chain  *chain.Chain
@@ -244,6 +256,7 @@ func Run(cfg Config) (*Result, error) {
 			Key:          key,
 			CommitRounds: spec.CommitRounds,
 			Rand:         drbg.New(seed, "requester"),
+			BatchVerify:  cfg.BatchVerify,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("market: task %q: %w", id, err)
@@ -313,6 +326,14 @@ func Run(cfg Config) (*Result, error) {
 		t.phase = contract.NewPhaseObserver(ch, t.id)
 	}
 
+	// With batching on, a read-only auditor folds every rejection proof the
+	// contracts accept in a mined round — across all tasks — into one batch
+	// verification (see audit.go); it cannot change the run's transcript.
+	var auditor *roundAuditor
+	if batch.Resolve(cfg.BatchVerify) {
+		auditor = newRoundAuditor(cfg.Group, tasks)
+	}
+
 	// The marketplace clock: all live tasks advance in lockstep, one shared
 	// mined round per iteration.
 	type slot struct {
@@ -371,6 +392,11 @@ func Run(cfg Config) (*Result, error) {
 		if _, err := ch.MineRound(); err != nil {
 			return nil, fmt.Errorf("market: mining round %d: %w", round, err)
 		}
+		if auditor != nil {
+			if err := auditor.auditRound(ch); err != nil {
+				return nil, err
+			}
+		}
 		for _, t := range active {
 			switch t.phase.Phase(ch.Round()) {
 			case contract.PhaseDone:
@@ -386,6 +412,9 @@ func Run(cfg Config) (*Result, error) {
 		Rounds: ch.Round(),
 		Ledger: led,
 		Chain:  ch,
+	}
+	if auditor != nil {
+		res.AuditedProofs = auditor.count
 	}
 
 	// Fold gas by contract and method in one pass over the receipts.

@@ -1,0 +1,96 @@
+package poqoea
+
+// Batched PoQoEA verification: many quality claims checked with ONE folded
+// VPKE equation (package batch) instead of six scalar multiplications per
+// revelation. This is the amortization the marketplace needs — with many
+// tasks settling in the same round, every claim's revelations land in one
+// multi-scalar multiplication — while bisection keeps the per-claim
+// verdicts identical to Verify.
+
+import (
+	"context"
+	"math/big"
+
+	"dragoon/internal/batch"
+	"dragoon/internal/elgamal"
+	"dragoon/internal/parallel"
+)
+
+// Claim is one quality claim for batch verification: the encrypted answer
+// vector, the claimed quality χ, the PoQoEA proof, and the public statement
+// — exactly the arguments of one Verify call.
+type Claim struct {
+	Cts       []elgamal.Ciphertext
+	Chi       int
+	Proof     *Proof
+	Statement Statement
+}
+
+// VerifyBatch verifies many quality claims against one requester key in a
+// single fold. It returns one verdict per claim, and each verdict equals
+// what Verify would return for that claim alone (up to the RLC soundness
+// slack documented on package batch): structural checks run per claim
+// exactly as in Verify, the VPKE revelations of ALL claims are verified in
+// one folded multi-scalar multiplication, and a failed fold is bisected so
+// only the claims with an actually-invalid revelation are rejected.
+func VerifyBatch(pk *elgamal.PublicKey, claims []Claim) []bool {
+	verdicts := make([]bool, len(claims))
+	type pending struct {
+		claim int
+		wrong *WrongAnswer
+	}
+	var work []pending
+	// counted[i] tracks χ plus the structurally valid revelations of claim
+	// i; the coverage check runs after the fold, as in Verify.
+	counted := make([]int, len(claims))
+	for i := range claims {
+		c := &claims[i]
+		if c.Proof == nil || c.Statement.Validate(len(c.Cts)) != nil {
+			continue
+		}
+		if c.Chi < 0 || c.Chi > len(c.Statement.GoldenIndices) {
+			continue
+		}
+		n, ok := structuralCheck(len(c.Cts), c.Chi, c.Proof, c.Statement)
+		if !ok {
+			continue
+		}
+		counted[i] = n
+		verdicts[i] = true // provisional: revelations still to verify
+		for j := range c.Proof.Wrong {
+			work = append(work, pending{claim: i, wrong: &c.Proof.Wrong[j]})
+		}
+	}
+
+	// Lift in-range revelations to group elements (the g^m the fold needs;
+	// the per-proof path pays the same lift inside VerifyValue) and build
+	// the statements in input order.
+	g := pk.Group
+	sts, _ := parallel.Map(context.Background(), len(work), 0, func(k int) (batch.VPKEStatement, error) {
+		w := work[k].wrong
+		gm := w.Plain.Element
+		if w.Plain.InRange {
+			gm = nil
+			if w.Plain.Value >= 0 { // VerifyValue rejects negative claims
+				gm = g.ScalarBaseMul(big.NewInt(w.Plain.Value))
+			}
+		}
+		return batch.VPKEStatement{
+			H:     pk.H,
+			Gm:    gm,
+			Ct:    claims[work[k].claim].Cts[w.Index],
+			Proof: w.Proof,
+		}, nil
+	})
+	if ok, bad := batch.VerifyVPKE(g, sts); !ok {
+		for _, k := range bad {
+			verdicts[work[k].claim] = false
+		}
+	}
+	for i := range claims {
+		if verdicts[i] && counted[i] < len(claims[i].Statement.GoldenIndices) {
+			verdicts[i] = false
+		}
+	}
+	return verdicts
+}

@@ -1,0 +1,118 @@
+package poqoea_test
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"dragoon/internal/elgamal"
+	"dragoon/internal/group"
+	"dragoon/internal/poqoea"
+	"dragoon/internal/task"
+	"dragoon/internal/vpke"
+)
+
+// claimFixture builds n independent quality claims under one key, each with
+// some wrong golden answers so proofs carry revelations.
+func claimFixture(t *testing.T, g group.Group, n int) (*elgamal.PrivateKey, []poqoea.Claim) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	sk, err := elgamal.KeyGen(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claims := make([]poqoea.Claim, n)
+	for i := range claims {
+		inst, err := task.Generate(task.GenerateParams{
+			ID: "batch", N: 12, RangeSize: 3, NumGolden: 4,
+			Workers: 1, Threshold: 2, Budget: 10,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := inst.Golden.Statement(inst.Task.RangeSize)
+		answers := append([]int64{}, inst.GroundTruth...)
+		// Flip i%3+1 golden answers so χ varies across claims.
+		for _, gi := range inst.Golden.Indices[:i%3+1] {
+			answers[gi] = (answers[gi] + 1) % inst.Task.RangeSize
+		}
+		cts, err := poqoea.EncryptAnswers(&sk.PublicKey, answers, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chi, proof, err := poqoea.Prove(sk, cts, st, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		claims[i] = poqoea.Claim{Cts: cts, Chi: chi, Proof: proof, Statement: st}
+	}
+	return sk, claims
+}
+
+// TestVerifyBatchMatchesVerify checks verdict-for-verdict agreement with
+// per-claim Verify over a batch mixing honest claims, a corrupted VPKE
+// proof, an underclaimed χ without coverage, and a structurally bad proof.
+func TestVerifyBatchMatchesVerify(t *testing.T) {
+	g := group.TestSchnorr()
+	sk, claims := claimFixture(t, g, 8)
+
+	// Corrupt one revelation's proof: that claim (and only it) must fail.
+	tamperedProof := *claims[2].Proof
+	tamperedProof.Wrong = append([]poqoea.WrongAnswer{}, claims[2].Proof.Wrong...)
+	w := tamperedProof.Wrong[0]
+	z := new(big.Int).Add(w.Proof.Z, big.NewInt(1))
+	z.Mod(z, g.Order())
+	w.Proof = &vpke.Proof{A: w.Proof.A, B: w.Proof.B, Z: z}
+	tamperedProof.Wrong[0] = w
+	claims[2].Proof = &tamperedProof
+
+	// Underclaim without enough revelations: coverage check must fail.
+	claims[5].Chi = claims[5].Chi - 1
+
+	// Structurally bad: duplicate revelation index.
+	dupProof := *claims[6].Proof
+	dupProof.Wrong = append(append([]poqoea.WrongAnswer{}, claims[6].Proof.Wrong...), claims[6].Proof.Wrong[0])
+	claims[6].Proof = &dupProof
+
+	want := make([]bool, len(claims))
+	for i, c := range claims {
+		want[i] = poqoea.Verify(&sk.PublicKey, c.Cts, c.Chi, c.Proof, c.Statement)
+	}
+	if want[2] || want[5] || want[6] {
+		t.Fatalf("fixture broken: tampered claims verify as %v", want)
+	}
+	got := poqoea.VerifyBatch(&sk.PublicKey, claims)
+	for i := range claims {
+		if got[i] != want[i] {
+			t.Errorf("claim %d: batch verdict %v, Verify verdict %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVerifyBatchOverBN254(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BN254 batch fixture is slow")
+	}
+	g := group.BN254G1()
+	sk, claims := claimFixture(t, g, 3)
+	got := poqoea.VerifyBatch(&sk.PublicKey, claims)
+	for i, c := range claims {
+		want := poqoea.Verify(&sk.PublicKey, c.Cts, c.Chi, c.Proof, c.Statement)
+		if got[i] != want {
+			t.Errorf("claim %d: batch verdict %v, Verify verdict %v", i, got[i], want)
+		}
+	}
+}
+
+func TestVerifyBatchEmptyAndNil(t *testing.T) {
+	g := group.TestSchnorr()
+	sk, claims := claimFixture(t, g, 1)
+	if out := poqoea.VerifyBatch(&sk.PublicKey, nil); len(out) != 0 {
+		t.Error("nil batch should yield no verdicts")
+	}
+	claims = append(claims, poqoea.Claim{}) // nil proof, empty statement
+	got := poqoea.VerifyBatch(&sk.PublicKey, claims)
+	if !got[0] || got[1] {
+		t.Errorf("verdicts %v, want [true false]", got)
+	}
+}

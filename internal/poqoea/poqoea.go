@@ -156,25 +156,9 @@ func Verify(pk *elgamal.PublicKey, cts []elgamal.Ciphertext, claimedQuality int,
 	// a handful of scalar multiplications each — then run as a batch on the
 	// worker pool. The accept/reject verdict is unchanged: every revelation
 	// must verify either way.
-	counted := claimedQuality
-	seen := make(map[int]bool, len(pf.Wrong))
-	for _, w := range pf.Wrong {
-		expect, isGolden := st.expected(w.Index)
-		if !isGolden || seen[w.Index] {
-			return false
-		}
-		seen[w.Index] = true
-		if w.Index >= len(cts) {
-			return false
-		}
-		if w.Plain.InRange {
-			if w.Plain.Value == expect {
-				return false // revealed answer is actually correct
-			}
-		} else if w.Plain.Element == nil {
-			return false
-		}
-		counted++
+	counted, ok := structuralCheck(len(cts), claimedQuality, pf, st)
+	if !ok {
+		return false
 	}
 	errInvalid := errors.New("poqoea: invalid revelation")
 	err := parallel.For(context.Background(), len(pf.Wrong), 0, func(i int) error {
@@ -192,6 +176,35 @@ func Verify(pk *elgamal.PublicKey, cts []elgamal.Ciphertext, claimedQuality int,
 		return false
 	}
 	return counted >= len(st.GoldenIndices)
+}
+
+// structuralCheck runs every non-cryptographic check of Fig. 3's verifier
+// over a proof's revelations — distinct golden-standard positions, indices
+// in range, revealed answers differing from the ground truth — and returns
+// the covered count (claimed quality plus revelations). It is shared by
+// Verify and VerifyBatch so both enforce identical structure.
+func structuralCheck(numCts, claimedQuality int, pf *Proof, st Statement) (int, bool) {
+	counted := claimedQuality
+	seen := make(map[int]bool, len(pf.Wrong))
+	for _, w := range pf.Wrong {
+		expect, isGolden := st.expected(w.Index)
+		if !isGolden || seen[w.Index] {
+			return 0, false
+		}
+		seen[w.Index] = true
+		if w.Index >= numCts {
+			return 0, false
+		}
+		if w.Plain.InRange {
+			if w.Plain.Value == expect {
+				return 0, false // revealed answer is actually correct
+			}
+		} else if w.Plain.Element == nil {
+			return 0, false
+		}
+		counted++
+	}
+	return counted, true
 }
 
 // Quality computes the plaintext quality function Quality(a; G, Gs) =

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 
+	"dragoon/internal/batch"
 	"dragoon/internal/chain"
 	"dragoon/internal/commit"
 	"dragoon/internal/contract"
@@ -84,6 +85,14 @@ type Requester struct {
 	evaluationsSent bool
 	finalizeSent    bool
 
+	// batchVerify selects the batched round-verification path: revealed
+	// submissions are decoded — with per-element well-formedness checks —
+	// in one fan-out per submission instead of element by element. Resolved
+	// once at construction from the config's tri-state override and the
+	// process-wide knob; the decoded vectors (and thus the whole transcript)
+	// are identical either way.
+	batchVerify bool
+
 	// obs is the requester's incrementally-updated view of its contract's
 	// event log (each round folds only the new events).
 	obs *viewObserver
@@ -112,6 +121,10 @@ type RequesterConfig struct {
 	CommitRounds int
 	// Rand supplies protocol randomness (crypto/rand if nil).
 	Rand io.Reader
+	// BatchVerify overrides the process-wide batch-verification knob for
+	// this client: > 0 forces the batched submission-decode path on, < 0
+	// forces it off, 0 follows batch.Enabled() (dragoon.SetBatchVerify).
+	BatchVerify int
 }
 
 // NewRequester creates a requester client, generating its ElGamal key pair
@@ -149,8 +162,18 @@ func NewRequester(cfg RequesterConfig) (*Requester, error) {
 		contractID:   id,
 		policy:       cfg.Policy,
 		commitRounds: cfg.CommitRounds,
+		batchVerify:  batch.Resolve(cfg.BatchVerify),
 		obs:          newViewObserver(cfg.Chain, id),
 	}, nil
+}
+
+// decode reads a revealed submission through the configured verification
+// path (batched or element-by-element; the result is identical).
+func (r *Requester) decode(data []byte) ([]elgamal.Ciphertext, error) {
+	if r.batchVerify {
+		return decodeSubmissionBatched(r.sk.Group, data, r.inst.Task.N())
+	}
+	return decodeSubmission(r.sk.Group, data, r.inst.Task.N())
 }
 
 // ContractID returns the on-chain contract instance this requester drives.
@@ -300,7 +323,7 @@ func (r *Requester) Step() error {
 func (r *Requester) evaluateAll(view *chainView) error {
 	st := r.inst.Golden.Statement(r.inst.Task.RangeSize)
 	for _, sub := range view.submissions {
-		cts, err := decodeSubmission(r.sk.Group, sub.data, r.inst.Task.N())
+		cts, err := r.decode(sub.data)
 		if err != nil {
 			return fmt.Errorf("protocol: decoding submission of %s: %w", sub.worker, err)
 		}
@@ -436,7 +459,7 @@ func (r *Requester) Answers() (map[chain.Address][]int64, error) {
 	view := r.obs.refresh()
 	out := make(map[chain.Address][]int64, len(view.submissions))
 	for _, sub := range view.submissions {
-		cts, err := decodeSubmission(r.sk.Group, sub.data, r.inst.Task.N())
+		cts, err := r.decode(sub.data)
 		if err != nil {
 			return nil, err
 		}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"dragoon/internal/batch"
 	"dragoon/internal/chain"
 	"dragoon/internal/contract"
 	"dragoon/internal/elgamal"
@@ -99,14 +100,13 @@ func (o *viewObserver) refresh() *chainView {
 	return o.view
 }
 
-// decodeSubmission decodes a revealed event payload into ciphertexts.
+// decodeSubmission decodes a revealed event payload into ciphertexts,
+// validating the well-formedness (group membership) of every element one by
+// one.
 func decodeSubmission(g group.Group, data []byte, n int) ([]elgamal.Ciphertext, error) {
-	msg, err := contract.UnmarshalReveal(data)
+	msg, err := parseSubmission(data, n)
 	if err != nil {
 		return nil, err
-	}
-	if len(msg.Cts) != n {
-		return nil, fmt.Errorf("protocol: submission has %d ciphertexts, want %d", len(msg.Cts), n)
 	}
 	cts := make([]elgamal.Ciphertext, n)
 	for i, raw := range msg.Cts {
@@ -115,4 +115,35 @@ func decodeSubmission(g group.Group, data []byte, n int) ([]elgamal.Ciphertext, 
 		}
 	}
 	return cts, nil
+}
+
+// decodeSubmissionBatched is decodeSubmission with the element
+// well-formedness checks fanned out over the work pool in one batched call
+// (batch.DecodeCiphertexts) — the requester's round verification of a
+// revealed submission when batching is enabled. The decoded vector is
+// identical to the sequential path; on failure the lowest offending index's
+// error is returned, as a sequential scan would.
+func decodeSubmissionBatched(g group.Group, data []byte, n int) ([]elgamal.Ciphertext, error) {
+	msg, err := parseSubmission(data, n)
+	if err != nil {
+		return nil, err
+	}
+	cts, err := batch.DecodeCiphertexts(g, msg.Cts)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: %w", err)
+	}
+	return cts, nil
+}
+
+// parseSubmission unwraps a revealed event payload and checks the vector
+// length.
+func parseSubmission(data []byte, n int) (*contract.RevealMsg, error) {
+	msg, err := contract.UnmarshalReveal(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(msg.Cts) != n {
+		return nil, fmt.Errorf("protocol: submission has %d ciphertexts, want %d", len(msg.Cts), n)
+	}
+	return msg, nil
 }

@@ -59,6 +59,11 @@ type Config struct {
 	// workers draw randomness from private per-worker streams and their
 	// transactions are applied to the chain in worker order.
 	Parallelism int
+	// BatchVerify overrides the process-wide batch-verification knob
+	// (dragoon.SetBatchVerify) for this run: > 0 forces batching on, < 0
+	// forces it off, 0 follows the global setting. The run's transcript is
+	// byte-identical in both modes.
+	BatchVerify int
 }
 
 // WorkerOutcome reports one worker's fate.
@@ -110,6 +115,7 @@ func Run(cfg Config) (*Result, error) {
 		WorkerBalance: cfg.WorkerBalance,
 		MaxRounds:     cfg.MaxRounds,
 		Parallelism:   cfg.Parallelism,
+		BatchVerify:   cfg.BatchVerify,
 	})
 	if err != nil {
 		return nil, err

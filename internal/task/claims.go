@@ -1,0 +1,57 @@
+package task
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dragoon/internal/elgamal"
+	"dragoon/internal/poqoea"
+)
+
+// ClaimParams shapes the synthetic quality claims GenerateClaims produces.
+type ClaimParams struct {
+	// N is the question count of each claim's task.
+	N int
+	// NumGolden is the golden-standard count per task.
+	NumGolden int
+	// Wrong is how many golden answers each claim answers incorrectly — and
+	// therefore how many VPKE revelations each proof carries.
+	Wrong int
+	// RangeSize is the per-question option range (must be ≥ 2).
+	RangeSize int64
+}
+
+// GenerateClaims builds n distinct synthetic PoQoEA quality claims under sk
+// (distinct task, answers and ciphertexts per claim), each carrying
+// p.Wrong VPKE revelations. It is the single source of the
+// batch-verification benchmark workload — BenchmarkBatchVerify and
+// `cmd/benchtables -json` measure exactly this fixture, so the committed
+// batch_speedups in BENCH_parallel.json and the Go benchmark stay
+// comparable.
+func GenerateClaims(sk *elgamal.PrivateKey, n int, p ClaimParams, rng *rand.Rand) ([]poqoea.Claim, error) {
+	claims := make([]poqoea.Claim, n)
+	for i := range claims {
+		inst, err := Generate(GenerateParams{
+			ID: fmt.Sprintf("claim-%d", i), N: p.N, RangeSize: p.RangeSize,
+			NumGolden: p.NumGolden, Workers: 1, Threshold: 1, Budget: 100,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		st := inst.Golden.Statement(inst.Task.RangeSize)
+		answers := append([]int64{}, inst.GroundTruth...)
+		for _, gi := range inst.Golden.Indices[:p.Wrong] {
+			answers[gi] = (answers[gi] + 1) % inst.Task.RangeSize
+		}
+		cts, err := poqoea.EncryptAnswers(&sk.PublicKey, answers, rng)
+		if err != nil {
+			return nil, err
+		}
+		chi, proof, err := poqoea.Prove(sk, cts, st, rng)
+		if err != nil {
+			return nil, err
+		}
+		claims[i] = poqoea.Claim{Cts: cts, Chi: chi, Proof: proof, Statement: st}
+	}
+	return claims, nil
+}

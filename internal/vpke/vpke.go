@@ -76,11 +76,8 @@ func VerifyValue(pk *elgamal.PublicKey, m int64, ct elgamal.Ciphertext, pi *Proo
 // element gm = g^m. This is the second branch of the paper's VerifyPKE; the
 // first branch (VerifyValue) reduces to it by lifting m to g^m.
 func VerifyElement(pk *elgamal.PublicKey, gm group.Element, ct elgamal.Ciphertext, pi *Proof) bool {
-	if pi == nil || pi.A == nil || pi.B == nil || pi.Z == nil {
-		return false
-	}
 	g := pk.Group
-	if pi.Z.Sign() < 0 || pi.Z.Cmp(g.Order()) >= 0 {
+	if !ValidShape(g, pi) {
 		return false
 	}
 	c := challenge(g, pi.A, pi.B, pk.H, ct, gm)
@@ -95,6 +92,29 @@ func VerifyElement(pk *elgamal.PublicKey, gm group.Element, ct elgamal.Ciphertex
 	lhs2 := g.ScalarBaseMul(pi.Z)
 	rhs2 := g.Add(pi.B, g.ScalarMul(pk.H, c))
 	return g.Equal(lhs2, rhs2)
+}
+
+// ChallengeFor recomputes the Fiat–Shamir challenge of a proof transcript —
+// C = H(A ‖ B ‖ g ‖ h ‖ c1 ‖ c2 ‖ g^m) reduced into the scalar field — for
+// verifiers that need the challenge value itself rather than the verdict.
+// Batch verification (package batch) folds many proofs' two equations into
+// one multi-scalar multiplication and needs every C_i as a fold scalar. The
+// proof must be shape-valid (see ValidShape); h is the verifier public key
+// the ciphertext was encrypted under.
+func ChallengeFor(g group.Group, h group.Element, gm group.Element, ct elgamal.Ciphertext, pi *Proof) *big.Int {
+	return challenge(g, pi.A, pi.B, h, ct, gm)
+}
+
+// ValidShape reports whether a proof is structurally well-formed: all fields
+// present and the response Z a canonical scalar in [0, order). It is the
+// exact structural precondition VerifyElement enforces before its two
+// verification equations, exported so batch verifiers reject malformed
+// proofs identically to the per-proof path.
+func ValidShape(g group.Group, pi *Proof) bool {
+	if pi == nil || pi.A == nil || pi.B == nil || pi.Z == nil {
+		return false
+	}
+	return pi.Z.Sign() >= 0 && pi.Z.Cmp(g.Order()) < 0
 }
 
 // challenge derives the Fiat–Shamir challenge
