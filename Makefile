@@ -17,9 +17,11 @@ test:
 
 # The parallel fan-out paths with the race detector on: the work pool, the
 # multi-task marketplace and the single-task harness that fan worker rounds
-# out over it, the shared chain with its per-contract event cursors, the
-# shared off-chain store, and the concurrent crypto (PoQoEA batch
-# prove/verify, QAP quotient, Groth16 MSM fork/join, parallel Miller loops).
+# out over it, the shared chain with its optimistic parallel round executor
+# (conflict-matrix + randomized sequential-vs-parallel oracle tests) and
+# per-contract event cursors, the shared off-chain store, and the
+# concurrent crypto (PoQoEA batch prove/verify, QAP quotient, Groth16 MSM
+# fork/join, parallel Miller loops).
 race:
 	$(GO) test -race ./internal/parallel ./internal/market ./internal/sim \
 		./internal/adversary ./internal/chain ./internal/swarm \

@@ -201,6 +201,8 @@ func writeParallelJSON(path string, parWorkers int) error {
 				panic(err)
 			}
 		}},
+		{"chain_execute_m1", 1 * chainExecWorkersPerTask, chainExecuteFn(1)},
+		{"chain_execute_m8", 8 * chainExecWorkersPerTask, chainExecuteFn(8)},
 		{"marketplace_run", marketBenchTasks * marketBenchQuestions, func() {
 			res, err := market.Run(marketCfg)
 			if err != nil {

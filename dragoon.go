@@ -76,6 +76,26 @@
 // in a fixed worker order, preserving the differential tests against the
 // ideal functionality F_hit.
 //
+// # Optimistic parallel block execution
+//
+// The simulated chain itself executes each mined round's transactions with
+// a Block-STM-style optimistic engine when the worker pool is larger than
+// one: the whole schedule runs speculatively in parallel against the
+// pre-round state while every call's storage reads, existence checks and
+// ledger balance/escrow reads are journaled into a read set; each
+// transaction is then validated in schedule order against the keys written
+// by the transactions committed before it, clean ones commit their
+// journals as-is, and conflicting ones are deterministically re-executed.
+// Receipts, gas, events and ledger state are byte-identical to sequential
+// execution — the adversary-matrix sweep asserts it fingerprint-for-
+// fingerprint — so the knob only changes wall-clock time: on-chain
+// rejection-proof verification, the dominant per-transaction cost, scales
+// with cores just like the off-chain crypto. Per-run tri-state overrides:
+// SimulationConfig.ParallelExec / MarketplaceConfig.ParallelExec /
+// ScenarioOptions.ParallelExec (> 0 forces the executor on, < 0 forces
+// sequential rounds, 0 defaults to on exactly when the effective pool
+// exceeds one worker).
+//
 // # Batch verification
 //
 // Verification — the requester's single hottest per-question cost — can be

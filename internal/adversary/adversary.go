@@ -79,6 +79,13 @@ type Options struct {
 	// follows dragoon.SetBatchVerify. Scenario outcomes are byte-identical
 	// in both modes — the fingerprint sweep in the tests proves it.
 	BatchVerify int
+	// ParallelExec overrides optimistic parallel block execution on the
+	// run's chain: > 0 forces the Block-STM-style round executor on, < 0
+	// forces strictly sequential round execution, 0 defaults to on exactly
+	// when the effective worker pool is larger than one. Scenario outcomes
+	// are byte-identical in both modes — the execution sweep in the tests
+	// proves it.
+	ParallelExec int
 	// WorkerBalance pre-funds each population member's account.
 	WorkerBalance ledger.Amount
 	// N overrides the generated tasks' question count (0 → 16).
@@ -201,6 +208,7 @@ func (s Scenario) RunSim(opts Options) (*Report, error) {
 		MaxRounds:     s.MaxRounds,
 		Parallelism:   opts.Parallelism,
 		BatchVerify:   opts.BatchVerify,
+		ParallelExec:  opts.ParallelExec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("adversary: %s/sim: %w", s.Name, err)
@@ -288,6 +296,7 @@ func (s Scenario) RunMarket(m int, opts Options) (*Report, error) {
 		MaxRounds:     s.MaxRounds,
 		Parallelism:   opts.Parallelism,
 		BatchVerify:   opts.BatchVerify,
+		ParallelExec:  opts.ParallelExec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("adversary: %s/market: %w", s.Name, err)
@@ -367,6 +376,7 @@ func RunMatrix(scenarios []Scenario, opts Options) (*Report, error) {
 		MaxRounds:     maxRoundsOf(scenarios),
 		Parallelism:   opts.Parallelism,
 		BatchVerify:   opts.BatchVerify,
+		ParallelExec:  opts.ParallelExec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("adversary: matrix: %w", err)

@@ -1,0 +1,67 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"dragoon/internal/adversary"
+)
+
+// execOpts pins the parallel-execution mode for a sweep run (±1 tri-state:
+// +1 forces the optimistic Block-STM-style round executor on with at least
+// two workers, -1 forces strictly sequential round execution).
+func execOpts(mode int) adversary.Options {
+	o := opts(0)
+	o.ParallelExec = mode
+	return o
+}
+
+// TestMatrixExecSweepSim sweeps every scenario through the sim harness with
+// optimistic parallel block execution forced OFF and forced ON: receipts,
+// gas, events, payments — the whole fingerprint — must be byte-identical,
+// proving speculate → validate → commit re-executes exactly the
+// transactions whose reads were invalidated and changes nothing observable.
+func TestMatrixExecSweepSim(t *testing.T) {
+	for _, s := range adversary.Matrix() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			sequential, err := s.RunSim(execOpts(-1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			optimistic, err := s.RunSim(execOpts(+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := optimistic.CheckInvariants(); err != nil {
+				t.Errorf("parallel-execution run violates invariants: %v", err)
+			}
+			if fingerprint(sequential) != fingerprint(optimistic) {
+				t.Error("parallel-execution run diverged from sequential execution")
+			}
+		})
+	}
+}
+
+// TestMatrixExecSweepSharedChain co-locates the whole participant matrix on
+// one shared chain in both execution modes — the workload the executor
+// exists for: every round mines M tasks' transactions at once, worker
+// commits hit disjoint contract keys, and finalize/evaluate rounds exercise
+// the escrow conflict path.
+func TestMatrixExecSweepSharedChain(t *testing.T) {
+	scenarios := adversary.ParticipantMatrix()
+	sequential, err := adversary.RunMatrix(scenarios, execOpts(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimistic, err := adversary.RunMatrix(scenarios, execOpts(+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := optimistic.CheckInvariants(); err != nil {
+		t.Errorf("parallel-execution matrix violates invariants: %v", err)
+	}
+	if fingerprint(sequential) != fingerprint(optimistic) {
+		t.Error("parallel-execution matrix run diverged from sequential execution")
+	}
+}

@@ -89,14 +89,25 @@ type Chain struct {
 	mu        sync.Mutex
 	ledger    *ledger.Ledger
 	round     int
+	version   uint64 // state version: bumps once per committed state-writing tx
 	contracts map[ledger.ContractID]Contract
 	storage   map[ledger.ContractID]map[string][]byte
 	mempool   []*Tx
+	submitted map[*Tx]struct{}
 	receipts  []*Receipt
 	events    []Event
 	eventsFor map[ledger.ContractID][]Event
 	scheduler Scheduler
 	gasByAddr map[Address]uint64
+
+	// execWorkers selects the round-execution engine: <= 1 executes the
+	// schedule strictly sequentially; > 1 runs the optimistic parallel
+	// executor (executor.go) with that many workers. The two are
+	// byte-identical in every observable (receipts, gas, events, ledger).
+	execWorkers int
+	// Executor telemetry (see ExecStats).
+	execSpeculated uint64
+	execConflicts  uint64
 }
 
 // New creates a chain over l with the given adversary (FIFO if nil).
@@ -108,6 +119,7 @@ func New(l *ledger.Ledger, s Scheduler) *Chain {
 		ledger:    l,
 		contracts: make(map[ledger.ContractID]Contract),
 		storage:   make(map[ledger.ContractID]map[string][]byte),
+		submitted: make(map[*Tx]struct{}),
 		eventsFor: make(map[ledger.ContractID][]Event),
 		scheduler: s,
 		gasByAddr: make(map[Address]uint64),
@@ -145,12 +157,24 @@ func (c *Chain) Deploy(id ledger.ContractID, contract Contract, codeSize int, fr
 	return rcpt, nil
 }
 
-// Submit queues a transaction for the current round's mempool.
-func (c *Chain) Submit(tx *Tx) {
+// Submit queues a transaction for the current round's mempool. Each *Tx
+// value may be submitted exactly once: the chain owns the transaction's
+// synchrony bookkeeping (arrivalRound, the one-round delay marker) after
+// submission, so resubmitting a pointer would silently clobber it — a
+// reused delayed transaction could dodge the synchrony bound entirely.
+// Submit rejects the reuse instead; callers wanting a retry must build a
+// fresh Tx value.
+func (c *Chain) Submit(tx *Tx) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, dup := c.submitted[tx]; dup {
+		return fmt.Errorf("chain: transaction %s/%s from %s already submitted (reuse would corrupt synchrony bookkeeping; build a new Tx)",
+			tx.Contract, tx.Method, tx.From)
+	}
+	c.submitted[tx] = struct{}{}
 	tx.arrivalRound = c.round
 	c.mempool = append(c.mempool, tx)
+	return nil
 }
 
 // MineRound consults the adversary, executes the scheduled transactions in
@@ -173,10 +197,7 @@ func (c *Chain) MineRound() ([]*Receipt, error) {
 		return nil, err
 	}
 
-	var receipts []*Receipt
-	for _, tx := range order {
-		receipts = append(receipts, c.execute(tx))
-	}
+	receipts := c.executeRound(order)
 	for _, tx := range delay {
 		tx.delayed = true
 	}
@@ -217,36 +238,60 @@ func validateSchedule(mandatory, fresh, order, delay []*Tx) error {
 	return nil
 }
 
-// execute runs one transaction with transactional (revert-on-error)
-// semantics. Caller holds c.mu.
-func (c *Chain) execute(tx *Tx) *Receipt {
+// run executes one transaction against the chain's current committed state
+// WITHOUT committing its journal: the receipt carries the gas and the
+// revert error (if any), and the returned Env holds the call's read set,
+// write journal and events. The Env is nil only for a transaction to an
+// unknown contract. run performs no writes, so many runs may proceed
+// concurrently as long as nothing commits underneath them — the
+// speculation phase of the parallel executor. Caller holds c.mu.
+func (c *Chain) run(tx *Tx) (*Receipt, *Env) {
 	rcpt := &Receipt{Tx: tx, Round: c.round}
 	contract, ok := c.contracts[tx.Contract]
 	if !ok {
 		rcpt.GasUsed = gas.TxBase
 		rcpt.Err = fmt.Errorf("chain: no contract %q", tx.Contract)
-	} else {
-		env := newEnv(c, tx.Contract)
-		env.UseGas(gas.TxBase + gas.CalldataCost(tx.Data))
-		err := contract.Execute(env, tx.From, tx.Method, tx.Data)
-		rcpt.GasUsed = env.gasUsed
-		if err != nil {
-			rcpt.Err = err // revert: discard journal
+		return rcpt, nil
+	}
+	env := newEnv(c, tx.Contract)
+	env.UseGas(gas.TxBase + gas.CalldataCost(tx.Data))
+	rcpt.Err = contract.Execute(env, tx.From, tx.Method, tx.Data)
+	rcpt.GasUsed = env.gasUsed
+	return rcpt, env
+}
+
+// commitTx finalizes one executed transaction in schedule order: on success
+// it applies the journal (ledger freezes/pays, then storage), publishes the
+// events and bumps the state version; reverts discard the journal. Gas
+// accounting and the receipt log are appended either way. Caller holds
+// c.mu.
+func (c *Chain) commitTx(rcpt *Receipt, env *Env) {
+	if env != nil && rcpt.Err == nil {
+		if applyErr := env.commit(); applyErr != nil {
+			rcpt.Err = applyErr
 		} else {
-			if applyErr := env.commit(); applyErr != nil {
-				rcpt.Err = applyErr
-			} else {
-				rcpt.Events = env.events
-				c.events = append(c.events, env.events...)
-				// Every event of this call carries tx.Contract (Emit stamps
-				// the env's contract ID), so the whole batch indexes there.
-				c.eventsFor[tx.Contract] = append(c.eventsFor[tx.Contract], env.events...)
+			rcpt.Events = env.events
+			c.events = append(c.events, env.events...)
+			// Every event of this call carries the env's contract ID (Emit
+			// stamps it), so the whole batch indexes there.
+			c.eventsFor[env.contractID] = append(c.eventsFor[env.contractID], env.events...)
+			if env.hasWrites() {
+				c.version++
 			}
 		}
 	}
-	c.gasByAddr[tx.From] += rcpt.GasUsed
+	c.gasByAddr[rcpt.Tx.From] += rcpt.GasUsed
 	c.receipts = append(c.receipts, rcpt)
-	return rcpt
+}
+
+// execute runs one transaction with transactional (revert-on-error)
+// semantics against committed state — the sequential reference engine, and
+// the deterministic re-execution path of the parallel executor. Caller
+// holds c.mu.
+func (c *Chain) execute(tx *Tx) (*Receipt, *Env) {
+	rcpt, env := c.run(tx)
+	c.commitTx(rcpt, env)
+	return rcpt, env
 }
 
 // Receipts returns all receipts so far, in execution order.

@@ -3,6 +3,7 @@ package chain
 import (
 	"fmt"
 	"math/big"
+	"sort"
 
 	"dragoon/internal/gas"
 	"dragoon/internal/group"
@@ -10,16 +11,104 @@ import (
 	"dragoon/internal/ledger"
 )
 
+// StateView is the versioned source of committed chain state a contract
+// call reads through: journaled storage (per contract), ledger balances and
+// contract escrows. The Env records every read it serves from a StateView
+// in the call's read set, which is what lets the optimistic round executor
+// (executor.go) validate a speculatively executed transaction against the
+// writes of lower-indexed transactions. Version returns the chain's state
+// version — a counter bumped once per committed state-writing transaction —
+// so a validator can skip the read-set scan entirely when nothing was
+// committed since the view was taken.
+//
+// Byte slices returned by StorageGet are the committed values themselves,
+// not copies; callers must not modify them (Env copies before handing data
+// to contract code).
+type StateView interface {
+	Round() int
+	Version() uint64
+	StorageGet(id ledger.ContractID, key string) ([]byte, bool)
+	StorageExists(id ledger.ContractID, key string) bool
+	Balance(p ledger.AccountID) ledger.Amount
+	Escrow(f ledger.ContractID) ledger.Amount
+}
+
+// liveState is the canonical StateView: the chain's committed storage and
+// the live ledger. During sequential execution (and ordered re-execution)
+// it reflects every lower-indexed transaction's writes; during the
+// speculation phase of the parallel executor nothing commits, so it is a
+// stable pre-round snapshot that many goroutines may read concurrently.
+type liveState struct{ chain *Chain }
+
+func (v liveState) Round() int      { return v.chain.round }
+func (v liveState) Version() uint64 { return v.chain.version }
+
+func (v liveState) StorageGet(id ledger.ContractID, key string) ([]byte, bool) {
+	val, ok := v.chain.storage[id][key]
+	return val, ok
+}
+
+func (v liveState) StorageExists(id ledger.ContractID, key string) bool {
+	_, ok := v.chain.storage[id][key]
+	return ok
+}
+
+func (v liveState) Balance(p ledger.AccountID) ledger.Amount { return v.chain.ledger.Balance(p) }
+
+func (v liveState) Escrow(f ledger.ContractID) ledger.Amount { return v.chain.ledger.Escrow(f) }
+
+// rwKind discriminates the three state spaces conflict detection tracks.
+type rwKind uint8
+
+const (
+	rwStorage rwKind = iota + 1 // a contract storage slot
+	rwBalance                   // a ledger account balance
+	rwEscrow                    // a contract escrow balance
+)
+
+// rwKey identifies one unit of chain state for read/write-set conflict
+// detection: a storage slot (owner = contract ID), an account balance
+// (owner = account), or a contract escrow (owner = contract ID).
+type rwKey struct {
+	kind  rwKind
+	owner string
+	slot  string // storage key; empty for balance/escrow
+}
+
+// String renders the key for diagnostics and tests.
+func (k rwKey) String() string {
+	switch k.kind {
+	case rwStorage:
+		return fmt.Sprintf("storage:%s:%s", k.owner, k.slot)
+	case rwBalance:
+		return "balance:" + k.owner
+	case rwEscrow:
+		return "escrow:" + k.owner
+	default:
+		return fmt.Sprintf("rwKey(%d):%s:%s", k.kind, k.owner, k.slot)
+	}
+}
+
 // Env is the metered execution environment handed to a contract call. All
 // state effects (storage writes, events, ledger transfers) are journaled and
 // applied only if the call completes without error, giving EVM-style revert
-// semantics.
+// semantics. Every base-state read the call performs — storage loads,
+// existence checks (SSTORE billing depends on them), ledger balance reads
+// inside Freeze, escrow reads inside Pay — lands in the call's read set,
+// and the journals double as its write set, so the parallel executor can
+// decide after the fact whether a speculative execution observed state any
+// lower-indexed transaction went on to write.
 type Env struct {
 	chain      *Chain
+	view       StateView
 	contractID ledger.ContractID
 	gasUsed    uint64
 
-	// Journals.
+	// reads is the call's read set over base state. Reads satisfied by the
+	// call's own journal are not base reads and are not recorded.
+	reads map[rwKey]struct{}
+
+	// Journals (the write set).
 	storeWrites map[string][]byte
 	events      []Event
 	freezes     []ledgerOp
@@ -38,14 +127,16 @@ type ledgerOp struct {
 func newEnv(c *Chain, id ledger.ContractID) *Env {
 	return &Env{
 		chain:         c,
+		view:          liveState{chain: c},
 		contractID:    id,
+		reads:         make(map[rwKey]struct{}),
 		storeWrites:   make(map[string][]byte),
 		pendingFrozen: make(map[ledger.AccountID]ledger.Amount),
 	}
 }
 
 // Round returns the current clock round.
-func (e *Env) Round() int { return e.chain.round }
+func (e *Env) Round() int { return e.view.Round() }
 
 // GasUsed returns the gas consumed so far in this call.
 func (e *Env) GasUsed() uint64 { return e.gasUsed }
@@ -65,9 +156,16 @@ func (e *Env) ChargeMemory(n int) {
 	e.UseGas(gas.MemoryWord * uint64((n+31)/32))
 }
 
-// StoreSet writes a storage slot (journaled; charged as SSTORE).
+// recordRead adds one base-state key to the call's read set.
+func (e *Env) recordRead(k rwKey) {
+	e.reads[k] = struct{}{}
+}
+
+// StoreSet writes a storage slot (journaled; charged as SSTORE). The
+// existence check deciding between the set and reset prices is a genuine
+// state read and enters the read set.
 func (e *Env) StoreSet(key string, val []byte) {
-	if _, exists := e.loadRaw(key); exists {
+	if e.exists(key) {
 		e.UseGas(gas.SStoreReset)
 	} else {
 		e.UseGas(gas.SStoreSet)
@@ -84,15 +182,30 @@ func (e *Env) StoreGet(key string) ([]byte, bool) {
 	return e.loadRaw(key)
 }
 
+// loadRaw returns a copy of the slot's current value: the call's own
+// journaled write if present, otherwise the base state (recorded as a
+// read).
 func (e *Env) loadRaw(key string) ([]byte, bool) {
 	if v, ok := e.storeWrites[key]; ok {
 		return append([]byte{}, v...), true
 	}
-	v, ok := e.chain.storage[e.contractID][key]
+	e.recordRead(rwKey{kind: rwStorage, owner: string(e.contractID), slot: key})
+	v, ok := e.view.StorageGet(e.contractID, key)
 	if !ok {
 		return nil, false
 	}
 	return append([]byte{}, v...), true
+}
+
+// exists reports whether the slot currently holds a value, without copying
+// it — the existence-only lookup the SSTORE billing path needs (copying
+// every prior value just to test existence made each overwrite allocate).
+func (e *Env) exists(key string) bool {
+	if _, ok := e.storeWrites[key]; ok {
+		return true
+	}
+	e.recordRead(rwKey{kind: rwStorage, owner: string(e.contractID), slot: key})
+	return e.view.StorageExists(e.contractID, key)
 }
 
 // Emit records an event (journaled; charged as LOG with the given topics).
@@ -104,16 +217,20 @@ func (e *Env) Emit(name string, topics int, data []byte) {
 		Contract: e.contractID,
 		Name:     name,
 		Data:     cp,
-		Round:    e.chain.round,
+		Round:    e.view.Round(),
 	})
 }
 
 // Freeze escrows amount coins from party p into this contract (the ledger's
 // FreezeCoins oracle). Insufficient funds fail immediately — the "nofund"
 // branch of the ideal functionality — reverting the call if propagated.
+// The balance read enters the read set; the freeze itself writes both the
+// party's balance and this contract's escrow.
 func (e *Env) Freeze(p ledger.AccountID, amount ledger.Amount) error {
-	available := e.chain.ledger.Balance(p) - e.pendingFrozen[p]
-	if e.chain.ledger.Balance(p) < e.pendingFrozen[p] || available < amount {
+	e.recordRead(rwKey{kind: rwBalance, owner: string(p)})
+	balance := e.view.Balance(p)
+	available := balance - e.pendingFrozen[p]
+	if balance < e.pendingFrozen[p] || available < amount {
 		return fmt.Errorf("chain: nofund freezing %d from %s", amount, p)
 	}
 	e.pendingFrozen[p] += amount
@@ -124,15 +241,77 @@ func (e *Env) Freeze(p ledger.AccountID, amount ledger.Amount) error {
 
 // Pay releases amount escrowed coins to party p (the ledger's PayCoins
 // oracle), validated against the contract's escrow including intra-call
-// freezes and payments.
+// freezes and payments. The escrow read enters the read set; the payment
+// writes the escrow and the party's balance.
 func (e *Env) Pay(p ledger.AccountID, amount ledger.Amount) error {
-	escrow := int64(e.chain.ledger.Escrow(e.contractID)) + e.pendingEscrow
+	e.recordRead(rwKey{kind: rwEscrow, owner: string(e.contractID)})
+	escrow := int64(e.view.Escrow(e.contractID)) + e.pendingEscrow
 	if escrow < int64(amount) {
 		return fmt.Errorf("chain: escrow %d cannot pay %d to %s", escrow, amount, p)
 	}
 	e.pendingEscrow -= int64(amount)
 	e.pays = append(e.pays, ledgerOp{party: p, amount: amount})
 	return nil
+}
+
+// hasWrites reports whether the call's journal contains any state write.
+func (e *Env) hasWrites() bool {
+	return len(e.storeWrites) > 0 || len(e.freezes) > 0 || len(e.pays) > 0
+}
+
+// writeKeys adds every state key the call's journal writes into the given
+// set: storage slots, frozen parties' balances, paid parties' balances, and
+// this contract's escrow for any ledger movement.
+func (e *Env) writeKeys(into map[rwKey]struct{}) {
+	for k := range e.storeWrites {
+		into[rwKey{kind: rwStorage, owner: string(e.contractID), slot: k}] = struct{}{}
+	}
+	if len(e.freezes) > 0 || len(e.pays) > 0 {
+		into[rwKey{kind: rwEscrow, owner: string(e.contractID)}] = struct{}{}
+	}
+	for _, op := range e.freezes {
+		into[rwKey{kind: rwBalance, owner: string(op.party)}] = struct{}{}
+	}
+	for _, op := range e.pays {
+		into[rwKey{kind: rwBalance, owner: string(op.party)}] = struct{}{}
+	}
+}
+
+// conflictsWith reports whether any key in the call's read set is in the
+// given write-key set — the optimistic validation predicate: a speculative
+// execution is reusable exactly when none of the state it observed was
+// written by a lower-indexed transaction.
+func (e *Env) conflictsWith(written map[rwKey]struct{}) bool {
+	if len(written) == 0 {
+		return false
+	}
+	for k := range e.reads {
+		if _, dirty := written[k]; dirty {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadSet returns the call's recorded base-state reads as sorted diagnostic
+// strings (tests assert the conflict-detection surface through it).
+func (e *Env) ReadSet() []string { return renderKeys(e.reads) }
+
+// WriteSet returns the call's journaled write keys as sorted diagnostic
+// strings.
+func (e *Env) WriteSet() []string {
+	keys := make(map[rwKey]struct{})
+	e.writeKeys(keys)
+	return renderKeys(keys)
+}
+
+func renderKeys(keys map[rwKey]struct{}) []string {
+	out := make([]string, 0, len(keys))
+	for k := range keys {
+		out = append(out, k.String())
+	}
+	sort.Strings(out)
+	return out
 }
 
 // commit applies the journal. The ledger operations were validated when

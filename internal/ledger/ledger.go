@@ -60,9 +60,12 @@ type Event struct {
 	Amount   Amount
 }
 
-// Ledger is the coin functionality. It is safe for concurrent use.
+// Ledger is the coin functionality. It is safe for concurrent use; reads
+// (Balance, Escrow, Events, TotalSupply) take a shared lock, so the chain's
+// optimistic executor can speculate many balance/escrow reads concurrently
+// without serializing on the ledger.
 type Ledger struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	balances map[AccountID]Amount
 	escrow   map[ContractID]Amount
 	events   []Event
@@ -88,15 +91,15 @@ func (l *Ledger) Mint(p AccountID, b Amount) {
 
 // Balance returns the liquid balance of a party.
 func (l *Ledger) Balance(p AccountID) Amount {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return l.balances[p]
 }
 
 // Escrow returns the frozen balance held by a contract.
 func (l *Ledger) Escrow(f ContractID) Amount {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return l.escrow[f]
 }
 
@@ -133,8 +136,8 @@ func (l *Ledger) PayCoins(f ContractID, p AccountID, b Amount) error {
 
 // Events returns a copy of the public event trace.
 func (l *Ledger) Events() []Event {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	out := make([]Event, len(l.events))
 	copy(out, l.events)
 	return out
@@ -142,8 +145,8 @@ func (l *Ledger) Events() []Event {
 
 // TotalSupply returns the amount ever minted.
 func (l *Ledger) TotalSupply() Amount {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return l.total
 }
 
@@ -151,8 +154,8 @@ func (l *Ledger) TotalSupply() Amount {
 // plus escrows equal total supply. It returns an error describing the
 // discrepancy, if any.
 func (l *Ledger) CheckConservation() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	var sum Amount
 	for _, b := range l.balances {
 		sum += b
@@ -169,8 +172,8 @@ func (l *Ledger) CheckConservation() error {
 // Accounts returns all account IDs with nonzero balance, sorted, for
 // deterministic reporting.
 func (l *Ledger) Accounts() []AccountID {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	out := make([]AccountID, 0, len(l.balances))
 	for id, b := range l.balances {
 		if b > 0 {

@@ -1,0 +1,65 @@
+package market_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dragoon/internal/market"
+)
+
+// chainFP folds a run's full chain transcript — every receipt and every
+// event, in order — into one comparable string.
+func chainFP(res *market.Result) string {
+	s := ""
+	for _, rcpt := range res.Chain.Receipts() {
+		s += fmt.Sprintf("rcpt r=%d from=%s c=%s m=%s gas=%d err=%v\n",
+			rcpt.Round, rcpt.Tx.From, rcpt.Tx.Contract, rcpt.Tx.Method, rcpt.GasUsed, rcpt.Err)
+	}
+	for _, ev := range res.Chain.Events() {
+		s += fmt.Sprintf("ev r=%d %s/%s %x\n", ev.Round, ev.Contract, ev.Name, ev.Data)
+	}
+	for _, ev := range res.Ledger.Events() {
+		s += fmt.Sprintf("led %v %s %s %d\n", ev.Kind, ev.Contract, ev.Party, ev.Amount)
+	}
+	return s
+}
+
+// TestMarketplaceParallelExecution runs the full 8-task marketplace with
+// strictly sequential round execution and with the optimistic parallel
+// executor forced on, and requires the complete chain transcript — every
+// receipt, contract event and ledger event, plus each task's end state — to
+// be byte-identical. It also asserts the executor actually engaged
+// (transactions were speculated) so the comparison is not vacuous.
+func TestMarketplaceParallelExecution(t *testing.T) {
+	seqCfg := buildConfig(t)
+	seqCfg.ParallelExec = -1
+	seq, err := market.Run(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec, _ := seq.Chain.ExecStats(); spec != 0 {
+		t.Fatalf("sequential run speculated %d txs; want 0", spec)
+	}
+
+	parCfg := buildConfig(t)
+	parCfg.ParallelExec = +1
+	par, err := market.Run(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, reexec := par.Chain.ExecStats()
+	if spec == 0 {
+		t.Fatal("optimistic executor never speculated a transaction")
+	}
+	t.Logf("executor: %d speculated, %d re-executed (%.1f%% conflict rate)",
+		spec, reexec, 100*float64(reexec)/float64(spec))
+
+	if chainFP(seq) != chainFP(par) {
+		t.Error("parallel execution diverged from sequential execution (chain transcript)")
+	}
+	for ti := range seq.Tasks {
+		if s, p := marketTaskFP(&seq.Tasks[ti]), marketTaskFP(&par.Tasks[ti]); s != p {
+			t.Errorf("task %d diverged under parallel execution\n--- sequential ---\n%s\n--- parallel ---\n%s", ti, s, p)
+		}
+	}
+}

@@ -118,6 +118,16 @@ type Config struct {
 	// accepted rejection proofs in one fold per mined round; receipts,
 	// events, gas and payments are byte-identical in both modes.
 	BatchVerify int
+	// ParallelExec overrides optimistic parallel block execution on the
+	// run's shared chain (the Block-STM-style round executor in
+	// internal/chain): > 0 forces it on, < 0 forces strictly sequential
+	// round execution, 0 — the default — turns it on exactly when the
+	// effective worker pool (Parallelism, or the process default) is larger
+	// than one. Whatever the setting, receipts, gas, events and ledger
+	// state are byte-identical: conflicting transactions are detected by
+	// read/write-set validation and deterministically re-executed in
+	// schedule order.
+	ParallelExec int
 }
 
 // TaskSeed returns the effective randomness seed of task i: the spec's own
@@ -213,6 +223,7 @@ func Run(cfg Config) (*Result, error) {
 
 	led := ledger.New()
 	ch := chain.New(led, cfg.Scheduler)
+	ch.SetParallelExecution(chain.ResolveExecWorkers(cfg.ParallelExec, cfg.Parallelism))
 	store := swarm.New()
 
 	popAddrs := make([]chain.Address, len(cfg.Population))
@@ -386,7 +397,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 		for _, txs := range txsPerSlot {
 			for _, tx := range txs {
-				ch.Submit(tx)
+				if err := ch.Submit(tx); err != nil {
+					return nil, fmt.Errorf("market: round %d: %w", round, err)
+				}
 			}
 		}
 		if _, err := ch.MineRound(); err != nil {

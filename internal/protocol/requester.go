@@ -222,12 +222,14 @@ func (r *Requester) Launch() error {
 		QuestionsDigest: questionsDigest,
 		CommitRounds:    r.commitRounds,
 	}
-	r.chain.Submit(&chain.Tx{
+	if err := r.chain.Submit(&chain.Tx{
 		From:     r.Addr,
 		Contract: r.contractID,
 		Method:   contract.MethodPublish,
 		Data:     msg.Marshal(),
-	})
+	}); err != nil {
+		return err
+	}
 	r.published = true
 	return nil
 }
@@ -250,12 +252,11 @@ func (r *Requester) Step() error {
 		// still open: every premature attempt must revert, and the one
 		// that finally lands settles the task (paying every revealed
 		// worker — this requester never rejected anyone).
-		r.chain.Submit(&chain.Tx{
+		return r.chain.Submit(&chain.Tx{
 			From:     r.Addr,
 			Contract: r.contractID,
 			Method:   contract.MethodFinalize,
 		})
-		return nil
 	}
 
 	// If the commit phase never filled, cancel after its deadline to
@@ -263,7 +264,7 @@ func (r *Requester) Step() error {
 	if view.committedRound < 0 {
 		if !r.finalizeSent && round > view.publishedRound+r.commitRounds {
 			r.finalizeSent = true
-			r.chain.Submit(&chain.Tx{
+			return r.chain.Submit(&chain.Tx{
 				From:     r.Addr,
 				Contract: r.contractID,
 				Method:   contract.MethodFinalize,
@@ -283,13 +284,12 @@ func (r *Requester) Step() error {
 			return nil
 		}
 		msg := &contract.GoldenMsg{Golden: r.inst.Golden.Marshal(), Key: r.goldenKey}
-		r.chain.Submit(&chain.Tx{
+		return r.chain.Submit(&chain.Tx{
 			From:     r.Addr,
 			Contract: r.contractID,
 			Method:   contract.MethodGolden,
 			Data:     msg.Marshal(),
 		})
-		return nil
 	}
 
 	// Send evaluations only after the golden opening is confirmed on-chain
@@ -309,7 +309,7 @@ func (r *Requester) Step() error {
 	evalEnd := view.committedRound + contract.RevealRounds + contract.EvalRounds
 	if !r.finalizeSent && round > evalEnd && !view.finalized {
 		r.finalizeSent = true
-		r.chain.Submit(&chain.Tx{
+		return r.chain.Submit(&chain.Tx{
 			From:     r.Addr,
 			Contract: r.contractID,
 			Method:   contract.MethodFinalize,
@@ -332,7 +332,9 @@ func (r *Requester) evaluateAll(view *chainView) error {
 			// Underclaim χ=0 with no proof: the contract must treat this
 			// as an invalid rejection and pay the worker.
 			msg := &contract.EvaluateMsg{Worker: sub.worker, Chi: 0}
-			r.submitEval(contract.MethodEvaluate, msg.Marshal())
+			if err := r.submitEval(contract.MethodEvaluate, msg.Marshal()); err != nil {
+				return err
+			}
 			continue
 		case PolicyGarbledProof:
 			// Underclaim χ=0 backed by honestly-generated but garbled
@@ -357,7 +359,9 @@ func (r *Requester) evaluateAll(view *chainView) error {
 				Element: r.sk.Group.Marshal(plain.Element),
 				Proof:   vpke.MarshalProof(r.sk.Group, pi),
 			}
-			r.submitEval(contract.MethodOutrange, msg.Marshal())
+			if err := r.submitEval(contract.MethodOutrange, msg.Marshal()); err != nil {
+				return err
+			}
 			continue
 		}
 
@@ -382,7 +386,9 @@ func (r *Requester) evaluateAll(view *chainView) error {
 			}
 			msg.Wrong = append(msg.Wrong, entry)
 		}
-		r.submitEval(contract.MethodEvaluate, msg.Marshal())
+		if err := r.submitEval(contract.MethodEvaluate, msg.Marshal()); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -412,8 +418,7 @@ func (r *Requester) garbledEvaluate(worker chain.Address, cts []elgamal.Cipherte
 		}
 		msg.Wrong = append(msg.Wrong, entry)
 	}
-	r.submitEval(contract.MethodEvaluate, msg.Marshal())
-	return nil
+	return r.submitEval(contract.MethodEvaluate, msg.Marshal())
 }
 
 // decryptTable returns the lazily-built short-log table for the task's
@@ -443,8 +448,8 @@ func (r *Requester) findOutOfRange(cts []elgamal.Ciphertext) (int, elgamal.Plain
 	return 0, elgamal.Plaintext{}, nil, false, nil
 }
 
-func (r *Requester) submitEval(method string, data []byte) {
-	r.chain.Submit(&chain.Tx{
+func (r *Requester) submitEval(method string, data []byte) error {
+	return r.chain.Submit(&chain.Tx{
 		From:     r.Addr,
 		Contract: r.contractID,
 		Method:   method,

@@ -132,7 +132,9 @@ func (w *Worker) Step() error {
 		return err
 	}
 	for _, tx := range txs {
-		w.chain.Submit(tx)
+		if err := w.chain.Submit(tx); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -64,6 +64,12 @@ type Config struct {
 	// forces it off, 0 follows the global setting. The run's transcript is
 	// byte-identical in both modes.
 	BatchVerify int
+	// ParallelExec overrides optimistic parallel block execution on the
+	// run's chain: > 0 forces the Block-STM-style round executor on, < 0
+	// forces strictly sequential execution, 0 defaults to on exactly when
+	// the effective worker pool is larger than one. Byte-identical
+	// transcripts either way.
+	ParallelExec int
 }
 
 // WorkerOutcome reports one worker's fate.
@@ -116,6 +122,7 @@ func Run(cfg Config) (*Result, error) {
 		MaxRounds:     cfg.MaxRounds,
 		Parallelism:   cfg.Parallelism,
 		BatchVerify:   cfg.BatchVerify,
+		ParallelExec:  cfg.ParallelExec,
 	})
 	if err != nil {
 		return nil, err
