@@ -5,7 +5,7 @@
 GO ?= go
 
 .PHONY: build test race bench bench-smoke bench-json fmt fmt-check vet all \
-	golden cover fuzz-smoke docs-check
+	golden cover fuzz-smoke docs-check soak-smoke
 
 all: build test
 
@@ -17,15 +17,16 @@ test:
 
 # The parallel fan-out paths with the race detector on: the work pool, the
 # multi-task marketplace and the single-task harness that fan worker rounds
-# out over it, the shared chain with its optimistic parallel round executor
-# (conflict-matrix + randomized sequential-vs-parallel oracle tests) and
-# per-contract event cursors, the shared off-chain store, and the
-# concurrent crypto (PoQoEA batch prove/verify, QAP quotient, Groth16 MSM
-# fork/join, parallel Miller loops).
+# out over it, the streaming service (background miner vs Submit/Poll/Stats
+# plus the snapshot/restore sweep), the shared chain with its optimistic
+# parallel round executor (conflict-matrix + randomized sequential-vs-
+# parallel oracle tests) and per-contract event cursors, the shared
+# off-chain store, and the concurrent crypto (PoQoEA batch prove/verify,
+# QAP quotient, Groth16 MSM fork/join, parallel Miller loops).
 race:
 	$(GO) test -race ./internal/parallel ./internal/market ./internal/sim \
-		./internal/adversary ./internal/chain ./internal/swarm \
-		./internal/poqoea ./internal/batch ./internal/qap \
+		./internal/service ./internal/adversary ./internal/chain \
+		./internal/swarm ./internal/poqoea ./internal/batch ./internal/qap \
 		./internal/groth16 ./internal/bn254
 
 # Regenerate the committed golden fingerprint files after an INTENTIONAL
@@ -67,6 +68,13 @@ bench-smoke:
 BENCH_WORKERS ?= 0
 bench-json:
 	$(GO) run ./cmd/benchtables -json BENCH_parallel.json -workers $(BENCH_WORKERS)
+
+# Bounded-memory soak slice for CI: stream tasks through a background
+# service for ~30 seconds (or 10^4 tasks, whichever comes first) and fail
+# if the heap grows past twice the post-warmup plateau or any task fails
+# to settle. Run `go run ./cmd/soak -assert` for the full 10^4-task soak.
+soak-smoke:
+	$(GO) run ./cmd/soak -duration 30s -assert
 
 # Documentation lint (cmd/docscheck): requires a godoc comment on every
 # exported facade symbol and checks every relative markdown link in

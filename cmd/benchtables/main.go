@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,6 +36,7 @@ import (
 	"dragoon/internal/poqoea"
 	"dragoon/internal/protocol"
 	"dragoon/internal/r1cs"
+	"dragoon/internal/service"
 	"dragoon/internal/sim"
 	"dragoon/internal/task"
 	"dragoon/internal/vpke"
@@ -127,6 +129,21 @@ type parallelBenchReport struct {
 	// it is independent of core count ("batch=64": 3 means one fold over 64
 	// claims verifies 3x faster per question than 64 per-proof calls).
 	BatchSpeedups map[string]float64 `json:"batch_speedups"`
+	// ServiceStream reports the streaming service's throughput and
+	// settlement-latency percentiles (see serviceStreamStats), measured once
+	// at the default pool size alongside the service_stream op rows.
+	ServiceStream *serviceStreamStats `json:"service_stream,omitempty"`
+}
+
+// serviceStreamStats is the streaming-service row of BENCH_parallel.json: a
+// background service (internal/service) with tasks flowing through its
+// admission mempool, measured end to end — questions settled per second and
+// the p50/p99 admission-to-settlement latency from service.Stats.
+type serviceStreamStats struct {
+	Tasks           int     `json:"tasks"`
+	QuestionsPerSec float64 `json:"questions_per_sec"`
+	P50SettleMs     float64 `json:"p50_settle_ms"`
+	P99SettleMs     float64 `json:"p99_settle_ms"`
 }
 
 // writeParallelJSON benchmarks the parallel hot paths sequentially and at
@@ -214,6 +231,14 @@ func writeParallelJSON(path string, parWorkers int) error {
 				}
 			}
 		}},
+		// The same workload through the streaming service path (admission
+		// mempool, settled-state pruning, retention trimming): the delta to
+		// marketplace_run is the service's overhead.
+		{"service_stream", marketBenchTasks * marketBenchQuestions, func() {
+			if err := runServiceStream(marketCfg); err != nil {
+				panic(err)
+			}
+		}},
 	}
 	// Folded vs per-proof verification at each batch size, plus ONE
 	// per-proof baseline over the largest batch (per-proof cost is linear
@@ -299,6 +324,12 @@ func writeParallelJSON(path string, parWorkers int) error {
 		}
 	}
 
+	stream, err := measureServiceStream()
+	if err != nil {
+		return err
+	}
+	report.ServiceStream = stream
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -317,6 +348,8 @@ func writeParallelJSON(path string, parWorkers int) error {
 			fmt.Printf(", batch=%d ×%.2f", size, s)
 		}
 	}
+	fmt.Printf(", stream %.0f q/s p50=%.0fms p99=%.0fms",
+		stream.QuestionsPerSec, stream.P50SettleMs, stream.P99SettleMs)
 	fmt.Println(")")
 	return nil
 }
@@ -366,6 +399,95 @@ func marketBenchConfig() market.Config {
 		Population: population,
 		Seed:       600,
 	}
+}
+
+// runServiceStream drives the marketplace benchmark workload through a
+// manual-mode streaming service to settlement — the service-path counterpart
+// of the marketplace_run op.
+func runServiceStream(cfg market.Config) error {
+	svc, err := service.New(service.Config{
+		Group:      cfg.Group,
+		Population: cfg.Population,
+		Seed:       cfg.Seed,
+		Manual:     true,
+	})
+	if err != nil {
+		return err
+	}
+	for _, spec := range cfg.Tasks {
+		if err := svc.SubmitTask(spec); err != nil {
+			return err
+		}
+	}
+	settled := 0
+	for r := 0; r < 64 && settled < len(cfg.Tasks); r++ {
+		if err := svc.Step(context.Background()); err != nil {
+			return err
+		}
+		for _, st := range svc.Poll() {
+			if st.Err != nil || st.Expired || st.Result == nil || !st.Result.Finalized {
+				return fmt.Errorf("service stream: task %s did not finalize", st.ID)
+			}
+			settled++
+		}
+	}
+	if settled != len(cfg.Tasks) {
+		return fmt.Errorf("service stream: %d/%d tasks settled", settled, len(cfg.Tasks))
+	}
+	return svc.Close()
+}
+
+// measureServiceStream runs a longer stream — the benchmark tasks cloned
+// under unique IDs — through a BACKGROUND service and reads throughput and
+// settlement-latency percentiles off service.Stats.
+func measureServiceStream() (*serviceStreamStats, error) {
+	const clones = 48
+	cfg := marketBenchConfig()
+	svc, err := service.New(service.Config{
+		Group:      cfg.Group,
+		Population: cfg.Population,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for i := 0; i < clones; i++ {
+		base := cfg.Tasks[i%len(cfg.Tasks)]
+		inst := *base.Instance
+		inst.Task.ID = fmt.Sprintf("stream-%d", i)
+		if err := svc.SubmitTask(market.TaskSpec{Instance: &inst, Enroll: base.Enroll}); err != nil {
+			return nil, err
+		}
+	}
+	settled := 0
+	for settled < clones {
+		if err := svc.Err(); err != nil {
+			return nil, err
+		}
+		reports := svc.Poll()
+		if len(reports) == 0 {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		for _, st := range reports {
+			if st.Err != nil || st.Expired || st.Result == nil || !st.Result.Finalized {
+				return nil, fmt.Errorf("service stream: task %s did not finalize", st.ID)
+			}
+			settled++
+		}
+	}
+	elapsed := time.Since(start)
+	stats := svc.Stats()
+	if err := svc.Close(); err != nil {
+		return nil, err
+	}
+	return &serviceStreamStats{
+		Tasks:           clones,
+		QuestionsPerSec: float64(stats.QuestionsSettled) / elapsed.Seconds(),
+		P50SettleMs:     float64(stats.P50Settle.Microseconds()) / 1000,
+		P99SettleMs:     float64(stats.P99Settle.Microseconds()) / 1000,
+	}, nil
 }
 
 // Batch-verification benchmark workload: folded PoQoEA verification is

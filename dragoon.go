@@ -52,6 +52,20 @@
 // answers are identical to running it alone; Simulate is exactly the M=1
 // case of the marketplace.
 //
+// # Streaming service
+//
+// SimulateMarketplace is a batch: the task set is fixed before the first
+// round mines. NewService lifts the same marketplace onto a long-lived
+// chain — tasks are submitted while the chain mines, admitted at the next
+// round boundary, settled individually through Poll, and the service keeps
+// its state bounded by pruning settled contracts and trimming history to a
+// sliding window. A task streamed through a live service produces
+// byte-for-byte the transcript it would produce in a batch run with the same
+// seed and neighbours, and a Service can be snapshotted between rounds and
+// restored to resume identically. SimulateContext and
+// SimulateMarketplaceContext are the context-aware batch entry points,
+// cancelling at round boundaries. See docs/SERVICE.md.
+//
 // # Parallelism
 //
 // All crypto hot paths — per-question ElGamal encryption, PoQoEA proving
@@ -63,10 +77,13 @@
 //
 //   - SetParallelism(n) bounds the process-wide pool, affecting every
 //     library call (SetParallelism(1) forces fully sequential execution);
-//   - SimulationConfig.Parallelism / MarketplaceConfig.Parallelism bound
-//     only how many simulated workers compute concurrently within a round
-//     (across all tasks, for the marketplace), overriding the default for
-//     that run.
+//   - Options.Parallelism — embedded in SimulationConfig, MarketplaceConfig,
+//     ScenarioOptions and ServiceConfig — bounds only that run's pool,
+//     overriding the process default.
+//
+// Prefer the per-run Options struct, which consolidates Parallelism,
+// BatchVerify and ParallelExec in one place; the process-wide setters are
+// retained as compatibility shims.
 //
 // Parallel execution is deterministic: results are combined in input order
 // and randomness is always drawn sequentially from the caller's stream
@@ -170,6 +187,10 @@ import (
 // simulated worker rounds). n <= 0 restores the runtime.NumCPU() default;
 // n == 1 forces fully sequential execution. It returns the previous setting
 // so callers can restore it.
+//
+// SetParallelism is a compatibility shim kept for existing callers: it
+// mutates global state, so concurrent runs step on each other. New code
+// should set Options.Parallelism on the run's configuration instead.
 func SetParallelism(n int) int { return parallel.SetDefaultWorkers(n) }
 
 // Parallelism reports the effective process-wide worker pool size.
@@ -180,8 +201,12 @@ func Parallelism() int { return parallel.Workers(0) }
 // proof equations into one multi-scalar multiplication (one multi-pairing
 // for Groth16) with bisection on failure, so throughput rises while every
 // accept/reject verdict stays identical to per-proof verification. Off by
-// default. Per-run overrides: SimulationConfig.BatchVerify,
-// MarketplaceConfig.BatchVerify, ScenarioOptions.BatchVerify.
+// default.
+//
+// SetBatchVerify is a compatibility shim kept for existing callers: it
+// mutates global state, so concurrent runs step on each other. New code
+// should set Options.BatchVerify (> 0 on, < 0 off) on the run's
+// configuration instead.
 func SetBatchVerify(on bool) bool { return batch.SetEnabled(on) }
 
 // BatchVerifyEnabled reports the process-wide batch-verification knob.

@@ -1,0 +1,176 @@
+package dragoon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dragoon/internal/chain"
+)
+
+// chainFingerprint folds the final chain state — receipts then events —
+// into one comparable string for byte-identity assertions.
+func chainFingerprint(c *chain.Chain) string {
+	s := ""
+	for _, rcpt := range c.Receipts() {
+		s += fmt.Sprintf("rcpt r=%d from=%s m=%s gas=%d err=%v data=%x\n",
+			rcpt.Round, rcpt.Tx.From, rcpt.Tx.Method, rcpt.GasUsed, rcpt.Err, rcpt.Tx.Data)
+	}
+	for _, ev := range c.Events() {
+		s += fmt.Sprintf("ev r=%d %s %x\n", ev.Round, ev.Name, ev.Data)
+	}
+	return s
+}
+
+func facadeSimConfig(t *testing.T) SimulationConfig {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	inst, err := NewTask(TaskParams{
+		ID: "facade-ctx", N: 8, RangeSize: 2, NumGolden: 2,
+		Workers: 2, Threshold: 2, Budget: 100,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SimulationConfig{
+		Instance: inst,
+		Group:    TestGroup(),
+		Workers: []WorkerModel{
+			PerfectWorker("w0", inst.GroundTruth),
+			PerfectWorker("w1", inst.GroundTruth),
+		},
+		Seed: 5,
+	}
+}
+
+// TestSimulateContextByteIdentity: Simulate is SimulateContext with a
+// background context — the two must produce byte-identical transcripts —
+// and an already-cancelled context must abort the run with ctx.Err().
+func TestSimulateContextByteIdentity(t *testing.T) {
+	plain, err := Simulate(facadeSimConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := SimulateContext(context.Background(), facadeSimConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Outcomes, ctxed.Outcomes) ||
+		plain.GasTotal != ctxed.GasTotal || plain.Rounds != ctxed.Rounds {
+		t.Error("SimulateContext result diverged from Simulate")
+	}
+	if chainFingerprint(plain.Chain) != chainFingerprint(ctxed.Chain) {
+		t.Error("SimulateContext transcript diverged from Simulate")
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SimulateContext(cancelled, facadeSimConfig(t)); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled SimulateContext: err = %v, want context.Canceled", err)
+	}
+}
+
+// facadeMarketplace builds a small deterministic marketplace: population and
+// specs identical on every call.
+func facadeMarketplace(t *testing.T) ([]WorkerModel, []MarketplaceTask) {
+	t.Helper()
+	var population []WorkerModel
+	specs := make([]MarketplaceTask, 3)
+	for ti := range specs {
+		inst, err := NewTask(TaskParams{
+			ID: fmt.Sprintf("facade-mkt-%d", ti), N: 6, RangeSize: 2, NumGolden: 2,
+			Workers: 2, Threshold: 2, Budget: Amount(100 + 10*ti),
+		}, rand.New(rand.NewSource(int64(50+ti))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := len(population)
+		population = append(population,
+			PerfectWorker(fmt.Sprintf("p%d", ti), inst.GroundTruth),
+			PerfectWorker(fmt.Sprintf("q%d", ti), inst.GroundTruth))
+		specs[ti] = MarketplaceTask{Instance: inst, Enroll: []int{base, base + 1}}
+	}
+	return population, specs
+}
+
+// TestMarketplaceContextByteIdentity mirrors TestSimulateContextByteIdentity
+// for the marketplace entry point.
+func TestMarketplaceContextByteIdentity(t *testing.T) {
+	pop, specs := facadeMarketplace(t)
+	plain, err := SimulateMarketplace(MarketplaceConfig{
+		Tasks: specs, Group: TestGroup(), Population: pop, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop2, specs2 := facadeMarketplace(t)
+	ctxed, err := SimulateMarketplaceContext(context.Background(), MarketplaceConfig{
+		Tasks: specs2, Group: TestGroup(), Population: pop2, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Tasks, ctxed.Tasks) {
+		t.Error("SimulateMarketplaceContext results diverged from SimulateMarketplace")
+	}
+	if chainFingerprint(plain.Chain) != chainFingerprint(ctxed.Chain) {
+		t.Error("SimulateMarketplaceContext transcript diverged")
+	}
+}
+
+// TestServiceFacade streams the facadeMarketplace tasks through an exported
+// dragoon.Service in manual mode and requires every settled report to equal
+// the batch marketplace result for the same specs — the facade-level
+// statement of the stream/batch equivalence.
+func TestServiceFacade(t *testing.T) {
+	pop, specs := facadeMarketplace(t)
+	batch, err := SimulateMarketplace(MarketplaceConfig{
+		Tasks: specs, Group: TestGroup(), Population: pop, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pop2, specs2 := facadeMarketplace(t)
+	svc, err := NewService(ServiceConfig{
+		Group: TestGroup(), Population: pop2, Seed: 9, Manual: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range specs2 {
+		if err := svc.SubmitTask(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make(map[string]ServiceTaskStatus, len(specs2))
+	for r := 0; r < 40 && len(got) < len(specs2); r++ {
+		if err := svc.Step(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range svc.Poll() {
+			got[st.ID] = st
+		}
+	}
+	for i, want := range batch.Tasks {
+		st, ok := got[want.ID]
+		if !ok {
+			t.Fatalf("task %q never settled", want.ID)
+		}
+		if st.Err != nil || st.Expired || st.Result == nil {
+			t.Fatalf("task %q: err=%v expired=%v", want.ID, st.Err, st.Expired)
+		}
+		if !reflect.DeepEqual(*st.Result, want) {
+			t.Errorf("task %d (%s): streamed result diverged from batch", i, want.ID)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SubmitTask(specs2[0]); err != ErrServiceClosed {
+		t.Errorf("submit after close: err = %v, want ErrServiceClosed", err)
+	}
+}

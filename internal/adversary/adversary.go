@@ -28,6 +28,7 @@ import (
 	"dragoon/internal/group"
 	"dragoon/internal/ledger"
 	"dragoon/internal/market"
+	"dragoon/internal/opts"
 	"dragoon/internal/protocol"
 	"dragoon/internal/sim"
 	"dragoon/internal/task"
@@ -70,26 +71,16 @@ type Options struct {
 	Group group.Group
 	// Seed makes the run reproducible and derives every model rng.
 	Seed int64
-	// Parallelism bounds concurrent per-worker crypto (0 = NumCPU, 1 =
-	// sequential). Runs are deterministic at any setting.
-	Parallelism int
-	// BatchVerify overrides the process-wide batch-verification knob for
-	// the run: > 0 forces batching on (folded proof verification plus the
-	// marketplace round auditor), < 0 forces per-proof verification, 0
-	// follows dragoon.SetBatchVerify. Scenario outcomes are byte-identical
-	// in both modes — the fingerprint sweep in the tests proves it.
-	BatchVerify int
-	// ParallelExec overrides optimistic parallel block execution on the
-	// run's chain: > 0 forces the Block-STM-style round executor on, < 0
-	// forces strictly sequential round execution, 0 defaults to on exactly
-	// when the effective worker pool is larger than one. Scenario outcomes
-	// are byte-identical in both modes — the execution sweep in the tests
-	// proves it.
-	ParallelExec int
 	// WorkerBalance pre-funds each population member's account.
 	WorkerBalance ledger.Amount
 	// N overrides the generated tasks' question count (0 → 16).
 	N int
+	// Options consolidates the run's execution knobs — Parallelism,
+	// BatchVerify, ParallelExec. The embedded fields promote, so
+	// o.Parallelism etc. read as before; see package opts for the tri-state
+	// semantics. Scenario outcomes are byte-identical at every setting —
+	// the fingerprint sweeps in the tests prove it.
+	opts.Options
 }
 
 // Task-shape defaults: a dusty budget (997 % quota != 0 for every quota
@@ -206,9 +197,7 @@ func (s Scenario) RunSim(opts Options) (*Report, error) {
 		Seed:          opts.Seed,
 		WorkerBalance: opts.WorkerBalance,
 		MaxRounds:     s.MaxRounds,
-		Parallelism:   opts.Parallelism,
-		BatchVerify:   opts.BatchVerify,
-		ParallelExec:  opts.ParallelExec,
+		Options:       opts.Options,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("adversary: %s/sim: %w", s.Name, err)
@@ -294,9 +283,7 @@ func (s Scenario) RunMarket(m int, opts Options) (*Report, error) {
 		Seed:          opts.Seed,
 		WorkerBalance: opts.WorkerBalance,
 		MaxRounds:     s.MaxRounds,
-		Parallelism:   opts.Parallelism,
-		BatchVerify:   opts.BatchVerify,
-		ParallelExec:  opts.ParallelExec,
+		Options:       opts.Options,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("adversary: %s/market: %w", s.Name, err)
@@ -374,9 +361,7 @@ func RunMatrix(scenarios []Scenario, opts Options) (*Report, error) {
 		Seed:          opts.Seed,
 		WorkerBalance: opts.WorkerBalance,
 		MaxRounds:     maxRoundsOf(scenarios),
-		Parallelism:   opts.Parallelism,
-		BatchVerify:   opts.BatchVerify,
-		ParallelExec:  opts.ParallelExec,
+		Options:       opts.Options,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("adversary: matrix: %w", err)

@@ -6,14 +6,15 @@ import (
 
 	"dragoon/internal/adversary"
 	"dragoon/internal/group"
+	opt "dragoon/internal/opts"
 )
 
 func opts(parallelism int) adversary.Options {
 	return adversary.Options{
 		Group:         group.TestSchnorr(),
 		Seed:          1729,
-		Parallelism:   parallelism,
 		WorkerBalance: 5,
+		Options:       opt.Options{Parallelism: parallelism},
 	}
 }
 

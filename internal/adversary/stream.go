@@ -1,0 +1,250 @@
+package adversary
+
+// Service-path matrix execution: the same adversarial co-location RunMatrix
+// performs, but driven through the long-lived streaming service
+// (internal/service) instead of the fixed-duration batch harness — every
+// scenario's task submitted to one live service, admitted at round 0, mined
+// to settlement, and reported through Poll. Running the full matrix down
+// BOTH paths and comparing transcripts is the equivalence proof that the
+// service's admission mempool, settled-state pruning and retention trimming
+// never change what any task pays, emits or costs.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/ledger"
+	"dragoon/internal/market"
+	"dragoon/internal/service"
+	"dragoon/internal/worker"
+)
+
+// RunStream executes m independent instances of ONE scenario through the
+// streaming service — the service-path mirror of RunMarket, sharing its
+// co-location scheme (per-instance requester and worker slice, one network
+// adversary over the whole chain). Scenarios pinning their own scheduler run
+// here, not in RunMatrixStream: the service hosts exactly one scheduler.
+// The returned report is fingerprint-comparable against RunMarket(m, opts)
+// byte-for-byte.
+func (s Scenario) RunStream(m int, opts Options) (*Report, error) {
+	if opts.Group == nil {
+		return nil, errors.New("adversary: no group backend")
+	}
+	if m <= 0 {
+		m = 1
+	}
+	specs := make([]market.TaskSpec, m)
+	reports := make([]TaskReport, m)
+	var population []worker.Model
+	var requesters []chain.Address
+	var minted ledger.Amount
+	for i := 0; i < m; i++ {
+		inst, err := s.instance(opts, i)
+		if err != nil {
+			return nil, fmt.Errorf("adversary: %s: %w", s.Name, err)
+		}
+		models := s.Lineup(inst, lineupRng(opts, i))
+		enroll := make([]int, len(models))
+		for j := range enroll {
+			enroll[j] = len(population) + j
+		}
+		population = append(population, models...)
+		reqAddr := chain.Address(fmt.Sprintf("requester-%d", i))
+		requesters = append(requesters, reqAddr)
+		specs[i] = market.TaskSpec{
+			Instance:  inst,
+			Enroll:    enroll,
+			Policy:    s.Policy,
+			Requester: reqAddr,
+		}
+		reports[i] = TaskReport{
+			ID:           inst.Task.ID,
+			Requester:    reqAddr,
+			Budget:       inst.Task.Budget,
+			Quota:        s.Quota,
+			Honest:       s.Honest,
+			ExpectCancel: s.ExpectCancel,
+		}
+		minted += inst.Task.Budget * 2
+	}
+	minted += ledger.Amount(len(population)) * opts.WorkerBalance
+	var sched chain.Scheduler
+	if s.NewScheduler != nil {
+		sched = s.NewScheduler(opts.Seed, workerAddrs(population), requesters)
+	}
+	maxRounds := s.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 40
+	}
+	cfg := service.Config{
+		Group:              opts.Group,
+		Population:         population,
+		Scheduler:          sched,
+		Seed:               opts.Seed,
+		WorkerBalance:      opts.WorkerBalance,
+		Manual:             true,
+		TaskRoundBudget:    maxRounds,
+		KeepSettled:        true,
+		RetainRounds:       -1,
+		RetainLedgerEvents: -1,
+		Options:            opts.Options,
+	}
+	results, svc, err := streamSpecs(cfg, specs, maxRounds)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: %s/stream: %w", s.Name, err)
+	}
+	for i := range reports {
+		tr, ok := results[reports[i].ID]
+		if !ok {
+			return nil, fmt.Errorf("adversary: %s/stream: task %q never settled in %d rounds", s.Name, reports[i].ID, maxRounds)
+		}
+		reports[i].RequesterBalance = tr.RequesterBalance
+		reports[i].Finalized = tr.Finalized
+		reports[i].Cancelled = tr.Cancelled
+		reports[i].Outcomes = tr.Outcomes
+	}
+	return &Report{
+		Name:          fmt.Sprintf("%s/stream-%d", s.Name, m),
+		Ledger:        svc.Ledger(),
+		Chain:         svc.Chain(),
+		WorkerBalance: opts.WorkerBalance,
+		Minted:        minted,
+		Tasks:         reports,
+	}, nil
+}
+
+// streamSpecs submits every spec to a fresh manual service, steps it until
+// each has settled (or maxRounds passed), and returns the results by task ID
+// alongside the closed service's final state.
+func streamSpecs(cfg service.Config, specs []market.TaskSpec, maxRounds int) (map[string]*market.TaskResult, *service.Service, error) {
+	svc, err := service.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range specs {
+		if err := svc.SubmitTask(specs[i]); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", specs[i].Instance.Task.ID, err)
+		}
+	}
+	results := make(map[string]*market.TaskResult, len(specs))
+	for r := 0; r < maxRounds && len(results) < len(specs); r++ {
+		if err := svc.Step(context.Background()); err != nil {
+			return nil, nil, err
+		}
+		for _, st := range svc.Poll() {
+			if st.Err != nil {
+				return nil, nil, fmt.Errorf("task %q rejected: %w", st.ID, st.Err)
+			}
+			if st.Expired {
+				return nil, nil, fmt.Errorf("task %q expired unsettled", st.ID)
+			}
+			results[st.ID] = st.Result
+		}
+	}
+	if err := svc.Close(); err != nil {
+		return nil, nil, err
+	}
+	return results, svc, nil
+}
+
+// RunMatrixStream co-locates many scenarios as tasks streamed through one
+// long-lived service on one shared chain. With prune false the service
+// retains full history (settled contracts kept, no trimming), so the
+// returned report is invariant-checkable and fingerprint-comparable against
+// RunMatrix byte-for-byte. With prune true the service runs in its bounded
+// production mode — settled contracts pruned, receipts and events trimmed —
+// and the per-task reports (payments, balances, outcomes) must still match;
+// only the retained history differs. Scenarios pinning their own scheduler
+// are rejected, as in RunMatrix.
+func RunMatrixStream(scenarios []Scenario, opts Options, prune bool) (*Report, error) {
+	if opts.Group == nil {
+		return nil, errors.New("adversary: no group backend")
+	}
+	if len(scenarios) == 0 {
+		return nil, errors.New("adversary: empty matrix")
+	}
+	specs := make([]market.TaskSpec, len(scenarios))
+	reports := make([]TaskReport, len(scenarios))
+	var population []worker.Model
+	var minted ledger.Amount
+	for i := range scenarios {
+		s := &scenarios[i]
+		if s.NewScheduler != nil {
+			return nil, fmt.Errorf("adversary: scenario %q pins its own scheduler; run it alone", s.Name)
+		}
+		inst, err := s.instance(opts, i)
+		if err != nil {
+			return nil, fmt.Errorf("adversary: %s: %w", s.Name, err)
+		}
+		models := s.Lineup(inst, lineupRng(opts, i))
+		enroll := make([]int, len(models))
+		for j := range enroll {
+			enroll[j] = len(population) + j
+		}
+		population = append(population, models...)
+		reqAddr := chain.Address(fmt.Sprintf("requester-%d", i))
+		specs[i] = market.TaskSpec{
+			Instance:  inst,
+			Enroll:    enroll,
+			Policy:    s.Policy,
+			Requester: reqAddr,
+		}
+		reports[i] = TaskReport{
+			ID:           inst.Task.ID,
+			Requester:    reqAddr,
+			Budget:       inst.Task.Budget,
+			Quota:        s.Quota,
+			Honest:       s.Honest,
+			ExpectCancel: s.ExpectCancel,
+		}
+		minted += inst.Task.Budget * 2
+	}
+	minted += ledger.Amount(len(population)) * opts.WorkerBalance
+
+	maxRounds := maxRoundsOf(scenarios)
+	if maxRounds == 0 {
+		maxRounds = 40
+	}
+	cfg := service.Config{
+		Group:           opts.Group,
+		Population:      population,
+		Seed:            opts.Seed,
+		WorkerBalance:   opts.WorkerBalance,
+		Manual:          true,
+		TaskRoundBudget: maxRounds,
+		Options:         opts.Options,
+	}
+	if !prune {
+		cfg.KeepSettled = true
+		cfg.RetainRounds = -1
+		cfg.RetainLedgerEvents = -1
+	}
+	results, svc, err := streamSpecs(cfg, specs, maxRounds)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: matrix/stream: %w", err)
+	}
+	for i := range reports {
+		tr, ok := results[reports[i].ID]
+		if !ok {
+			return nil, fmt.Errorf("adversary: matrix/stream: task %q never settled in %d rounds", reports[i].ID, maxRounds)
+		}
+		reports[i].RequesterBalance = tr.RequesterBalance
+		reports[i].Finalized = tr.Finalized
+		reports[i].Cancelled = tr.Cancelled
+		reports[i].Outcomes = tr.Outcomes
+	}
+	name := "matrix/stream"
+	if prune {
+		name = "matrix/stream-pruned"
+	}
+	return &Report{
+		Name:          name,
+		Ledger:        svc.Ledger(),
+		Chain:         svc.Chain(),
+		WorkerBalance: opts.WorkerBalance,
+		Minted:        minted,
+		Tasks:         reports,
+	}, nil
+}

@@ -1,0 +1,94 @@
+package adversary_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dragoon/internal/adversary"
+)
+
+// TestMatrixStreamMatchesBatch drives the full participant-level adversarial
+// matrix through the streaming service path and requires it to reproduce the
+// batch path byte-for-byte: same receipts, same events, same payments, and
+// every invariant holding on the shared final state. Then the same matrix
+// runs through the service in bounded production mode (settled contracts
+// pruned, history trimmed) and every per-task report must STILL match —
+// pruning never changes settlement outcomes.
+func TestMatrixStreamMatchesBatch(t *testing.T) {
+	scenarios := adversary.ParticipantMatrix()
+	batch, err := adversary.RunMatrix(scenarios, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := adversary.RunMatrixStream(scenarios, opts(1), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.CheckInvariants(); err != nil {
+		t.Errorf("stream matrix violates invariants: %v", err)
+	}
+	if fingerprint(batch) != fingerprint(stream) {
+		t.Error("service-path matrix transcript diverged from batch path")
+	}
+
+	pruned, err := adversary.RunMatrixStream(scenarios, opts(1), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batch.Tasks, pruned.Tasks) {
+		t.Error("pruning changed the matrix settlement reports")
+	}
+	if err := pruned.Ledger.CheckConservation(); err != nil {
+		t.Errorf("pruned stream broke conservation: %v", err)
+	}
+}
+
+// TestSchedulerScenariosStream completes the service-path coverage of the
+// FULL matrix: the scenarios RunMatrixStream rejects — the ones pinning
+// their own network scheduler — each run alone as two co-located instances
+// through the streaming service and must reproduce RunMarket byte-for-byte,
+// scheduler and all. Together with TestMatrixStreamMatchesBatch this proves
+// every Matrix() scenario settles identically down the service path.
+func TestSchedulerScenariosStream(t *testing.T) {
+	for _, s := range adversary.Matrix() {
+		if s.NewScheduler == nil {
+			continue
+		}
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			batch, err := s.RunMarket(2, opts(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, err := s.RunStream(2, opts(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := stream.CheckInvariants(); err != nil {
+				t.Errorf("stream run violates invariants: %v", err)
+			}
+			if fingerprint(batch) != fingerprint(stream) {
+				t.Error("service-path transcript diverged from batch path")
+			}
+		})
+	}
+}
+
+// TestMatrixStreamParallelism sweeps the service-path matrix across
+// parallelism levels: the stream must be as schedule-independent as the
+// batch harness.
+func TestMatrixStreamParallelism(t *testing.T) {
+	scenarios := adversary.ParticipantMatrix()
+	seq, err := adversary.RunMatrixStream(scenarios, opts(1), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := adversary.RunMatrixStream(scenarios, opts(0), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(seq) != fingerprint(par) {
+		t.Error("parallel stream matrix diverged from sequential")
+	}
+}

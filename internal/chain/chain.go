@@ -35,6 +35,7 @@ type Tx struct {
 
 	arrivalRound int
 	delayed      bool
+	submitted    bool
 }
 
 // Event is an emitted contract log entry. As on Ethereum, events are not
@@ -93,12 +94,16 @@ type Chain struct {
 	contracts map[ledger.ContractID]Contract
 	storage   map[ledger.ContractID]map[string][]byte
 	mempool   []*Tx
-	submitted map[*Tx]struct{}
 	receipts  []*Receipt
 	events    []Event
 	eventsFor map[ledger.ContractID][]Event
 	scheduler Scheduler
 	gasByAddr map[Address]uint64
+	// gasByContract indexes gas per (contract, method) incrementally, so
+	// per-task gas reports survive receipt retention trimming (a long-lived
+	// service cannot afford an end-of-run scan over all receipts, and may
+	// have dropped them anyway).
+	gasByContract map[ledger.ContractID]map[string]uint64
 
 	// execWorkers selects the round-execution engine: <= 1 executes the
 	// schedule strictly sequentially; > 1 runs the optimistic parallel
@@ -116,13 +121,13 @@ func New(l *ledger.Ledger, s Scheduler) *Chain {
 		s = FIFOScheduler{}
 	}
 	return &Chain{
-		ledger:    l,
-		contracts: make(map[ledger.ContractID]Contract),
-		storage:   make(map[ledger.ContractID]map[string][]byte),
-		submitted: make(map[*Tx]struct{}),
-		eventsFor: make(map[ledger.ContractID][]Event),
-		scheduler: s,
-		gasByAddr: make(map[Address]uint64),
+		ledger:        l,
+		contracts:     make(map[ledger.ContractID]Contract),
+		storage:       make(map[ledger.ContractID]map[string][]byte),
+		eventsFor:     make(map[ledger.ContractID][]Event),
+		scheduler:     s,
+		gasByAddr:     make(map[Address]uint64),
+		gasByContract: make(map[ledger.ContractID]map[string]uint64),
 	}
 }
 
@@ -148,6 +153,7 @@ func (c *Chain) Deploy(id ledger.ContractID, contract Contract, codeSize int, fr
 	c.storage[id] = make(map[string][]byte)
 	used := uint64(gas.TxBase + gas.TxCreate + gas.CodeDepositPerByte*codeSize)
 	c.gasByAddr[from] += used
+	c.chargeContract(id, "deploy", used)
 	rcpt := &Receipt{
 		Tx:      &Tx{From: from, Contract: id, Method: "deploy"},
 		Round:   c.round,
@@ -155,6 +161,48 @@ func (c *Chain) Deploy(id ledger.ContractID, contract Contract, codeSize int, fr
 	}
 	c.receipts = append(c.receipts, rcpt)
 	return rcpt, nil
+}
+
+// RegisterContract installs a contract program WITHOUT charging deployment
+// gas or appending a receipt — the restore path: a snapshot carries contract
+// storage but not programs (Go code is not data), so a restoring service
+// re-registers each live contract before resuming. It refuses to clobber an
+// installed program.
+func (c *Chain) RegisterContract(id ledger.ContractID, contract Contract) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.contracts[id]; exists {
+		return fmt.Errorf("chain: contract %q already deployed", id)
+	}
+	c.contracts[id] = contract
+	if c.storage[id] == nil {
+		c.storage[id] = make(map[string][]byte)
+	}
+	return nil
+}
+
+// chargeContract accumulates the per-contract, per-method gas index. Caller
+// holds c.mu.
+func (c *Chain) chargeContract(id ledger.ContractID, method string, used uint64) {
+	methods := c.gasByContract[id]
+	if methods == nil {
+		methods = make(map[string]uint64)
+		c.gasByContract[id] = methods
+	}
+	methods[method] += used
+}
+
+// GasByMethodFor returns one contract's cumulative gas per method. Unlike a
+// scan over Receipts, the index is maintained incrementally and survives
+// receipt retention trimming; it is released by PruneContract.
+func (c *Chain) GasByMethodFor(id ledger.ContractID) map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.gasByContract[id]))
+	for m, g := range c.gasByContract[id] {
+		out[m] = g
+	}
+	return out
 }
 
 // Submit queues a transaction for the current round's mempool. Each *Tx
@@ -167,11 +215,11 @@ func (c *Chain) Deploy(id ledger.ContractID, contract Contract, codeSize int, fr
 func (c *Chain) Submit(tx *Tx) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, dup := c.submitted[tx]; dup {
+	if tx.submitted {
 		return fmt.Errorf("chain: transaction %s/%s from %s already submitted (reuse would corrupt synchrony bookkeeping; build a new Tx)",
 			tx.Contract, tx.Method, tx.From)
 	}
-	c.submitted[tx] = struct{}{}
+	tx.submitted = true
 	tx.arrivalRound = c.round
 	c.mempool = append(c.mempool, tx)
 	return nil
@@ -281,6 +329,7 @@ func (c *Chain) commitTx(rcpt *Receipt, env *Env) {
 		}
 	}
 	c.gasByAddr[rcpt.Tx.From] += rcpt.GasUsed
+	c.chargeContract(rcpt.Tx.Contract, rcpt.Tx.Method, rcpt.GasUsed)
 	c.receipts = append(c.receipts, rcpt)
 }
 
@@ -324,6 +373,14 @@ func (c *Chain) EventsFor(id ledger.ContractID) []Event {
 	return out
 }
 
+// ErrPruned reports that a cursor's position lies beyond the end of its
+// contract's event log — the log was pruned (PruneContract) underneath the
+// cursor. Before this error existed a pruned log was indistinguishable from
+// an empty one, and a stale cursor would silently treat the truncated log as
+// "no new events" (or, re-created, rescan from zero and double-deliver);
+// observers now get a typed error to detect the gap. Test with errors.Is.
+var ErrPruned = errors.New("chain: event log pruned beneath cursor")
+
 // Cursor is a stateful per-contract event cursor: each Poll returns only the
 // events the contract emitted since the previous Poll, so a client polling
 // every round pays O(new events) instead of rescanning the whole log. A
@@ -341,19 +398,79 @@ func (c *Chain) Cursor(id ledger.ContractID) *Cursor {
 	return &Cursor{chain: c, id: id}
 }
 
+// EventCursor returns a new event cursor for one contract as the Backend
+// interface type.
+func (c *Chain) EventCursor(id ledger.ContractID) EventCursor {
+	return c.Cursor(id)
+}
+
 // Poll returns the contract's events emitted since the last Poll (nil if
-// none) and advances the cursor past them.
-func (cur *Cursor) Poll() []Event {
+// none) and advances the cursor past them. It returns ErrPruned (wrapped,
+// with the contract ID) if the log was pruned beneath the cursor's position:
+// the events between the cursor and the truncation point are gone, so the
+// observer's incremental view can no longer be completed.
+func (cur *Cursor) Poll() ([]Event, error) {
 	cur.chain.mu.Lock()
 	defer cur.chain.mu.Unlock()
 	evs := cur.chain.eventsFor[cur.id]
-	if cur.next >= len(evs) {
-		return nil
+	if cur.next > len(evs) {
+		return nil, fmt.Errorf("chain: contract %q: %w", cur.id, ErrPruned)
+	}
+	if cur.next == len(evs) {
+		return nil, nil
 	}
 	out := make([]Event, len(evs)-cur.next)
 	copy(out, evs[cur.next:])
 	cur.next = len(evs)
-	return out
+	return out, nil
+}
+
+// PruneContract releases every trace of a settled contract: its program, its
+// storage, its per-contract event log and its gas index. It refuses while
+// the contract still holds escrowed coins — pruning is for contracts whose
+// settlement is complete, and dropping an unsettled escrow's program would
+// strand funds. Stale cursors over the pruned log report ErrPruned on their
+// next Poll instead of silently missing the discarded events.
+func (c *Chain) PruneContract(id ledger.ContractID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if esc := c.ledger.Escrow(id); esc != 0 {
+		return fmt.Errorf("chain: cannot prune contract %q: %d coins still escrowed", id, esc)
+	}
+	delete(c.contracts, id)
+	delete(c.storage, id)
+	delete(c.eventsFor, id)
+	delete(c.gasByContract, id)
+	return nil
+}
+
+// TrimBefore drops global receipts and events older than the given round —
+// the retention hook a long-lived service calls between rounds to bound the
+// chain's memory (keep the last N rounds, in the spirit of a light client
+// that retains only recent history). Both logs are append-only in
+// nondecreasing round order, so the trim is a prefix cut. Per-contract event
+// logs are NOT trimmed here: a live contract's observers replay from its own
+// log, which is bounded by the task's lifetime and released wholesale by
+// PruneContract at settlement. Callers must not trim past the oldest round
+// any live observer still needs (e.g. the admission round of the oldest
+// unsettled task).
+func (c *Chain) TrimBefore(round int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cut := 0
+	for cut < len(c.receipts) && c.receipts[cut].Round < round {
+		cut++
+	}
+	if cut > 0 {
+		c.receipts = append([]*Receipt{}, c.receipts[cut:]...)
+	}
+	cut = 0
+	for cut < len(c.events) && c.events[cut].Round < round {
+		cut++
+	}
+	if cut > 0 {
+		c.events = append([]Event{}, c.events[cut:]...)
+	}
 }
 
 // GasUsedBy returns the cumulative gas paid by an address.

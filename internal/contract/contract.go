@@ -666,7 +666,7 @@ func (h *HIT) finalize(env *chain.Env) error {
 // the previous call, so polling every round costs O(new events) — not a
 // rescan of the log, and never a scan of other contracts' events.
 type PhaseObserver struct {
-	cursor *chain.Cursor
+	cursor chain.EventCursor
 
 	published, committed, finalized, cancelled bool
 	commitRound                                int
@@ -674,13 +674,20 @@ type PhaseObserver struct {
 
 // NewPhaseObserver returns a phase observer for one contract, positioned at
 // the start of its event log.
-func NewPhaseObserver(c *chain.Chain, id ledger.ContractID) *PhaseObserver {
-	return &PhaseObserver{cursor: c.Cursor(id)}
+func NewPhaseObserver(b chain.Backend, id ledger.ContractID) *PhaseObserver {
+	return &PhaseObserver{cursor: b.EventCursor(id)}
 }
 
-// Phase drains the cursor and derives the phase as of the given round.
-func (o *PhaseObserver) Phase(round int) Phase {
-	for _, ev := range o.cursor.Poll() {
+// Phase drains the cursor and derives the phase as of the given round. It
+// returns chain.ErrPruned (wrapped) if the contract's event log was pruned
+// beneath the observer's cursor — the phase can no longer be derived and the
+// observer must be considered dead.
+func (o *PhaseObserver) Phase(round int) (Phase, error) {
+	evs, err := o.cursor.Poll()
+	if err != nil {
+		return 0, err
+	}
+	for _, ev := range evs {
 		switch ev.Name {
 		case "published":
 			o.published = true
@@ -695,25 +702,25 @@ func (o *PhaseObserver) Phase(round int) Phase {
 	}
 	switch {
 	case o.cancelled:
-		return PhaseCancelled
+		return PhaseCancelled, nil
 	case o.finalized:
-		return PhaseDone
+		return PhaseDone, nil
 	case !o.published:
-		return 0
+		return 0, nil
 	case !o.committed:
-		return PhaseCommit
+		return PhaseCommit, nil
 	case round <= o.commitRound+RevealRounds:
-		return PhaseReveal
+		return PhaseReveal, nil
 	default:
-		return PhaseEvaluate
+		return PhaseEvaluate, nil
 	}
 }
 
 // CurrentPhase derives the contract phase for observers (free function used
 // by clients and tests). It is the one-shot form of PhaseObserver: callers
 // polling repeatedly should hold a PhaseObserver instead.
-func CurrentPhase(c *chain.Chain, id ledger.ContractID, round int) Phase {
-	return NewPhaseObserver(c, id).Phase(round)
+func CurrentPhase(b chain.Backend, id ledger.ContractID, round int) (Phase, error) {
+	return NewPhaseObserver(b, id).Phase(round)
 }
 
 // RewardOf returns B/K for published params (helper for clients).

@@ -24,34 +24,42 @@ import (
 	"dragoon/internal/vpke"
 )
 
-// roundAuditor accumulates the receipt cursor and fold statistics of one
-// marketplace run's audit.
-type roundAuditor struct {
+// Auditor re-verifies accepted rejection proofs round by round. It operates
+// on the receipts each mined round returns (never on the chain's retained
+// history), so it keeps working on a long-lived chain whose old receipts
+// have been trimmed; tasks register their requester key on admission and
+// unregister on settlement, keeping the auditor's footprint proportional to
+// the active task set.
+type Auditor struct {
 	g     group.Group
-	tasks map[ledger.ContractID]*taskRun
-	seen  int // receipts already audited
-	count int // VPKE statements folded so far
+	keys  map[ledger.ContractID]group.Element
+	count int
 }
 
-func newRoundAuditor(g group.Group, tasks []*taskRun) *roundAuditor {
-	byID := make(map[ledger.ContractID]*taskRun, len(tasks))
-	for _, t := range tasks {
-		byID[t.id] = t
-	}
-	return &roundAuditor{g: g, tasks: byID}
+// NewAuditor returns an empty auditor over one crypto backend.
+func NewAuditor(g group.Group) *Auditor {
+	return &Auditor{g: g, keys: make(map[ledger.ContractID]group.Element)}
 }
 
-// auditRound folds every rejection proof that landed since the previous
-// call into one batched verification.
-func (a *roundAuditor) auditRound(ch *chain.Chain) error {
-	rcpts := ch.Receipts()
+// Register adds a task's contract with its requester encryption key h;
+// rejection proofs on unregistered contracts are ignored.
+func (a *Auditor) Register(id ledger.ContractID, h group.Element) { a.keys[id] = h }
+
+// Unregister drops a settled task's contract.
+func (a *Auditor) Unregister(id ledger.ContractID) { delete(a.keys, id) }
+
+// Count returns the number of VPKE statements folded so far.
+func (a *Auditor) Count() int { return a.count }
+
+// Audit folds every rejection proof accepted in one mined round's receipts
+// into a single batched verification.
+func (a *Auditor) Audit(round int, rcpts []*chain.Receipt) error {
 	var sts []batch.VPKEStatement
-	for _, rcpt := range rcpts[a.seen:] {
-		a.seen++
+	for _, rcpt := range rcpts {
 		if rcpt.Reverted() {
 			continue
 		}
-		t, ours := a.tasks[rcpt.Tx.Contract]
+		h, ours := a.keys[rcpt.Tx.Contract]
 		if !ours {
 			continue
 		}
@@ -68,22 +76,21 @@ func (a *roundAuditor) auditRound(ch *chain.Chain) error {
 		if !rejected {
 			continue
 		}
-		h := t.req.PublicKey().H
 		switch rcpt.Tx.Method {
 		case contract.MethodOutrange:
 			msg, err := contract.UnmarshalOutrange(rcpt.Tx.Data)
 			if err != nil {
-				return fmt.Errorf("market: audit: outrange tx on %q: %w", t.id, err)
+				return fmt.Errorf("market: audit: outrange tx on %q: %w", rcpt.Tx.Contract, err)
 			}
 			st, err := a.statement(h, msg.Ct, msg.Element, msg.Proof)
 			if err != nil {
-				return fmt.Errorf("market: audit: outrange proof on %q: %w", t.id, err)
+				return fmt.Errorf("market: audit: outrange proof on %q: %w", rcpt.Tx.Contract, err)
 			}
 			sts = append(sts, st)
 		case contract.MethodEvaluate:
 			msg, err := contract.UnmarshalEvaluate(rcpt.Tx.Data)
 			if err != nil {
-				return fmt.Errorf("market: audit: evaluate tx on %q: %w", t.id, err)
+				return fmt.Errorf("market: audit: evaluate tx on %q: %w", rcpt.Tx.Contract, err)
 			}
 			for _, e := range msg.Wrong {
 				elem := e.Element
@@ -92,7 +99,7 @@ func (a *roundAuditor) auditRound(ch *chain.Chain) error {
 				}
 				st, err := a.statement(h, e.Ct, elem, e.Proof)
 				if err != nil {
-					return fmt.Errorf("market: audit: evaluate proof on %q: %w", t.id, err)
+					return fmt.Errorf("market: audit: evaluate proof on %q: %w", rcpt.Tx.Contract, err)
 				}
 				sts = append(sts, st)
 			}
@@ -103,14 +110,14 @@ func (a *roundAuditor) auditRound(ch *chain.Chain) error {
 	}
 	if ok, bad := batch.VerifyVPKE(a.g, sts); !ok {
 		return fmt.Errorf("market: audit: round %d: %d of %d accepted rejection proofs failed the batch fold (indices %v)",
-			ch.Round(), len(bad), len(sts), bad)
+			round, len(bad), len(sts), bad)
 	}
 	a.count += len(sts)
 	return nil
 }
 
 // statement decodes one on-chain rejection proof into a fold statement.
-func (a *roundAuditor) statement(h group.Element, ctRaw, elemRaw, proofRaw []byte) (batch.VPKEStatement, error) {
+func (a *Auditor) statement(h group.Element, ctRaw, elemRaw, proofRaw []byte) (batch.VPKEStatement, error) {
 	ct, err := elgamal.UnmarshalCiphertext(a.g, ctRaw)
 	if err != nil {
 		return batch.VPKEStatement{}, err

@@ -7,6 +7,7 @@ import (
 
 	"dragoon/internal/group"
 	"dragoon/internal/market"
+	"dragoon/internal/opts"
 	"dragoon/internal/task"
 	"dragoon/internal/worker"
 )
@@ -40,11 +41,11 @@ func auditConfig(t *testing.T, batchVerify int) market.Config {
 		specs[ti] = market.TaskSpec{Instance: inst, Enroll: enroll}
 	}
 	return market.Config{
-		Tasks:       specs,
-		Group:       group.TestSchnorr(),
-		Population:  population,
-		Seed:        90,
-		BatchVerify: batchVerify,
+		Tasks:      specs,
+		Group:      group.TestSchnorr(),
+		Population: population,
+		Seed:       90,
+		Options:    opts.Options{BatchVerify: batchVerify},
 	}
 }
 

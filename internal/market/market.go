@@ -30,13 +30,11 @@ import (
 
 	"dragoon/internal/batch"
 	"dragoon/internal/chain"
-	"dragoon/internal/contract"
-	"dragoon/internal/drbg"
 	"dragoon/internal/elgamal"
 	"dragoon/internal/group"
 	"dragoon/internal/ledger"
+	"dragoon/internal/opts"
 	"dragoon/internal/parallel"
-	"dragoon/internal/poqoea"
 	"dragoon/internal/protocol"
 	"dragoon/internal/swarm"
 	"dragoon/internal/task"
@@ -105,29 +103,13 @@ type Config struct {
 	WorkerBalance ledger.Amount
 	// MaxRounds bounds the run (default 40).
 	MaxRounds int
-	// Parallelism bounds how many workers — across ALL tasks — compute
-	// their off-chain round work concurrently. 0 uses the process default;
-	// 1 forces fully sequential rounds. Runs are deterministic for a fixed
-	// Seed at any setting.
-	Parallelism int
-	// BatchVerify overrides the process-wide batch-verification knob
-	// (dragoon.SetBatchVerify) for this run: > 0 forces batching on, < 0
-	// forces it off, 0 follows the global setting. With batching on, every
-	// requester decodes revealed submissions through the batched
-	// well-formedness path and a round auditor re-verifies all tasks'
-	// accepted rejection proofs in one fold per mined round; receipts,
-	// events, gas and payments are byte-identical in both modes.
-	BatchVerify int
-	// ParallelExec overrides optimistic parallel block execution on the
-	// run's shared chain (the Block-STM-style round executor in
-	// internal/chain): > 0 forces it on, < 0 forces strictly sequential
-	// round execution, 0 — the default — turns it on exactly when the
-	// effective worker pool (Parallelism, or the process default) is larger
-	// than one. Whatever the setting, receipts, gas, events and ledger
-	// state are byte-identical: conflicting transactions are detected by
-	// read/write-set validation and deterministically re-executed in
-	// schedule order.
-	ParallelExec int
+	// Options consolidates the run's execution knobs — Parallelism,
+	// BatchVerify, ParallelExec — shared by every run mode (sim, market,
+	// adversary, service). The embedded fields promote, so cfg.Parallelism
+	// etc. read as before; see package opts for the tri-state semantics.
+	// Whatever the settings, receipts, events, gas and payments are
+	// byte-identical for a fixed Seed.
+	opts.Options
 }
 
 // TaskSeed returns the effective randomness seed of task i: the spec's own
@@ -136,7 +118,16 @@ func (c *Config) TaskSeed(i int) int64 {
 	if c.Tasks[i].Seed != 0 {
 		return c.Tasks[i].Seed
 	}
-	return c.Seed + int64(i)*seedStride
+	return DerivedTaskSeed(c.Seed, i)
+}
+
+// DerivedTaskSeed returns the randomness seed of the i-th task derived from
+// a base seed — what TaskSeed applies when a spec does not pin one. Exported
+// so the streaming service (internal/service) derives, for the i-th ADMITTED
+// task, exactly the stream a batch run derives for the i-th configured task:
+// identical admission order means identical transcripts.
+func DerivedTaskSeed(base int64, i int) int64 {
+	return base + int64(i)*seedStride
 }
 
 // WorkerOutcome reports one worker's fate in one task.
@@ -190,27 +181,16 @@ type Result struct {
 	Chain  *chain.Chain
 }
 
-// taskRun is the runtime state of one task inside the marketplace loop.
-type taskRun struct {
-	spec    TaskSpec
-	id      ledger.ContractID
-	reqAddr chain.Address
-	req     *protocol.Requester
-	clients []*protocol.Worker
-	addrs   []chain.Address
-	models  []worker.Model
-	answers [][]int64
-	phase   *contract.PhaseObserver
-
-	finished   bool
-	finalized  bool
-	cancelled  bool
-	finalRound int
-}
-
 // Run executes every task of the marketplace to completion on one shared
 // chain.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// rounds and threaded into the per-round worker fan-out, so a cancelled run
+// returns promptly with ctx.Err() instead of mining to MaxRounds.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if len(cfg.Tasks) == 0 {
 		return nil, errors.New("market: no tasks")
 	}
@@ -234,125 +214,56 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	tasks := make([]*taskRun, len(cfg.Tasks))
+	tasks := make([]*Runtime, len(cfg.Tasks))
 	seen := make(map[ledger.ContractID]int, len(cfg.Tasks))
 	for ti, spec := range cfg.Tasks {
-		if spec.Instance == nil {
-			return nil, fmt.Errorf("market: task %d has no instance", ti)
-		}
-		id := ledger.ContractID(spec.Instance.Task.ID)
-		if prev, dup := seen[id]; dup {
-			return nil, fmt.Errorf("market: tasks %d and %d share contract ID %q", prev, ti, id)
-		}
-		seen[id] = ti
-
-		t := &taskRun{spec: spec, id: id, reqAddr: spec.Requester}
-		if t.reqAddr == "" {
-			t.reqAddr = chain.Address(fmt.Sprintf("requester-%d", ti))
-		}
-		seed := cfg.TaskSeed(ti)
-		led.Mint(ledger.AccountID(t.reqAddr), spec.Instance.Task.Budget*2)
-
-		key := spec.Key
-		if key == nil {
-			key = cfg.SharedKey
-		}
-		req, err := protocol.NewRequester(protocol.RequesterConfig{
-			Addr:         t.reqAddr,
-			Chain:        ch,
-			Store:        store,
-			Instance:     spec.Instance,
-			Policy:       spec.Policy,
-			Group:        cfg.Group,
-			Key:          key,
-			CommitRounds: spec.CommitRounds,
-			Rand:         drbg.New(seed, "requester"),
-			BatchVerify:  cfg.BatchVerify,
+		t, err := NewRuntime(RuntimeConfig{
+			Spec:        spec,
+			Index:       ti,
+			Seed:        cfg.TaskSeed(ti),
+			Group:       cfg.Group,
+			Backend:     ch,
+			Store:       store,
+			Population:  cfg.Population,
+			PopAddrs:    popAddrs,
+			SharedKey:   cfg.SharedKey,
+			BatchVerify: cfg.BatchVerify,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("market: task %q: %w", id, err)
+			return nil, err
 		}
-		t.req = req
-
-		enroll := spec.Enroll
-		if len(enroll) == 0 {
-			enroll = make([]int, len(cfg.Population))
-			for i := range enroll {
-				enroll[i] = i
-			}
+		if prev, dup := seen[t.id]; dup {
+			return nil, fmt.Errorf("market: tasks %d and %d share contract ID %q", prev, ti, t.id)
 		}
-		enrolled := make(map[int]bool, len(enroll))
-		t.models = make([]worker.Model, len(enroll))
-		t.addrs = make([]chain.Address, len(enroll))
-		t.answers = make([][]int64, len(enroll))
-		t.clients = make([]*protocol.Worker, len(enroll))
-		for i, pi := range enroll {
-			if pi < 0 || pi >= len(cfg.Population) {
-				return nil, fmt.Errorf("market: task %q enrolls population index %d (have %d members)", id, pi, len(cfg.Population))
-			}
-			if enrolled[pi] {
-				return nil, fmt.Errorf("market: task %q enrolls population index %d twice", id, pi)
-			}
-			enrolled[pi] = true
-			m := cfg.Population[pi]
-			t.models[i] = m
-			t.addrs[i] = popAddrs[pi]
-			var fn protocol.AnswerFn
-			if m.Answers != nil {
-				i, m, t := i, m, t
-				fn = func(qs []task.Question, rangeSize int64) []int64 {
-					if t.answers[i] == nil {
-						t.answers[i] = m.Answers(qs, rangeSize)
-					}
-					return t.answers[i]
-				}
-			}
-			// Each enrollment draws from a private per-task stream labelled
-			// by its arrival position (index first, delimited, so names
-			// ending in digits cannot collide with other positions), and a
-			// task's transcript is invariant under whatever else its
-			// workers are enrolled in.
-			w, err := protocol.NewWorker(protocol.WorkerConfig{
-				Addr:       t.addrs[i],
-				Chain:      ch,
-				Store:      store,
-				Group:      cfg.Group,
-				ContractID: id,
-				Strategy:   m.Strategy,
-				AnswerFn:   fn,
-				Rand:       drbg.New(seed, fmt.Sprintf("worker-%d-%s", i, m.Name)),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("market: task %q worker %d: %w", id, i, err)
-			}
-			t.clients[i] = w
-		}
+		seen[t.id] = ti
+		t.Fund(led)
 		tasks[ti] = t
 	}
 
 	for _, t := range tasks {
-		if err := t.req.Launch(); err != nil {
-			return nil, fmt.Errorf("market: launching task %q: %w", t.id, err)
+		if err := t.Launch(); err != nil {
+			return nil, err
 		}
-		t.phase = contract.NewPhaseObserver(ch, t.id)
 	}
 
 	// With batching on, a read-only auditor folds every rejection proof the
 	// contracts accept in a mined round — across all tasks — into one batch
 	// verification (see audit.go); it cannot change the run's transcript.
-	var auditor *roundAuditor
+	var auditor *Auditor
 	if batch.Resolve(cfg.BatchVerify) {
-		auditor = newRoundAuditor(cfg.Group, tasks)
+		auditor = NewAuditor(cfg.Group)
+		for _, t := range tasks {
+			auditor.Register(t.id, t.RequesterKey().H)
+		}
 	}
 
 	// The marketplace clock: all live tasks advance in lockstep, one shared
 	// mined round per iteration.
-	type slot struct {
-		t *taskRun
-		i int
-	}
 	for round := 0; round < cfg.MaxRounds; round++ {
-		var active []*taskRun
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("market: round %d: %w", round, err)
+		}
+		var active []*Runtime
 		for _, t := range tasks {
 			if !t.finished {
 				active = append(active, t)
@@ -361,62 +272,8 @@ func Run(cfg Config) (*Result, error) {
 		if len(active) == 0 {
 			break
 		}
-		for _, t := range active {
-			if err := t.req.Step(); err != nil {
-				return nil, fmt.Errorf("market: task %q requester step (round %d): %w", t.id, round, err)
-			}
-		}
-		// Answer models may share one seeded rng across workers and tasks,
-		// so the answering step runs sequentially in (task, worker) order
-		// first; the heavy per-worker crypto then fans out below.
-		var slots []slot
-		for _, t := range active {
-			for i, w := range t.clients {
-				if err := w.Prepare(); err != nil {
-					return nil, fmt.Errorf("market: task %q worker %d prepare (round %d): %w", t.id, i, round, err)
-				}
-				slots = append(slots, slot{t: t, i: i})
-			}
-		}
-		// Workers of ALL tasks compute their round work on one pool — each
-		// reads only mined chain state through its own event cursor and
-		// draws from its own randomness stream — and the resulting
-		// transactions enter the mempool in (task, worker) order, so the
-		// mined chain is identical to a sequential round.
-		txsPerSlot, err := parallel.Map(context.Background(), len(slots), cfg.Parallelism,
-			func(k int) ([]*chain.Tx, error) {
-				s := slots[k]
-				txs, err := s.t.clients[s.i].StepTxs()
-				if err != nil {
-					return nil, fmt.Errorf("market: task %q worker %d step (round %d): %w", s.t.id, s.i, round, err)
-				}
-				return txs, nil
-			})
-		if err != nil {
+		if err := StepRound(ctx, ch, active, cfg.Parallelism, auditor); err != nil {
 			return nil, err
-		}
-		for _, txs := range txsPerSlot {
-			for _, tx := range txs {
-				if err := ch.Submit(tx); err != nil {
-					return nil, fmt.Errorf("market: round %d: %w", round, err)
-				}
-			}
-		}
-		if _, err := ch.MineRound(); err != nil {
-			return nil, fmt.Errorf("market: mining round %d: %w", round, err)
-		}
-		if auditor != nil {
-			if err := auditor.auditRound(ch); err != nil {
-				return nil, err
-			}
-		}
-		for _, t := range active {
-			switch t.phase.Phase(ch.Round()) {
-			case contract.PhaseDone:
-				t.finished, t.finalized, t.finalRound = true, true, ch.Round()
-			case contract.PhaseCancelled:
-				t.finished, t.cancelled, t.finalRound = true, true, ch.Round()
-			}
 		}
 	}
 
@@ -427,66 +284,18 @@ func Run(cfg Config) (*Result, error) {
 		Chain:  ch,
 	}
 	if auditor != nil {
-		res.AuditedProofs = auditor.count
-	}
-
-	// Fold gas by contract and method in one pass over the receipts.
-	gasByTask := make(map[ledger.ContractID]map[string]uint64, len(tasks))
-	for _, t := range tasks {
-		gasByTask[t.id] = make(map[string]uint64)
-	}
-	for _, rcpt := range ch.Receipts() {
-		if methods, ok := gasByTask[rcpt.Tx.Contract]; ok {
-			methods[rcpt.Tx.Method] += rcpt.GasUsed
-		}
+		res.AuditedProofs = auditor.Count()
 	}
 
 	for ti, t := range tasks {
 		if !t.finished {
 			t.finalRound = ch.Round()
 		}
-		tr := TaskResult{
-			ID:               string(t.id),
-			Requester:        t.reqAddr,
-			GasByMethod:      gasByTask[t.id],
-			Rounds:           t.finalRound,
-			Finalized:        t.finalized,
-			Cancelled:        t.cancelled,
-			RequesterBalance: led.Balance(ledger.AccountID(t.reqAddr)),
-			HarvestedAnswers: make(map[chain.Address][]int64),
-		}
-		for _, g := range tr.GasByMethod {
-			tr.GasTotal += g
+		tr, err := t.Result(ch, led)
+		if err != nil {
+			return nil, err
 		}
 		res.GasTotal += tr.GasTotal
-
-		// Worker outcomes from the contract's own event log and the true
-		// answers.
-		paid, rejected, revealed := outcomesFromEvents(ch, t.id)
-		st := t.spec.Instance.Golden.Statement(t.spec.Instance.Task.RangeSize)
-		for i, m := range t.models {
-			o := WorkerOutcome{
-				Name:     m.Name,
-				Addr:     t.addrs[i],
-				Answers:  t.answers[i],
-				Quality:  -1,
-				Revealed: revealed[t.addrs[i]],
-				Paid:     paid[t.addrs[i]],
-				Rejected: rejected[t.addrs[i]],
-			}
-			if t.answers[i] != nil {
-				o.Quality = poqoea.Quality(t.answers[i], st)
-			}
-			tr.Outcomes = append(tr.Outcomes, o)
-		}
-
-		if t.finalized {
-			harvested, err := t.req.Answers()
-			if err != nil {
-				return nil, fmt.Errorf("market: harvesting task %q: %w", t.id, err)
-			}
-			tr.HarvestedAnswers = harvested
-		}
 		res.Tasks[ti] = tr
 	}
 
@@ -494,6 +303,77 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("market: %w", err)
 	}
 	return res, nil
+}
+
+// StepRound advances a set of live task runtimes through one shared mined
+// round: requesters step in task order, the enrolled workers' answers
+// resolve sequentially in (task, worker) order (answer models may share one
+// seeded rng), the heavy per-worker crypto of ALL tasks fans out over one
+// work pool, the resulting transactions enter the mempool in (task, worker)
+// order, one round is mined, the optional auditor re-verifies the round's
+// accepted rejection proofs, and each task folds the round's events into its
+// phase observer. Exported so the streaming service (internal/service)
+// drives exactly the code path of a batch Run — a task settles identically
+// whichever harness hosts it.
+func StepRound(ctx context.Context, ch *chain.Chain, active []*Runtime, parallelism int, auditor *Auditor) error {
+	round := ch.Round()
+	for _, t := range active {
+		if err := t.StepRequester(); err != nil {
+			return fmt.Errorf("market: task %q requester step (round %d): %w", t.id, round, err)
+		}
+	}
+	type slot struct {
+		t *Runtime
+		i int
+	}
+	var slots []slot
+	for _, t := range active {
+		for i := range t.clients {
+			if err := t.Prepare(i); err != nil {
+				return fmt.Errorf("market: task %q worker %d prepare (round %d): %w", t.id, i, round, err)
+			}
+			slots = append(slots, slot{t: t, i: i})
+		}
+	}
+	// Workers of ALL tasks compute their round work on one pool — each
+	// reads only mined chain state through its own event cursor and
+	// draws from its own randomness stream — and the resulting
+	// transactions enter the mempool in (task, worker) order, so the
+	// mined chain is identical to a sequential round.
+	txsPerSlot, err := parallel.Map(ctx, len(slots), parallelism,
+		func(k int) ([]*chain.Tx, error) {
+			s := slots[k]
+			txs, err := s.t.WorkerTxs(s.i)
+			if err != nil {
+				return nil, fmt.Errorf("market: task %q worker %d step (round %d): %w", s.t.id, s.i, round, err)
+			}
+			return txs, nil
+		})
+	if err != nil {
+		return err
+	}
+	for _, txs := range txsPerSlot {
+		for _, tx := range txs {
+			if err := ch.Submit(tx); err != nil {
+				return fmt.Errorf("market: round %d: %w", round, err)
+			}
+		}
+	}
+	rcpts, err := ch.MineRound()
+	if err != nil {
+		return fmt.Errorf("market: mining round %d: %w", round, err)
+	}
+	if auditor != nil {
+		if err := auditor.Audit(ch.Round(), rcpts); err != nil {
+			return err
+		}
+	}
+	for _, t := range active {
+		if err := t.CheckPhase(ch.Round()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // outcomesFromEvents extracts per-worker verdicts from one contract's event

@@ -69,7 +69,7 @@ const (
 type Requester struct {
 	Addr chain.Address
 
-	chain *chain.Chain
+	chain chain.Backend
 	store *swarm.Store
 	rand  io.Reader
 
@@ -104,8 +104,10 @@ type Requester struct {
 
 // RequesterConfig configures a requester client.
 type RequesterConfig struct {
-	Addr     chain.Address
-	Chain    *chain.Chain
+	Addr chain.Address
+	// Chain is the chain surface the client drives — a live *chain.Chain,
+	// or a replay backend when a service reconstructs the client's state.
+	Chain    chain.Backend
 	Store    *swarm.Store
 	Instance *task.Instance
 	Policy   RequesterPolicy
@@ -241,7 +243,10 @@ func (r *Requester) Step() error {
 	if !r.published {
 		return nil
 	}
-	view := r.obs.refresh()
+	view, err := r.obs.refresh()
+	if err != nil {
+		return err
+	}
 	round := r.chain.Round()
 	if view.publishedParams == nil || view.finalized || view.cancelled {
 		return nil
@@ -461,7 +466,10 @@ func (r *Requester) submitEval(method string, data []byte) error {
 // the crowdsourced data). It returns a map from worker to plaintext answer
 // vector.
 func (r *Requester) Answers() (map[chain.Address][]int64, error) {
-	view := r.obs.refresh()
+	view, err := r.obs.refresh()
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[chain.Address][]int64, len(view.submissions))
 	for _, sub := range view.submissions {
 		cts, err := r.decode(sub.data)

@@ -85,19 +85,31 @@ func (v *chainView) apply(ev chain.Event) {
 // with everyone else's traffic too).
 type viewObserver struct {
 	view   *chainView
-	cursor *chain.Cursor
+	cursor chain.EventCursor
 }
 
-func newViewObserver(c *chain.Chain, id ledger.ContractID) *viewObserver {
-	return &viewObserver{view: newChainView(), cursor: c.Cursor(id)}
+func newViewObserver(b chain.Backend, id ledger.ContractID) *viewObserver {
+	o := &viewObserver{view: newChainView()}
+	// Clients may be constructed before they are wired to a chain (config
+	// validation tests do); the cursor is what panics on use, as before.
+	if b != nil {
+		o.cursor = b.EventCursor(id)
+	}
+	return o
 }
 
-// refresh drains the cursor into the view and returns it.
-func (o *viewObserver) refresh() *chainView {
-	for _, ev := range o.cursor.Poll() {
+// refresh drains the cursor into the view and returns it. It fails with
+// chain.ErrPruned (wrapped) if the contract's event log was pruned beneath
+// the cursor — the view can no longer be kept consistent.
+func (o *viewObserver) refresh() (*chainView, error) {
+	evs, err := o.cursor.Poll()
+	if err != nil {
+		return nil, err
+	}
+	for _, ev := range evs {
 		o.view.apply(ev)
 	}
-	return o.view
+	return o.view, nil
 }
 
 // decodeSubmission decodes a revealed event payload into ciphertexts,

@@ -64,7 +64,7 @@ const (
 type Worker struct {
 	Addr chain.Address
 
-	chain *chain.Chain
+	chain chain.Backend
 	store *swarm.Store
 	g     group.Group
 	rand  io.Reader
@@ -90,8 +90,10 @@ type Worker struct {
 
 // WorkerConfig configures a worker client.
 type WorkerConfig struct {
-	Addr       chain.Address
-	Chain      *chain.Chain
+	Addr chain.Address
+	// Chain is the chain surface the client drives — a live *chain.Chain,
+	// or a replay backend when a service reconstructs the client's state.
+	Chain      chain.Backend
 	Store      *swarm.Store
 	Group      group.Group
 	ContractID ledger.ContractID
@@ -152,7 +154,10 @@ func (w *Worker) Prepare() error {
 		w.strategy == StrategyCopyCommit {
 		return nil
 	}
-	view := w.obs.refresh()
+	view, err := w.obs.refresh()
+	if err != nil {
+		return err
+	}
 	if view.publishedParams == nil {
 		return nil
 	}
@@ -177,7 +182,10 @@ func (w *Worker) Prepare() error {
 // (receipts and events), never the mempool, so workers observe identical
 // views regardless of execution order within a round.
 func (w *Worker) StepTxs() ([]*chain.Tx, error) {
-	view := w.obs.refresh()
+	view, err := w.obs.refresh()
+	if err != nil {
+		return nil, err
+	}
 	if view.publishedParams == nil {
 		return nil, nil
 	}

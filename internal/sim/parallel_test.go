@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dragoon/internal/group"
+	"dragoon/internal/opts"
 	"dragoon/internal/sim"
 	"dragoon/internal/task"
 	"dragoon/internal/worker"
@@ -64,8 +65,8 @@ func mixedConfig(t *testing.T, seed int64, parallelism int) sim.Config {
 			worker.NoReveal("mute", inst.GroundTruth),
 			worker.CopyPaster("copycat"),
 		},
-		Seed:        seed,
-		Parallelism: parallelism,
+		Seed:    seed,
+		Options: opts.Options{Parallelism: parallelism},
 	}
 }
 
@@ -117,8 +118,8 @@ func TestParallelRunBN254(t *testing.T) {
 				worker.Perfect("w0", instSeq.GroundTruth),
 				worker.Accurate("w1", instSeq.GroundTruth, 0, rand.New(rand.NewSource(6))),
 			},
-			Seed:        5,
-			Parallelism: parallelism,
+			Seed:    5,
+			Options: opts.Options{Parallelism: parallelism},
 		})
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", parallelism, err)

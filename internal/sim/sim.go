@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 
 	"dragoon/internal/chain"
@@ -17,6 +18,7 @@ import (
 	"dragoon/internal/group"
 	"dragoon/internal/ledger"
 	"dragoon/internal/market"
+	"dragoon/internal/opts"
 	"dragoon/internal/protocol"
 	"dragoon/internal/task"
 	"dragoon/internal/worker"
@@ -51,25 +53,12 @@ type Config struct {
 	MaxRounds int
 	// CommitRounds bounds the commit phase (default 8).
 	CommitRounds int
-	// Parallelism bounds how many workers compute their off-chain round
-	// work (answering, encrypting, committing) concurrently. 0 uses the
-	// process default (runtime.NumCPU() unless overridden via
-	// parallel.SetDefaultWorkers); 1 forces a fully sequential round.
-	// Whatever the setting, the run is deterministic for a fixed Seed:
-	// workers draw randomness from private per-worker streams and their
-	// transactions are applied to the chain in worker order.
-	Parallelism int
-	// BatchVerify overrides the process-wide batch-verification knob
-	// (dragoon.SetBatchVerify) for this run: > 0 forces batching on, < 0
-	// forces it off, 0 follows the global setting. The run's transcript is
-	// byte-identical in both modes.
-	BatchVerify int
-	// ParallelExec overrides optimistic parallel block execution on the
-	// run's chain: > 0 forces the Block-STM-style round executor on, < 0
-	// forces strictly sequential execution, 0 defaults to on exactly when
-	// the effective worker pool is larger than one. Byte-identical
-	// transcripts either way.
-	ParallelExec int
+	// Options consolidates the run's execution knobs — Parallelism,
+	// BatchVerify, ParallelExec. The embedded fields promote, so
+	// cfg.Parallelism etc. read as before; see package opts for the
+	// tri-state semantics. Whatever the settings, the run's transcript is
+	// byte-identical for a fixed Seed.
+	opts.Options
 }
 
 // WorkerOutcome reports one worker's fate.
@@ -100,13 +89,19 @@ type Result struct {
 // Run executes the protocol to completion: one task, one contract, its
 // workers — the M=1 marketplace.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// rounds, so a cancelled run returns promptly with ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Instance == nil {
 		return nil, errors.New("sim: no task instance")
 	}
 	if cfg.Group == nil {
 		return nil, errors.New("sim: no group backend")
 	}
-	mres, err := market.Run(market.Config{
+	mres, err := market.RunContext(ctx, market.Config{
 		Tasks: []market.TaskSpec{{
 			Instance:     cfg.Instance,
 			Policy:       cfg.Policy,
@@ -120,9 +115,7 @@ func Run(cfg Config) (*Result, error) {
 		Scheduler:     cfg.Scheduler,
 		WorkerBalance: cfg.WorkerBalance,
 		MaxRounds:     cfg.MaxRounds,
-		Parallelism:   cfg.Parallelism,
-		BatchVerify:   cfg.BatchVerify,
-		ParallelExec:  cfg.ParallelExec,
+		Options:       cfg.Options,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,8 @@
 package dragoon
 
 import (
+	"context"
+
 	"dragoon/internal/market"
 )
 
@@ -28,7 +30,17 @@ type MarketplaceTaskResult = market.TaskResult
 // one shared chain and returns the per-task results. A seeded run is
 // deterministic at any Parallelism level, and with an honest scheduler each
 // task's payments, gas and harvested answers are identical to running that
-// task alone (Simulate is exactly the M=1 case).
+// task alone (Simulate is exactly the M=1 case). It is
+// SimulateMarketplaceContext with a background context.
 func SimulateMarketplace(cfg MarketplaceConfig) (*MarketplaceResult, error) {
-	return market.Run(cfg)
+	return SimulateMarketplaceContext(context.Background(), cfg)
+}
+
+// SimulateMarketplaceContext runs the marketplace to completion under ctx.
+// Cancellation is checked at every round boundary, so a cancelled run returns
+// ctx.Err() with the shared chain left at a consistent round. A run that
+// completes is byte-identical to SimulateMarketplace with the same
+// configuration.
+func SimulateMarketplaceContext(ctx context.Context, cfg MarketplaceConfig) (*MarketplaceResult, error) {
+	return market.RunContext(ctx, cfg)
 }

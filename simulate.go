@@ -1,6 +1,7 @@
 package dragoon
 
 import (
+	"context"
 	"math/rand"
 
 	"dragoon/internal/chain"
@@ -43,9 +44,19 @@ const (
 // transactions and delay any fresh transaction by at most one round.
 type Scheduler = chain.Scheduler
 
-// Simulate runs the protocol to completion and returns the result.
+// Simulate runs the protocol to completion and returns the result. It is
+// SimulateContext with a background context.
 func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
-	return sim.Run(cfg)
+	return SimulateContext(context.Background(), cfg)
+}
+
+// SimulateContext runs the protocol to completion under ctx. Cancellation is
+// checked at every round boundary — the only points where stopping cannot
+// tear a transcript mid-round — so a cancelled run returns ctx.Err() with the
+// simulated chain left at a consistent round. A run that completes is
+// byte-identical to Simulate with the same configuration.
+func SimulateContext(ctx context.Context, cfg SimulationConfig) (*SimulationResult, error) {
+	return sim.RunContext(ctx, cfg)
 }
 
 // RunIdealFunctionality executes F_hit (Fig. 2 of the paper) on plaintext
