@@ -12,8 +12,11 @@ all: build test
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest-sibling) execution order each
+# run, flushing out inter-test state dependence; failures print the seed to
+# reproduce with -shuffle=<seed>.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The parallel fan-out paths with the race detector on: the work pool, the
 # multi-task marketplace and the single-task harness that fan worker rounds
@@ -21,13 +24,15 @@ test:
 # plus the snapshot/restore sweep), the shared chain with its optimistic
 # parallel round executor (conflict-matrix + randomized sequential-vs-
 # parallel oracle tests) and per-contract event cursors, the shared
-# off-chain store, and the concurrent crypto (PoQoEA batch prove/verify,
-# QAP quotient, Groth16 MSM fork/join, parallel Miller loops).
+# off-chain store, the HTLC escrow the sharded settlement epoch drives
+# from concurrently-mined shards, and the concurrent crypto (PoQoEA batch
+# prove/verify, QAP quotient, Groth16 MSM fork/join, parallel Miller
+# loops).
 race:
 	$(GO) test -race ./internal/parallel ./internal/market ./internal/sim \
 		./internal/service ./internal/adversary ./internal/chain \
-		./internal/swarm ./internal/poqoea ./internal/batch ./internal/qap \
-		./internal/groth16 ./internal/bn254
+		./internal/htlc ./internal/swarm ./internal/poqoea ./internal/batch \
+		./internal/qap ./internal/groth16 ./internal/bn254
 
 # Regenerate the committed golden fingerprint files after an INTENTIONAL
 # protocol/gas/rng-order change (then commit the testdata diff). The golden
@@ -42,15 +47,16 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -n 25
 
 # Short fuzz pass over the codec fuzz targets (wire reader/round-trip,
-# commitment open, contract message decoders), seeded from the checked-in
-# corpus under each package's testdata/fuzz. CI runs this as a smoke job;
-# run with a larger FUZZTIME locally for a real hunt.
+# commitment open, contract and HTLC message decoders), seeded from the
+# checked-in corpus under each package's testdata/fuzz. CI runs this as a
+# smoke job; run with a larger FUZZTIME locally for a real hunt.
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReaderOps -fuzztime=$(FUZZTIME) -run='^$$' ./internal/wire
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) -run='^$$' ./internal/wire
 	$(GO) test -fuzz=FuzzCommitOpen -fuzztime=$(FUZZTIME) -run='^$$' ./internal/commit
 	$(GO) test -fuzz=FuzzUnmarshalMessages -fuzztime=$(FUZZTIME) -run='^$$' ./internal/contract
+	$(GO) test -fuzz=FuzzUnmarshalHTLC -fuzztime=$(FUZZTIME) -run='^$$' ./internal/htlc
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

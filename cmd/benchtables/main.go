@@ -113,6 +113,9 @@ type parallelBenchReport struct {
 	Timestamp string `json:"timestamp"`
 	GoVersion string `json:"go_version"`
 	NumCPU    int    `json:"num_cpu"`
+	// CPUCount mirrors NumCPU under the key downstream tooling reads next
+	// to single_core; both describe the host the JSON was generated on.
+	CPUCount int `json:"cpu_count"`
 	// ParallelWorkers is the pool size of the parallel rows (the -workers
 	// flag; never 1, so Speedups is never empty).
 	ParallelWorkers int `json:"parallel_workers"`
@@ -240,6 +243,35 @@ func writeParallelJSON(path string, parWorkers int) error {
 			}
 		}},
 	}
+	// The marketplace split across S lockstep-mined chains, cross-shard
+	// payouts settling through the HTLC escrow. s1 is the single-chain
+	// baseline under the same op so the shard series is self-contained; at
+	// workers=1 the s>1 rows price the sharding + settlement overhead, at
+	// the pool size they measure concurrent shard mining.
+	for _, s := range []int{1, 2, 4, 8} {
+		cfg := marketBenchConfig()
+		cfg.Shards = s
+		ops = append(ops, struct {
+			name      string
+			questions int
+			fn        func()
+		}{fmt.Sprintf("marketplace_sharded_s%d", s), marketBenchTasks * marketBenchQuestions, func() {
+			res, err := market.Run(cfg)
+			if err != nil {
+				panic(err)
+			}
+			for _, tr := range res.Tasks {
+				if !tr.Finalized {
+					panic("sharded marketplace task did not finalize")
+				}
+			}
+			for _, st := range res.Settlements {
+				if !st.Claimed {
+					panic("cross-shard settlement did not claim")
+				}
+			}
+		}})
+	}
 	// Folded vs per-proof verification at each batch size, plus ONE
 	// per-proof baseline over the largest batch (per-proof cost is linear
 	// in the claim count, so smaller baselines are derived from it).
@@ -283,6 +315,7 @@ func writeParallelJSON(path string, parWorkers int) error {
 		Timestamp:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:       runtime.Version(),
 		NumCPU:          runtime.NumCPU(),
+		CPUCount:        runtime.NumCPU(),
 		ParallelWorkers: parWorkers,
 		SingleCore:      runtime.NumCPU() == 1,
 		Speedups:        map[string]float64{},

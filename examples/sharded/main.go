@@ -1,0 +1,99 @@
+// Command sharded splits a marketplace across several independent chains
+// mined in lockstep. Tasks are placed whole onto shards (round-robin here),
+// every population member is funded on its home shard (index mod S), and
+// each task's transcript is byte-identical to the unsharded run — sharding
+// changes where a task executes, never what it does. Afterwards a
+// dedicated settlement epoch moves every reward earned away from home back
+// through a hash time-locked escrow: the worker locks its reward on the
+// task shard under a hash, a bridge counter-locks the same amount on the
+// worker's home shard, and the worker's claim reveals the preimage the
+// bridge needs to collect — atomic by construction, refund-safe by round
+// timeouts.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dragoon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "sharded: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		numTasks = 4
+		shards   = 2
+	)
+
+	// A shared population: each task gets one dedicated expert. Expert i
+	// is homed on shard i mod 2, while round-robin placement puts task i
+	// on shard i mod 2 too — so experts 0 and 2 earn at home, and experts
+	// enrolled across the boundary settle through the HTLC epoch.
+	population := []dragoon.WorkerModel{}
+	addExpert := func(name string, truth []int64) int {
+		population = append(population, dragoon.PerfectWorker(name, truth))
+		return len(population) - 1
+	}
+
+	tasks := make([]dragoon.MarketplaceTask, numTasks)
+	experts := make([][]int, numTasks)
+	for t := 0; t < numTasks; t++ {
+		inst, err := dragoon.NewTask(dragoon.TaskParams{
+			ID:        fmt.Sprintf("survey-%d", t),
+			N:         12,
+			RangeSize: 4,
+			NumGolden: 4,
+			Workers:   2,
+			Threshold: 3,
+			Budget:    dragoon.Amount(1000 + 7*t),
+		}, rand.New(rand.NewSource(int64(100+t))))
+		if err != nil {
+			return err
+		}
+		// Two experts per task: with 4 tasks × 2 workers over 2 shards,
+		// half the payouts land away from the earner's home shard.
+		a := addExpert(fmt.Sprintf("expert-%d a", t), inst.GroundTruth)
+		b := addExpert(fmt.Sprintf("expert-%d b", t), inst.GroundTruth)
+		experts[t] = []int{a, b}
+		tasks[t] = dragoon.MarketplaceTask{Instance: inst, Enroll: experts[t]}
+	}
+
+	res, err := dragoon.SimulateMarketplace(dragoon.MarketplaceConfig{
+		Tasks:      tasks,
+		Group:      dragoon.TestGroup(),
+		Population: population,
+		Shards:     shards,
+		Seed:       7,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("sharded marketplace: %d tasks over %d chains, %d lockstep rounds, %s gas total\n",
+		numTasks, shards, res.Rounds, dragoon.FormatGas(res.GasTotal))
+	for ti, tr := range res.Tasks {
+		fmt.Printf("  %s on shard %d: finalized=%v, requester keeps %d\n",
+			tr.ID, res.TaskShards[ti], tr.Finalized, tr.RequesterBalance)
+	}
+
+	fmt.Printf("\ncross-shard settlements (%d):\n", len(res.Settlements))
+	for _, s := range res.Settlements {
+		state := "refunded"
+		if s.Claimed {
+			state = "claimed"
+		}
+		fmt.Printf("  %-10s %-12s %4d coins  shard %d -> %d  %s\n",
+			s.Task, s.Worker, s.Amount, s.TaskShard, s.HomeShard, state)
+	}
+	if len(res.Settlements) == 0 {
+		fmt.Println("  (none — every worker earned on its home shard)")
+	}
+	return nil
+}

@@ -63,6 +63,15 @@ type Scenario struct {
 	ExpectCancel bool
 	// MaxRounds overrides the harness round bound (0 → default).
 	MaxRounds int
+	// Settle optionally fault-injects the cross-shard HTLC settlement epoch
+	// of a sharded run (see market.SettleConfig). workers holds the enrolled
+	// workers' chain addresses in lineup order. Only consulted when the run
+	// is sharded (Options.Shards > 1); nil keeps the honest default.
+	Settle func(workers []chain.Address) market.SettleConfig
+	// ExpectRefund declares that, under this scenario's settlement faults,
+	// every cross-shard transfer must unwind through the refund path rather
+	// than claim. Checked by CheckInvariants on sharded reports.
+	ExpectRefund bool
 }
 
 // Options configures a scenario run.
@@ -75,6 +84,13 @@ type Options struct {
 	WorkerBalance ledger.Amount
 	// N overrides the generated tasks' question count (0 → 16).
 	N int
+	// Shards splits the marketplace run across that many chains (0 or 1 is
+	// the historical single chain); see market.Config.Shards. Cross-shard
+	// payouts settle through the HTLC escrow, and CheckInvariants extends
+	// to cross-shard fund conservation and the lock/claim/refund story.
+	Shards int
+	// Placement selects the task→shard policy when Shards > 1.
+	Placement market.Placement
 	// Options consolidates the run's execution knobs — Parallelism,
 	// BatchVerify, ParallelExec. The embedded fields promote, so
 	// o.Parallelism etc. read as before; see package opts for the tri-state
@@ -146,6 +162,8 @@ type TaskReport struct {
 	Quota            int
 	Honest           []int
 	ExpectCancel     bool
+	// Shard is the chain the task ran on (0 on unsharded runs).
+	Shard int
 }
 
 // Report is a completed scenario run, ready for invariant checking.
@@ -161,6 +179,18 @@ type Report struct {
 	Minted ledger.Amount
 	// Tasks holds per-task reports.
 	Tasks []TaskReport
+	// Sharded-run state (empty on single-chain runs), copied from the
+	// market result: the shard handles, each population member's home
+	// shard, the per-shard minted supply, the HTLC bridge account with its
+	// per-shard liquidity, the settlement outcomes, and whether the
+	// scenario predicts refunds instead of claims.
+	Shards          []*chain.Shard
+	HomeShards      []int
+	MintedByShard   []ledger.Amount
+	Bridge          chain.Address
+	BridgeLiquidity ledger.Amount
+	Settlements     []market.Settlement
+	ExpectRefund    bool
 }
 
 // workerAddrs maps a population to its chain addresses (the harnesses'
@@ -271,11 +301,12 @@ func (s Scenario) RunMarket(m int, opts Options) (*Report, error) {
 		minted += inst.Task.Budget * 2
 	}
 	minted += ledger.Amount(len(population)) * opts.WorkerBalance
+	popAddrs := workerAddrs(population)
 	var sched chain.Scheduler
 	if s.NewScheduler != nil {
-		sched = s.NewScheduler(opts.Seed, workerAddrs(population), requesters)
+		sched = s.NewScheduler(opts.Seed, popAddrs, requesters)
 	}
-	res, err := market.Run(market.Config{
+	cfg := market.Config{
 		Tasks:         specs,
 		Group:         opts.Group,
 		Population:    population,
@@ -283,8 +314,24 @@ func (s Scenario) RunMarket(m int, opts Options) (*Report, error) {
 		Seed:          opts.Seed,
 		WorkerBalance: opts.WorkerBalance,
 		MaxRounds:     s.MaxRounds,
+		Shards:        opts.Shards,
+		Placement:     opts.Placement,
 		Options:       opts.Options,
-	})
+	}
+	if opts.Shards > 1 {
+		if s.NewScheduler != nil {
+			// One scheduler instance per shard (same construction arguments),
+			// so stateful schedulers never share mutable state across the
+			// concurrently mined shards.
+			cfg.ShardSchedulers = func(int) chain.Scheduler {
+				return s.NewScheduler(opts.Seed, popAddrs, requesters)
+			}
+		}
+		if s.Settle != nil {
+			cfg.Settle = s.Settle(popAddrs)
+		}
+	}
+	res, err := market.Run(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("adversary: %s/market: %w", s.Name, err)
 	}
@@ -295,14 +342,39 @@ func (s Scenario) RunMarket(m int, opts Options) (*Report, error) {
 		reports[i].Cancelled = tr.Cancelled
 		reports[i].Outcomes = tr.Outcomes
 	}
-	return &Report{
+	rep := &Report{
 		Name:          fmt.Sprintf("%s/market-%d", s.Name, m),
 		Ledger:        res.Ledger,
 		Chain:         res.Chain,
 		WorkerBalance: opts.WorkerBalance,
 		Minted:        minted,
 		Tasks:         reports,
-	}, nil
+	}
+	fillShardReport(rep, res, s.ExpectRefund)
+	return rep, nil
+}
+
+// fillShardReport copies a sharded market result's cross-shard state into
+// the report, switching Minted to the per-shard accounting (which includes
+// the bridge liquidity minted on every shard). No-op on single-chain runs.
+func fillShardReport(rep *Report, res *market.Result, expectRefund bool) {
+	if len(res.Shards) == 0 {
+		return
+	}
+	rep.Shards = res.Shards
+	rep.HomeShards = res.HomeShards
+	rep.MintedByShard = res.MintedByShard
+	rep.Bridge = res.Bridge
+	rep.BridgeLiquidity = res.BridgeLiquidity
+	rep.Settlements = res.Settlements
+	rep.ExpectRefund = expectRefund
+	rep.Minted = 0
+	for _, m := range res.MintedByShard {
+		rep.Minted += m
+	}
+	for ti := range rep.Tasks {
+		rep.Tasks[ti].Shard = res.TaskShards[ti]
+	}
 }
 
 // RunMatrix co-locates MANY scenarios as concurrent tasks of one
@@ -361,6 +433,8 @@ func RunMatrix(scenarios []Scenario, opts Options) (*Report, error) {
 		Seed:          opts.Seed,
 		WorkerBalance: opts.WorkerBalance,
 		MaxRounds:     maxRoundsOf(scenarios),
+		Shards:        opts.Shards,
+		Placement:     opts.Placement,
 		Options:       opts.Options,
 	})
 	if err != nil {
@@ -373,14 +447,16 @@ func RunMatrix(scenarios []Scenario, opts Options) (*Report, error) {
 		reports[i].Cancelled = tr.Cancelled
 		reports[i].Outcomes = tr.Outcomes
 	}
-	return &Report{
+	rep := &Report{
 		Name:          "matrix",
 		Ledger:        res.Ledger,
 		Chain:         res.Chain,
 		WorkerBalance: opts.WorkerBalance,
 		Minted:        minted,
 		Tasks:         reports,
-	}, nil
+	}
+	fillShardReport(rep, res, false)
+	return rep, nil
 }
 
 // maxRoundsOf returns the largest per-scenario round bound (0 if none pin

@@ -1,0 +1,113 @@
+package adversary_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dragoon/internal/adversary"
+	"dragoon/internal/incentive"
+	"dragoon/internal/task"
+	"dragoon/internal/worker"
+)
+
+// matrixParams is the incentive-model view of the task shape every Matrix
+// scenario posts: 5 golden standards, acceptance threshold 4, answer range
+// 3, and a 997-coin budget split across a quota of 3 workers.
+func matrixParams() incentive.Params {
+	return incentive.Params{
+		NumGolden:  5,
+		Threshold:  4,
+		RangeSize:  3,
+		Reward:     997.0 / 3,
+		SubmitCost: 1,
+	}
+}
+
+// TestIncentiveMatrixShape checks the closed-form incentive model against
+// the adversarial harness's standard task shape: the posted reward clears
+// the dominant-reward bound for a plausible honest worker, honest play is
+// the best response among the canonical strategies, and a guessing bot's
+// acceptance probability is the exact binomial tail.
+func TestIncentiveMatrixShape(t *testing.T) {
+	p := matrixParams()
+	const accuracy, effort = 0.95, 20.0
+
+	// A uniform guesser over range 3 clears threshold 4-of-5 with
+	// probability P[Bin(5, 1/3) >= 4] = (5·2 + 1)/3^5 = 11/243.
+	got := incentive.AcceptProbability(p, 1.0/3)
+	want := 11.0 / 243.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("bot accept probability = %v, want 11/243 = %v", got, want)
+	}
+
+	// The dominant-reward solver's minimal reward must be at or below the
+	// reward the Matrix scenarios actually post, so honest play dominates.
+	minR, err := incentive.MinimalReward(p, accuracy, effort)
+	if err != nil {
+		t.Fatalf("MinimalReward: %v", err)
+	}
+	if minR > p.Reward {
+		t.Fatalf("posted reward %v is below the dominant-reward bound %v", p.Reward, minR)
+	}
+	if !incentive.HonestDominates(p, accuracy, effort) {
+		t.Fatalf("honest play does not dominate at posted reward %v", p.Reward)
+	}
+
+	// Best response among the canonical strategies is honest play: the
+	// honest expected utility strictly beats the guessing bot's (the bot
+	// clears the threshold too rarely for its zero effort to pay off).
+	strategies := []incentive.Strategy{
+		incentive.CopyPaste(),
+		incentive.Bot(p.RangeSize),
+		incentive.Honest(accuracy, effort),
+	}
+	if best := incentive.BestResponse(p, strategies); strategies[best].Name != "honest" {
+		t.Fatalf("best response = %q, want honest", strategies[best].Name)
+	}
+	honestU := incentive.ExpectedUtility(p, incentive.Honest(accuracy, effort))
+	botU := incentive.ExpectedUtility(p, incentive.Bot(p.RangeSize))
+	if honestU <= botU {
+		t.Fatalf("honest utility %v does not beat bot utility %v", honestU, botU)
+	}
+}
+
+// TestIncentivePredictionInSim runs a small sim with the matrix task shape
+// — two honest workers and one uniform-guessing bot — and checks the
+// harness outcome matches the incentive model's prediction: honest workers
+// are accepted and paid (accept probability ~0.977 at accuracy 0.95), the
+// bot is rejected (accept probability 11/243 ≈ 0.045).
+func TestIncentivePredictionInSim(t *testing.T) {
+	s := adversary.Scenario{
+		Name:        "incentive-bot",
+		Description: "a zero-effort guessing bot fails the golden-standard threshold while the honest majority is paid",
+		Quota:       3,
+		Lineup: func(inst *task.Instance, rng *rand.Rand) []worker.Model {
+			return []worker.Model{
+				worker.Perfect("ah", inst.GroundTruth),
+				worker.Perfect("bh", inst.GroundTruth),
+				worker.Bot("bot", rng),
+			}
+		},
+		Honest: []int{0, 1},
+	}
+	rep, err := s.RunSim(opts(0))
+	if err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	if err := rep.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	tk := rep.Tasks[0]
+	if !tk.Finalized || tk.Cancelled {
+		t.Fatalf("task finalized=%v cancelled=%v, want finalized", tk.Finalized, tk.Cancelled)
+	}
+	for _, i := range []int{0, 1} {
+		if o := tk.Outcomes[i]; !o.Paid || o.Rejected {
+			t.Fatalf("honest worker %s: paid=%v rejected=%v, want paid", o.Name, o.Paid, o.Rejected)
+		}
+	}
+	if o := tk.Outcomes[2]; o.Paid || !o.Rejected {
+		t.Fatalf("bot: paid=%v rejected=%v, want rejected (accept probability 11/243)", o.Paid, o.Rejected)
+	}
+}

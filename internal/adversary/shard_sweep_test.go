@@ -1,0 +1,176 @@
+package adversary_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"dragoon/internal/adversary"
+	"dragoon/internal/ledger"
+)
+
+// shardTaskFP folds one task's full observable transcript — settlement,
+// outcomes, the contract's event log with rounds, and its per-method gas —
+// into a comparable string, reading from whichever chain hosts the task.
+func shardTaskFP(r *adversary.Report, ti int) string {
+	t := &r.Tasks[ti]
+	ch := r.Chain
+	if len(r.Shards) > 0 {
+		ch = r.Shards[t.Shard].Chain
+	}
+	s := fmt.Sprintf("task %s req=%s bal=%d fin=%v can=%v\n",
+		t.ID, t.Requester, t.RequesterBalance, t.Finalized, t.Cancelled)
+	for _, o := range t.Outcomes {
+		s += fmt.Sprintf("  %s paid=%v rejected=%v revealed=%v q=%d answers=%v\n",
+			o.Addr, o.Paid, o.Rejected, o.Revealed, o.Quality, o.Answers)
+	}
+	for _, ev := range ch.EventsFor(ledger.ContractID(t.ID)) {
+		s += fmt.Sprintf("ev r=%d %s %x\n", ev.Round, ev.Name, ev.Data)
+	}
+	gas := ch.GasByMethodFor(ledger.ContractID(t.ID))
+	methods := make([]string, 0, len(gas))
+	for m := range gas {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+	for _, m := range methods {
+		s += fmt.Sprintf("gas[%s]=%d\n", m, gas[m])
+	}
+	return s
+}
+
+// TestMatrixShardSweep runs EVERY scenario of the standard catalogue —
+// byzantine workers, malicious requesters and hostile schedulers alike —
+// once on a single chain and once split across 4 shards, and demands:
+//
+//   - both runs pass the full invariant suite (which on the sharded run
+//     includes cross-shard fund conservation and the HTLC lock story);
+//   - the per-task settlement transcript (outcomes, contract events with
+//     their rounds, per-method gas) is byte-identical between the two runs
+//     — sharding, concurrent mining and the HTLC epoch are transparent to
+//     the task protocol under every adversary, including the stateful
+//     random scheduler (each shard gets its own instance);
+//   - every payout earned away from the worker's home shard actually
+//     crossed shards through the escrow.
+func TestMatrixShardSweep(t *testing.T) {
+	for _, s := range adversary.Matrix() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			single, err := s.RunMarket(1, opts(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := single.CheckInvariants(); err != nil {
+				t.Errorf("single-chain run violates invariants: %v", err)
+			}
+			o := opts(0)
+			o.Shards = 4
+			sharded, err := s.RunMarket(1, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sharded.CheckInvariants(); err != nil {
+				t.Errorf("sharded run violates invariants: %v", err)
+			}
+			if len(sharded.Shards) != 4 {
+				t.Fatalf("sharded run has %d shard handles", len(sharded.Shards))
+			}
+			for ti := range single.Tasks {
+				if got, want := shardTaskFP(sharded, ti), shardTaskFP(single, ti); got != want {
+					t.Errorf("task %d transcript diverged across shard counts\n--- 4 shards ---\n%s\n--- 1 chain ---\n%s",
+						ti, got, want)
+				}
+			}
+			// With m=1 the task sits on shard 0 and lineup worker i is homed
+			// on shard i mod 4, so every paid worker with a nonzero home
+			// shard must have settled through the escrow (claimed: honest
+			// settlement config).
+			want := 0
+			for i, o := range single.Tasks[0].Outcomes {
+				if o.Paid && i%4 != 0 {
+					want++
+				}
+			}
+			if got := len(sharded.Settlements); got != want {
+				t.Errorf("%d cross-shard settlements, want %d", got, want)
+			}
+			for _, st := range sharded.Settlements {
+				if !st.Claimed {
+					t.Errorf("settlement %s did not claim under honest settlement: %+v", st.LockID, st)
+				}
+			}
+		})
+	}
+}
+
+// TestSettleScenarios sweeps the cross-shard settlement catalogue: each
+// scenario fault-injects the HTLC epoch of a 4-shard, 2-task run, and the
+// invariant suite plus the scenario's claim/refund prediction must hold.
+func TestSettleScenarios(t *testing.T) {
+	for _, s := range adversary.SettleScenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			o := opts(0)
+			o.Shards = 4
+			rep, err := s.RunMarket(2, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.CheckInvariants(); err != nil {
+				t.Errorf("invariants violated: %v", err)
+			}
+			if len(rep.Settlements) == 0 {
+				t.Fatal("no cross-shard settlements — scenario degenerated")
+			}
+			for _, st := range rep.Settlements {
+				if s.ExpectRefund && (st.Claimed || !st.Refunded) {
+					t.Errorf("settlement %s should have refunded: %+v", st.LockID, st)
+				}
+				if !s.ExpectRefund && (!st.Claimed || st.Refunded) {
+					t.Errorf("settlement %s should have claimed: %+v", st.LockID, st)
+				}
+			}
+		})
+	}
+}
+
+// TestParticipantMatrixSharded co-locates the scheduler-free scenarios as
+// one sharded marketplace: the matrix spread over 4 chains must pass the
+// invariant suite and reproduce the single-chain matrix per task.
+func TestParticipantMatrixSharded(t *testing.T) {
+	scenarios := adversary.ParticipantMatrix()
+	single, err := adversary.RunMatrix(scenarios, opts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts(0)
+	o.Shards = 4
+	sharded, err := adversary.RunMatrix(scenarios, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range []*adversary.Report{single, sharded} {
+		if err := rep.CheckInvariants(); err != nil {
+			t.Errorf("%s: invariants violated: %v", rep.Name, err)
+		}
+	}
+	for ti := range single.Tasks {
+		if got, want := shardTaskFP(sharded, ti), shardTaskFP(single, ti); got != want {
+			t.Errorf("matrix task %d transcript diverged across shard counts\n--- 4 shards ---\n%s\n--- 1 chain ---\n%s",
+				ti, got, want)
+		}
+	}
+	if len(sharded.Settlements) == 0 {
+		t.Error("sharded matrix produced no cross-shard settlements")
+	}
+	// Placement must have spread the matrix over all four chains.
+	used := map[int]bool{}
+	for i := range sharded.Tasks {
+		used[sharded.Tasks[i].Shard] = true
+	}
+	if len(used) != 4 {
+		t.Errorf("matrix tasks used %d shards, want 4", len(used))
+	}
+}

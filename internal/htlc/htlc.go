@@ -1,0 +1,222 @@
+// Package htlc implements a hashed-timelock escrow contract over the chain
+// environment — the atomic cross-shard value-transfer primitive of the
+// sharded marketplace. A sender locks coins against the keccak256 hash of a
+// secret; the payee claims them by revealing the preimage before the
+// timeout round; after the timeout only the sender can refund. Pairing two
+// locks with the same hash on two shards (the payee's counter-lock using a
+// strictly shorter timeout) yields the classic atomic swap: whoever claims
+// first publishes the preimage on-chain, which is exactly what the other
+// side needs to claim its own lock.
+//
+// Like the HIT contract, the struct is stateless between calls: every lock
+// lives in journaled chain storage, so reverted transactions roll back
+// cleanly, and all coin movement goes through the ledger's freeze/pay
+// oracle (a lock's coins sit in the contract escrow until claimed or
+// refunded).
+package htlc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/ledger"
+	"dragoon/internal/wire"
+)
+
+// ContractID is the conventional deployment ID: the sharded marketplace
+// deploys exactly one HTLC contract per shard under this name.
+const ContractID = ledger.ContractID("htlc")
+
+// Calibrated execution overheads (beyond the metered storage/log/keccak
+// costs), in the spirit of the HIT contract's calibration constants.
+const (
+	// lockOverhead approximates the record bookkeeping of an escrow open.
+	lockOverhead = 1_200
+	// settleOverhead is charged on claim and refund (record load, state
+	// transition, payout bookkeeping).
+	settleOverhead = 900
+)
+
+// Lock states stored in the record.
+const (
+	stateOpen     = 0
+	stateClaimed  = 1
+	stateRefunded = 2
+)
+
+// Contract is the HTLC program. One instance per shard serves every
+// transfer routed through that shard.
+type Contract struct{}
+
+// New returns an HTLC contract.
+func New() *Contract { return &Contract{} }
+
+var _ chain.Contract = (*Contract)(nil)
+
+// Execute dispatches a transaction to the contract (implements
+// chain.Contract).
+func (c *Contract) Execute(env *chain.Env, from chain.Address, method string, data []byte) error {
+	env.ChargeMemory(len(data))
+	switch method {
+	case MethodLock:
+		return c.lock(env, from, data)
+	case MethodClaim:
+		return c.claim(env, from, data)
+	case MethodRefund:
+		return c.refund(env, from, data)
+	default:
+		return fmt.Errorf("htlc: unknown method %q", method)
+	}
+}
+
+// record is the stored form of one lock: the locked event payload plus a
+// state byte.
+type record struct {
+	LockedEvent
+	state uint64
+}
+
+func storeKey(id string) string { return "lock:" + id }
+
+func (rec *record) encode() []byte {
+	w := wire.NewWriter()
+	w.WriteBytes(encodeLockedEvent(&rec.LockedEvent))
+	w.WriteUint(rec.state)
+	return w.Bytes()
+}
+
+func decodeRecord(data []byte) (*record, error) {
+	r := wire.NewReader(data)
+	evBytes, err := r.ReadBytes()
+	if err != nil {
+		return nil, fmt.Errorf("htlc: record: %w", err)
+	}
+	ev, err := ParseLockedEvent(evBytes)
+	if err != nil {
+		return nil, fmt.Errorf("htlc: record: %w", err)
+	}
+	state, err := r.ReadUint()
+	if err != nil {
+		return nil, fmt.Errorf("htlc: record state: %w", err)
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("htlc: record: %w", err)
+	}
+	return &record{LockedEvent: *ev, state: state}, nil
+}
+
+func loadRecord(env *chain.Env, id string) (*record, error) {
+	raw, ok := env.StoreGet(storeKey(id))
+	if !ok {
+		return nil, fmt.Errorf("htlc: no lock %q", id)
+	}
+	return decodeRecord(raw)
+}
+
+// lock opens an escrow: validates the message, freezes the sender's coins
+// into the contract, and emits "locked" with the full record.
+func (c *Contract) lock(env *chain.Env, from chain.Address, data []byte) error {
+	msg, err := UnmarshalLock(data)
+	if err != nil {
+		return err
+	}
+	if msg.ID == "" {
+		return errors.New("htlc: empty lock ID")
+	}
+	if msg.Payee == "" {
+		return errors.New("htlc: empty payee")
+	}
+	if msg.Amount == 0 {
+		return errors.New("htlc: zero amount")
+	}
+	if msg.Timeout < uint64(env.Round()) {
+		return fmt.Errorf("htlc: lock %q timeout %d already passed (round %d)", msg.ID, msg.Timeout, env.Round())
+	}
+	// IDs are single-use forever: a settled lock's slot stays occupied, so a
+	// replayed lock can never resurrect a spent escrow.
+	if _, ok := env.StoreGet(storeKey(msg.ID)); ok {
+		return fmt.Errorf("htlc: lock %q already exists", msg.ID)
+	}
+	env.UseGas(lockOverhead)
+	if err := env.Freeze(ledger.AccountID(from), msg.Amount); err != nil {
+		return err
+	}
+	rec := &record{LockedEvent: LockedEvent{
+		ID:      msg.ID,
+		Sender:  from,
+		Payee:   msg.Payee,
+		Amount:  msg.Amount,
+		Hash:    msg.Hash,
+		Timeout: msg.Timeout,
+	}}
+	env.StoreSet(storeKey(msg.ID), rec.encode())
+	env.Emit("locked", 1, encodeLockedEvent(&rec.LockedEvent))
+	return nil
+}
+
+// claim pays an open lock to its payee against the revealed preimage,
+// publishing the preimage in the "claimed" event.
+func (c *Contract) claim(env *chain.Env, from chain.Address, data []byte) error {
+	msg, err := UnmarshalClaim(data)
+	if err != nil {
+		return err
+	}
+	rec, err := loadRecord(env, msg.ID)
+	if err != nil {
+		return err
+	}
+	if rec.state != stateOpen {
+		return fmt.Errorf("htlc: lock %q already settled", msg.ID)
+	}
+	if from != rec.Payee {
+		return fmt.Errorf("htlc: %s is not the payee of lock %q", from, msg.ID)
+	}
+	if uint64(env.Round()) > rec.Timeout {
+		return fmt.Errorf("htlc: lock %q expired at round %d (now %d)", msg.ID, rec.Timeout, env.Round())
+	}
+	h := env.Keccak(msg.Preimage)
+	if !bytes.Equal(h[:], rec.Hash[:]) {
+		return fmt.Errorf("htlc: wrong preimage for lock %q", msg.ID)
+	}
+	env.UseGas(settleOverhead)
+	if err := env.Pay(ledger.AccountID(rec.Payee), rec.Amount); err != nil {
+		return err
+	}
+	rec.state = stateClaimed
+	env.StoreSet(storeKey(msg.ID), rec.encode())
+	env.Emit("claimed", 2, encodeClaimedEvent(msg.ID, msg.Preimage))
+	return nil
+}
+
+// refund returns an expired open lock to its sender.
+func (c *Contract) refund(env *chain.Env, from chain.Address, data []byte) error {
+	msg, err := UnmarshalRefund(data)
+	if err != nil {
+		return err
+	}
+	rec, err := loadRecord(env, msg.ID)
+	if err != nil {
+		return err
+	}
+	if rec.state != stateOpen {
+		return fmt.Errorf("htlc: lock %q already settled", msg.ID)
+	}
+	if from != rec.Sender {
+		return fmt.Errorf("htlc: %s is not the sender of lock %q", from, msg.ID)
+	}
+	if uint64(env.Round()) <= rec.Timeout {
+		return fmt.Errorf("htlc: lock %q not expired until after round %d (now %d)", msg.ID, rec.Timeout, env.Round())
+	}
+	env.UseGas(settleOverhead)
+	if err := env.Pay(ledger.AccountID(rec.Sender), rec.Amount); err != nil {
+		return err
+	}
+	rec.state = stateRefunded
+	env.StoreSet(storeKey(msg.ID), rec.encode())
+	w := wire.NewWriter()
+	w.WriteString(msg.ID)
+	env.Emit("refunded", 2, w.Bytes())
+	return nil
+}

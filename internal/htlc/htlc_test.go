@@ -1,0 +1,226 @@
+package htlc_test
+
+import (
+	"strings"
+	"testing"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/htlc"
+	"dragoon/internal/keccak"
+	"dragoon/internal/ledger"
+)
+
+func newTestChain(t *testing.T) (*chain.Chain, *ledger.Ledger) {
+	t.Helper()
+	l := ledger.New()
+	l.Mint("sender", 1000)
+	l.Mint("payee", 50)
+	c := chain.New(l, nil)
+	if err := c.RegisterContract(htlc.ContractID, htlc.New()); err != nil {
+		t.Fatalf("RegisterContract: %v", err)
+	}
+	return c, l
+}
+
+func mine(t *testing.T, c *chain.Chain) []*chain.Receipt {
+	t.Helper()
+	rs, err := c.MineRound()
+	if err != nil {
+		t.Fatalf("MineRound: %v", err)
+	}
+	return rs
+}
+
+func submit(t *testing.T, c *chain.Chain, from chain.Address, method string, data []byte) {
+	t.Helper()
+	if err := c.Submit(&chain.Tx{From: from, Contract: htlc.ContractID, Method: method, Data: data}); err != nil {
+		t.Fatalf("Submit %s: %v", method, err)
+	}
+}
+
+// lockTx submits a lock from "sender" to "payee" and mines it.
+func lockTx(t *testing.T, c *chain.Chain, id string, amount ledger.Amount, hash [32]byte, timeout uint64) *chain.Receipt {
+	t.Helper()
+	msg := &htlc.LockMsg{ID: id, Payee: "payee", Amount: amount, Hash: hash, Timeout: timeout}
+	submit(t, c, "sender", htlc.MethodLock, msg.Marshal())
+	rs := mine(t, c)
+	if len(rs) != 1 {
+		t.Fatalf("got %d receipts, want 1", len(rs))
+	}
+	return rs[0]
+}
+
+func TestClaimPath(t *testing.T) {
+	c, l := newTestChain(t)
+	preimage := []byte("the-secret")
+	hash := keccak.Sum256(preimage)
+
+	if r := lockTx(t, c, "x1", 300, hash, 10); r.Reverted() {
+		t.Fatalf("lock reverted: %v", r.Err)
+	}
+	if got := l.Balance("sender"); got != 700 {
+		t.Fatalf("sender balance after lock = %d, want 700", got)
+	}
+	if got := l.Escrow(htlc.ContractID); got != 300 {
+		t.Fatalf("escrow after lock = %d, want 300", got)
+	}
+
+	claim := &htlc.ClaimMsg{ID: "x1", Preimage: preimage}
+	submit(t, c, "payee", htlc.MethodClaim, claim.Marshal())
+	rs := mine(t, c)
+	if rs[0].Reverted() {
+		t.Fatalf("claim reverted: %v", rs[0].Err)
+	}
+	if got := l.Balance("payee"); got != 350 {
+		t.Fatalf("payee balance after claim = %d, want 350", got)
+	}
+	if got := l.Escrow(htlc.ContractID); got != 0 {
+		t.Fatalf("escrow after claim = %d, want 0", got)
+	}
+	if err := l.CheckConservation(); err != nil {
+		t.Fatalf("conservation: %v", err)
+	}
+
+	// The claimed event must republish the preimage.
+	evs := c.EventsFor(htlc.ContractID)
+	if len(evs) != 2 || evs[1].Name != "claimed" {
+		t.Fatalf("events = %+v", evs)
+	}
+	ce, err := htlc.ParseClaimedEvent(evs[1].Data)
+	if err != nil {
+		t.Fatalf("ParseClaimedEvent: %v", err)
+	}
+	if ce.ID != "x1" || string(ce.Preimage) != string(preimage) {
+		t.Fatalf("claimed event = %+v", ce)
+	}
+}
+
+func TestRefundPath(t *testing.T) {
+	c, l := newTestChain(t)
+	hash := keccak.Sum256([]byte("never-revealed"))
+	// Timeout at round 1: claimable in rounds 1 and earlier, refundable
+	// from round 2 on.
+	if r := lockTx(t, c, "x1", 200, hash, 1); r.Reverted() {
+		t.Fatalf("lock reverted: %v", r.Err)
+	}
+
+	// Refund before expiry must revert.
+	refund := &htlc.RefundMsg{ID: "x1"}
+	submit(t, c, "sender", htlc.MethodRefund, refund.Marshal())
+	rs := mine(t, c) // mined at round 1 == timeout
+	if !rs[0].Reverted() || !strings.Contains(rs[0].Err.Error(), "not expired") {
+		t.Fatalf("early refund: %+v", rs[0].Err)
+	}
+
+	// After the timeout the payee can no longer claim...
+	claim := &htlc.ClaimMsg{ID: "x1", Preimage: []byte("never-revealed")}
+	submit(t, c, "payee", htlc.MethodClaim, claim.Marshal())
+	rs = mine(t, c) // round 2 > timeout
+	if !rs[0].Reverted() || !strings.Contains(rs[0].Err.Error(), "expired") {
+		t.Fatalf("late claim: %+v", rs[0].Err)
+	}
+
+	// ...and the refund succeeds.
+	submit(t, c, "sender", htlc.MethodRefund, refund.Marshal())
+	rs = mine(t, c)
+	if rs[0].Reverted() {
+		t.Fatalf("refund reverted: %v", rs[0].Err)
+	}
+	if got := l.Balance("sender"); got != 1000 {
+		t.Fatalf("sender balance after refund = %d, want 1000", got)
+	}
+	if got := l.Escrow(htlc.ContractID); got != 0 {
+		t.Fatalf("escrow after refund = %d, want 0", got)
+	}
+	evs := c.EventsFor(htlc.ContractID)
+	last := evs[len(evs)-1]
+	if last.Name != "refunded" {
+		t.Fatalf("last event = %+v", last)
+	}
+	if id, err := htlc.ParseRefundedEvent(last.Data); err != nil || id != "x1" {
+		t.Fatalf("ParseRefundedEvent = %q, %v", id, err)
+	}
+}
+
+func TestClaimRejections(t *testing.T) {
+	c, l := newTestChain(t)
+	preimage := []byte("s3cret")
+	hash := keccak.Sum256(preimage)
+	lockTx(t, c, "x1", 100, hash, 100)
+
+	// Wrong preimage.
+	bad := &htlc.ClaimMsg{ID: "x1", Preimage: []byte("wrong")}
+	submit(t, c, "payee", htlc.MethodClaim, bad.Marshal())
+	// Right preimage, wrong claimant.
+	good := &htlc.ClaimMsg{ID: "x1", Preimage: preimage}
+	submit(t, c, "sender", htlc.MethodClaim, good.Marshal())
+	// Unknown lock ID.
+	unknown := &htlc.ClaimMsg{ID: "nope", Preimage: preimage}
+	submit(t, c, "payee", htlc.MethodClaim, unknown.Marshal())
+	rs := mine(t, c)
+	for i, want := range []string{"wrong preimage", "not the payee", "no lock"} {
+		if !rs[i].Reverted() || !strings.Contains(rs[i].Err.Error(), want) {
+			t.Fatalf("receipt %d: %+v, want %q", i, rs[i].Err, want)
+		}
+	}
+	// The escrow is untouched.
+	if got := l.Escrow(htlc.ContractID); got != 100 {
+		t.Fatalf("escrow = %d, want 100", got)
+	}
+
+	// A successful claim settles the lock; a second claim and a refund both
+	// see "already settled" — claimed XOR refunded, never both.
+	submit(t, c, "payee", htlc.MethodClaim, good.Marshal())
+	rs = mine(t, c)
+	if rs[0].Reverted() {
+		t.Fatalf("claim reverted: %v", rs[0].Err)
+	}
+	submit(t, c, "payee", htlc.MethodClaim, good.Marshal())
+	rs = mine(t, c)
+	if !rs[0].Reverted() || !strings.Contains(rs[0].Err.Error(), "already settled") {
+		t.Fatalf("double claim: %+v", rs[0].Err)
+	}
+}
+
+func TestLockRejections(t *testing.T) {
+	c, _ := newTestChain(t)
+	hash := keccak.Sum256([]byte("p"))
+	lockTx(t, c, "x1", 100, hash, 100)
+
+	cases := []struct {
+		name string
+		msg  *htlc.LockMsg
+		want string
+	}{
+		{"duplicate ID", &htlc.LockMsg{ID: "x1", Payee: "payee", Amount: 1, Hash: hash, Timeout: 100}, "already exists"},
+		{"empty ID", &htlc.LockMsg{Payee: "payee", Amount: 1, Hash: hash, Timeout: 100}, "empty lock ID"},
+		{"empty payee", &htlc.LockMsg{ID: "x2", Amount: 1, Hash: hash, Timeout: 100}, "empty payee"},
+		{"zero amount", &htlc.LockMsg{ID: "x3", Payee: "payee", Hash: hash, Timeout: 100}, "zero amount"},
+		{"past timeout", &htlc.LockMsg{ID: "x4", Payee: "payee", Amount: 1, Hash: hash, Timeout: 0}, "already passed"},
+		{"nofund", &htlc.LockMsg{ID: "x5", Payee: "payee", Amount: 10_000, Hash: hash, Timeout: 100}, "nofund"},
+	}
+	for _, tc := range cases {
+		submit(t, c, "sender", htlc.MethodLock, tc.msg.Marshal())
+	}
+	rs := mine(t, c)
+	for i, tc := range cases {
+		if !rs[i].Reverted() || !strings.Contains(rs[i].Err.Error(), tc.want) {
+			t.Fatalf("%s: %+v, want %q", tc.name, rs[i].Err, tc.want)
+		}
+	}
+}
+
+func TestTimeoutBoundary(t *testing.T) {
+	// A claim mined exactly AT the timeout round succeeds; the next round it
+	// reverts. Locks are usable in the round they are mined.
+	c, _ := newTestChain(t)
+	preimage := []byte("edge")
+	hash := keccak.Sum256(preimage)
+	lockTx(t, c, "x1", 10, hash, 1) // mined at round 0, timeout round 1
+	claim := &htlc.ClaimMsg{ID: "x1", Preimage: preimage}
+	submit(t, c, "payee", htlc.MethodClaim, claim.Marshal())
+	rs := mine(t, c) // executes at round 1 == timeout
+	if rs[0].Reverted() {
+		t.Fatalf("claim at timeout round reverted: %v", rs[0].Err)
+	}
+}

@@ -1,0 +1,249 @@
+// HTLC wire messages: the calldata formats for lock/claim/refund and the
+// event payloads the settlement layer reads back. The codecs follow the
+// internal/contract idiom — field-by-field errors, absurd-count guards, and
+// a Done() check so trailing garbage is rejected.
+package htlc
+
+import (
+	"fmt"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/ledger"
+	"dragoon/internal/wire"
+)
+
+// Method names accepted by the HTLC contract.
+const (
+	MethodLock   = "lock"
+	MethodClaim  = "claim"
+	MethodRefund = "refund"
+)
+
+// MaxPreimageLen bounds claim preimages; anything longer is rejected at
+// decode time (a hash preimage has no business being larger).
+const MaxPreimageLen = 1 << 10
+
+// LockMsg opens a hashed-timelock escrow: the sender freezes Amount coins
+// that Payee may claim with the hash preimage up to and including round
+// Timeout; after Timeout only the sender can refund.
+type LockMsg struct {
+	// ID names the transfer on this contract. IDs are single-use forever —
+	// a settled lock's ID cannot be reused.
+	ID     string
+	Payee  chain.Address
+	Amount ledger.Amount
+	// Hash is keccak256 of the secret preimage.
+	Hash [32]byte
+	// Timeout is the last round (inclusive) at which claim is accepted.
+	Timeout uint64
+}
+
+// Marshal encodes the message for calldata.
+func (m *LockMsg) Marshal() []byte {
+	w := wire.NewWriter()
+	w.WriteString(m.ID)
+	w.WriteString(string(m.Payee))
+	w.WriteUint(uint64(m.Amount))
+	w.WriteFixed(m.Hash[:])
+	w.WriteUint(m.Timeout)
+	return w.Bytes()
+}
+
+// UnmarshalLock decodes a LockMsg.
+func UnmarshalLock(data []byte) (*LockMsg, error) {
+	r := wire.NewReader(data)
+	m := &LockMsg{}
+	var err error
+	if m.ID, err = r.ReadString(); err != nil {
+		return nil, fmt.Errorf("htlc: lock.ID: %w", err)
+	}
+	s, err := r.ReadString()
+	if err != nil {
+		return nil, fmt.Errorf("htlc: lock.Payee: %w", err)
+	}
+	m.Payee = chain.Address(s)
+	u, err := r.ReadUint()
+	if err != nil {
+		return nil, fmt.Errorf("htlc: lock.Amount: %w", err)
+	}
+	m.Amount = ledger.Amount(u)
+	h, err := r.ReadFixed(32)
+	if err != nil {
+		return nil, fmt.Errorf("htlc: lock.Hash: %w", err)
+	}
+	copy(m.Hash[:], h)
+	if m.Timeout, err = r.ReadUint(); err != nil {
+		return nil, fmt.Errorf("htlc: lock.Timeout: %w", err)
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("htlc: lock: %w", err)
+	}
+	return m, nil
+}
+
+// ClaimMsg redeems a lock by revealing the hash preimage. Only the lock's
+// payee may claim, and only up to the lock's timeout round.
+type ClaimMsg struct {
+	ID       string
+	Preimage []byte
+}
+
+// Marshal encodes the message for calldata.
+func (m *ClaimMsg) Marshal() []byte {
+	w := wire.NewWriter()
+	w.WriteString(m.ID)
+	w.WriteBytes(m.Preimage)
+	return w.Bytes()
+}
+
+// UnmarshalClaim decodes a ClaimMsg.
+func UnmarshalClaim(data []byte) (*ClaimMsg, error) {
+	r := wire.NewReader(data)
+	m := &ClaimMsg{}
+	var err error
+	if m.ID, err = r.ReadString(); err != nil {
+		return nil, fmt.Errorf("htlc: claim.ID: %w", err)
+	}
+	if m.Preimage, err = r.ReadBytes(); err != nil {
+		return nil, fmt.Errorf("htlc: claim.Preimage: %w", err)
+	}
+	if len(m.Preimage) > MaxPreimageLen {
+		return nil, fmt.Errorf("htlc: absurd preimage length %d", len(m.Preimage))
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("htlc: claim: %w", err)
+	}
+	return m, nil
+}
+
+// RefundMsg returns an expired lock's coins to the sender. Only the lock's
+// sender may refund, and only strictly after the timeout round.
+type RefundMsg struct {
+	ID string
+}
+
+// Marshal encodes the message for calldata.
+func (m *RefundMsg) Marshal() []byte {
+	w := wire.NewWriter()
+	w.WriteString(m.ID)
+	return w.Bytes()
+}
+
+// UnmarshalRefund decodes a RefundMsg.
+func UnmarshalRefund(data []byte) (*RefundMsg, error) {
+	r := wire.NewReader(data)
+	m := &RefundMsg{}
+	var err error
+	if m.ID, err = r.ReadString(); err != nil {
+		return nil, fmt.Errorf("htlc: refund.ID: %w", err)
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("htlc: refund: %w", err)
+	}
+	return m, nil
+}
+
+// LockedEvent is the decoded payload of a "locked" event: the full lock
+// record including the sender, so off-chain observers (the cross-shard
+// settler, the adversary invariants) can reconstruct every escrow without
+// storage access.
+type LockedEvent struct {
+	ID      string
+	Sender  chain.Address
+	Payee   chain.Address
+	Amount  ledger.Amount
+	Hash    [32]byte
+	Timeout uint64
+}
+
+func encodeLockedEvent(ev *LockedEvent) []byte {
+	w := wire.NewWriter()
+	w.WriteString(ev.ID)
+	w.WriteString(string(ev.Sender))
+	w.WriteString(string(ev.Payee))
+	w.WriteUint(uint64(ev.Amount))
+	w.WriteFixed(ev.Hash[:])
+	w.WriteUint(ev.Timeout)
+	return w.Bytes()
+}
+
+// ParseLockedEvent decodes a "locked" event payload.
+func ParseLockedEvent(data []byte) (*LockedEvent, error) {
+	r := wire.NewReader(data)
+	ev := &LockedEvent{}
+	var err error
+	if ev.ID, err = r.ReadString(); err != nil {
+		return nil, fmt.Errorf("htlc: locked.ID: %w", err)
+	}
+	s, err := r.ReadString()
+	if err != nil {
+		return nil, fmt.Errorf("htlc: locked.Sender: %w", err)
+	}
+	ev.Sender = chain.Address(s)
+	if s, err = r.ReadString(); err != nil {
+		return nil, fmt.Errorf("htlc: locked.Payee: %w", err)
+	}
+	ev.Payee = chain.Address(s)
+	u, err := r.ReadUint()
+	if err != nil {
+		return nil, fmt.Errorf("htlc: locked.Amount: %w", err)
+	}
+	ev.Amount = ledger.Amount(u)
+	h, err := r.ReadFixed(32)
+	if err != nil {
+		return nil, fmt.Errorf("htlc: locked.Hash: %w", err)
+	}
+	copy(ev.Hash[:], h)
+	if ev.Timeout, err = r.ReadUint(); err != nil {
+		return nil, fmt.Errorf("htlc: locked.Timeout: %w", err)
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("htlc: locked: %w", err)
+	}
+	return ev, nil
+}
+
+// ClaimedEvent is the decoded payload of a "claimed" event. It carries the
+// revealed preimage — publishing it on-chain is what makes the cross-chain
+// swap atomic: the counterparty reads it here and claims the paired lock.
+type ClaimedEvent struct {
+	ID       string
+	Preimage []byte
+}
+
+func encodeClaimedEvent(id string, preimage []byte) []byte {
+	w := wire.NewWriter()
+	w.WriteString(id)
+	w.WriteBytes(preimage)
+	return w.Bytes()
+}
+
+// ParseClaimedEvent decodes a "claimed" event payload.
+func ParseClaimedEvent(data []byte) (*ClaimedEvent, error) {
+	r := wire.NewReader(data)
+	ev := &ClaimedEvent{}
+	var err error
+	if ev.ID, err = r.ReadString(); err != nil {
+		return nil, fmt.Errorf("htlc: claimed.ID: %w", err)
+	}
+	if ev.Preimage, err = r.ReadBytes(); err != nil {
+		return nil, fmt.Errorf("htlc: claimed.Preimage: %w", err)
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("htlc: claimed: %w", err)
+	}
+	return ev, nil
+}
+
+// ParseRefundedEvent decodes a "refunded" event payload (the lock ID).
+func ParseRefundedEvent(data []byte) (string, error) {
+	r := wire.NewReader(data)
+	id, err := r.ReadString()
+	if err != nil {
+		return "", fmt.Errorf("htlc: refunded.ID: %w", err)
+	}
+	if err := r.Done(); err != nil {
+		return "", fmt.Errorf("htlc: refunded: %w", err)
+	}
+	return id, nil
+}

@@ -103,6 +103,26 @@ type Config struct {
 	WorkerBalance ledger.Amount
 	// MaxRounds bounds the run (default 40).
 	MaxRounds int
+	// Shards splits the marketplace across that many independent chains,
+	// each mining its own rounds (over internal/parallel, deterministic
+	// join order) with tasks assigned by Placement and every population
+	// member homed on shard (index mod Shards). Cross-shard payouts settle
+	// through the HTLC escrow (internal/htlc): a worker paid on a foreign
+	// task shard locks its reward there and claims it on its home shard
+	// via a bridge counter-lock, with a refund path on every timeout. 0 or
+	// 1 preserves the historical single shared chain.
+	Shards int
+	// Placement selects the task→shard policy when Shards > 1.
+	Placement Placement
+	// ShardSchedulers optionally builds one network adversary per shard
+	// (shard index → scheduler). When nil every shard shares the Scheduler
+	// value — fine for the stateless schedulers, but stateful ones (e.g.
+	// RandomScheduler) must come through this hook so each concurrently
+	// mined shard owns its own instance.
+	ShardSchedulers func(shard int) chain.Scheduler
+	// Settle tunes (and fault-injects) the cross-shard HTLC settlement
+	// epoch; the zero value is the honest default.
+	Settle SettleConfig
 	// Options consolidates the run's execution knobs — Parallelism,
 	// BatchVerify, ParallelExec — shared by every run mode (sim, market,
 	// adversary, service). The embedded fields promote, so cfg.Parallelism
@@ -177,8 +197,21 @@ type Result struct {
 	// in cross-task folds (0 unless batch verification was enabled).
 	AuditedProofs int
 	// Ledger and Chain expose the shared final state for deeper assertions.
+	// In a sharded run they alias shard 0; Shards holds the full set.
 	Ledger *ledger.Ledger
 	Chain  *chain.Chain
+	// Sharded-run state (nil/empty on the single-chain path): the shard
+	// handles, the task→shard assignment (Config.Tasks order), each
+	// population member's home shard, the per-shard minted supply, the HTLC
+	// bridge account with its per-shard liquidity, and the cross-shard
+	// settlement outcomes.
+	Shards          []*chain.Shard
+	TaskShards      []int
+	HomeShards      []int
+	MintedByShard   []ledger.Amount
+	Bridge          chain.Address
+	BridgeLiquidity ledger.Amount
+	Settlements     []Settlement
 }
 
 // Run executes every task of the marketplace to completion on one shared
@@ -199,6 +232,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = 40
+	}
+	if cfg.Shards > 1 {
+		return runSharded(ctx, cfg)
 	}
 
 	led := ledger.New()

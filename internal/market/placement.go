@@ -1,0 +1,81 @@
+package market
+
+// Placement is the task→shard assignment policy of a sharded marketplace.
+type Placement int
+
+const (
+	// PlaceRoundRobin assigns task i to shard i mod S — the default, and
+	// the assignment that makes a sharded run's per-task transcripts
+	// line up with an unsharded run's task order.
+	PlaceRoundRobin Placement = iota
+	// PlaceLeastLoaded assigns each task (in order) to the shard with the
+	// fewest enrolled workers so far, breaking ties toward the lowest
+	// shard index. Deterministic for a fixed task list.
+	PlaceLeastLoaded
+)
+
+// String names the policy.
+func (p Placement) String() string {
+	switch p {
+	case PlaceRoundRobin:
+		return "round-robin"
+	case PlaceLeastLoaded:
+		return "least-loaded"
+	default:
+		return "Placement(?)"
+	}
+}
+
+// enrollSize returns how many workers a spec enrolls (the whole population
+// when the spec leaves Enroll empty).
+func enrollSize(spec *TaskSpec, population int) int {
+	if len(spec.Enroll) > 0 {
+		return len(spec.Enroll)
+	}
+	return population
+}
+
+// EnrollSize reports how many workers a spec enrolls (the whole population
+// when Enroll is empty) — the load unit the least-loaded policy counts. The
+// streaming service uses it to place admitted tasks.
+func EnrollSize(spec *TaskSpec, population int) int {
+	return enrollSize(spec, population)
+}
+
+// PlaceTasks assigns every task of cfg to one of shards chains under the
+// configured policy, returning the shard index per task in Config.Tasks
+// order.
+func PlaceTasks(cfg *Config, shards int) []int {
+	out := make([]int, len(cfg.Tasks))
+	if shards <= 1 {
+		return out
+	}
+	switch cfg.Placement {
+	case PlaceLeastLoaded:
+		load := make([]int, shards)
+		for i := range cfg.Tasks {
+			best := 0
+			for s := 1; s < shards; s++ {
+				if load[s] < load[best] {
+					best = s
+				}
+			}
+			out[i] = best
+			load[best] += enrollSize(&cfg.Tasks[i], len(cfg.Population))
+		}
+	default: // PlaceRoundRobin
+		for i := range out {
+			out[i] = i % shards
+		}
+	}
+	return out
+}
+
+// HomeShard is a population member's home shard — where its balance is
+// minted and where cross-shard rewards are claimed to.
+func HomeShard(member, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return member % shards
+}

@@ -1,0 +1,340 @@
+package market
+
+// Cross-shard HTLC settlement. A worker paid on a foreign task shard cannot
+// spend its reward at home: the coins live in that shard's ledger. The
+// settler moves them with the classic two-lock atomic swap over the HTLC
+// contract (internal/htlc) deployed on every shard:
+//
+//	task shard                         home shard
+//	----------                         ----------
+//	worker locks R for bridge
+//	  (hash H, long timeout)
+//	                                   bridge counter-locks R for worker
+//	                                     (same H, SHORT timeout)
+//	                                   worker claims, revealing preimage
+//	bridge claims with the
+//	  now-public preimage
+//
+// The timeout asymmetry is the whole trick: the worker's lock outlives the
+// bridge's counter-lock by enough rounds that once the worker reveals the
+// preimage on its home shard, the bridge always has time to collect on the
+// task shard. If anything stalls — a withheld preimage, a silent bridge, a
+// censoring scheduler pushing a claim past its deadline — both locks expire
+// and refund, and nobody loses coins.
+//
+// The settler is a deterministic round-driven state machine: each round it
+// reads the shards' HTLC event logs through per-shard cursors and submits
+// whatever transactions the observed state calls for. It never retries a
+// submitted action (reverted claims fall through to the refund path), so a
+// run's transcript is a pure function of the seed and the schedule.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dragoon/internal/chain"
+	"dragoon/internal/htlc"
+	"dragoon/internal/keccak"
+	"dragoon/internal/ledger"
+)
+
+// BridgeAddr is the neutral liquidity account operating the home-shard side
+// of every cross-shard transfer. It is pre-funded on every shard; a
+// completed transfer moves R from its home-shard pool and pays R back into
+// its task-shard pool, so its total across shards is invariant.
+const BridgeAddr = chain.Address("htlc-bridge")
+
+// SettleConfig tunes (and fault-injects) the HTLC settlement epoch.
+type SettleConfig struct {
+	// LockRounds is the worker-side lock's timeout delta (default 12).
+	// It must exceed CounterRounds by at least 3 rounds of headroom so a
+	// revealed preimage always reaches the task shard in time.
+	LockRounds int
+	// CounterRounds is the bridge counter-lock's timeout delta (default 4).
+	// A claim must land within it; setting it to 1 leaves no slack for a
+	// delayed claim — the claim-censorship scenario.
+	CounterRounds int
+	// WithholdPreimage marks workers that never claim their counter-lock
+	// (never reveal the preimage) — they still refund their own lock once
+	// it expires, exercising the full refund path.
+	WithholdPreimage map[chain.Address]bool
+	// SilentBridge disables the bridge entirely: no counter-locks are ever
+	// posted (a griefing bridge operator), so every cross-shard transfer
+	// times out and refunds.
+	SilentBridge bool
+}
+
+func (c *SettleConfig) lockRounds() int {
+	if c.LockRounds == 0 {
+		return 12
+	}
+	return c.LockRounds
+}
+
+func (c *SettleConfig) counterRounds() int {
+	if c.CounterRounds == 0 {
+		return 4
+	}
+	return c.CounterRounds
+}
+
+// Settlement reports one cross-shard transfer's outcome.
+type Settlement struct {
+	// Task and Worker identify the payout being moved; Amount is the
+	// reward.
+	Task   string
+	Worker chain.Address
+	Amount ledger.Amount
+	// TaskShard is where the reward was earned, HomeShard where it was
+	// claimed to.
+	TaskShard int
+	HomeShard int
+	// LockID names the transfer's locks (the same ID on both shards).
+	LockID string
+	// Claimed reports the worker received Amount on its home shard;
+	// Refunded reports the transfer unwound (the worker kept Amount on the
+	// task shard). Exactly one is set once the transfer is settled.
+	Claimed  bool
+	Refunded bool
+}
+
+// lockObs is the observed on-chain state of one lock ID on one shard.
+type lockObs struct {
+	locked   *htlc.LockedEvent
+	claimed  *htlc.ClaimedEvent
+	refunded bool
+}
+
+// transfer is one in-flight settlement with its submission ledger (each
+// action fires at most once).
+type transfer struct {
+	Settlement
+	preimage []byte
+
+	sentLock         bool
+	sentCounter      bool
+	sentClaim        bool
+	sentBridgeClaim  bool
+	sentBridgeRefund bool
+	sentWorkerRefund bool
+	done             bool
+}
+
+// Settler drives every cross-shard transfer of a sharded run.
+type Settler struct {
+	cfg       SettleConfig
+	shards    []*chain.Shard
+	cursors   []*chain.Cursor
+	obs       []map[string]*lockObs
+	transfers []*transfer
+	seed      int64
+}
+
+// NewSettler builds a settler over the run's shards. The HTLC contract must
+// already be registered on every shard.
+func NewSettler(shards []*chain.Shard, cfg SettleConfig, seed int64) *Settler {
+	s := &Settler{cfg: cfg, shards: shards, seed: seed}
+	s.cursors = make([]*chain.Cursor, len(shards))
+	s.obs = make([]map[string]*lockObs, len(shards))
+	for i, sh := range shards {
+		s.cursors[i] = sh.Chain.Cursor(htlc.ContractID)
+		s.obs[i] = make(map[string]*lockObs)
+	}
+	return s
+}
+
+// Preimage derives the deterministic transfer secret for (seed, task,
+// worker). Deterministic so a run's transcript is reproducible; in a real
+// deployment this would be fresh worker randomness.
+func Preimage(seed int64, taskID string, worker chain.Address) []byte {
+	var sb [8]byte
+	binary.BigEndian.PutUint64(sb[:], uint64(seed))
+	h := keccak.Sum256Concat([]byte("htlc-preimage"), sb[:], []byte(taskID), []byte(worker))
+	return h[:]
+}
+
+// Add registers one payout to move from taskShard to homeShard.
+func (s *Settler) Add(taskID string, worker chain.Address, amount ledger.Amount, taskShard, homeShard int) {
+	s.transfers = append(s.transfers, &transfer{
+		Settlement: Settlement{
+			Task:      taskID,
+			Worker:    worker,
+			Amount:    amount,
+			TaskShard: taskShard,
+			HomeShard: homeShard,
+			LockID:    fmt.Sprintf("x:%s:%s", taskID, worker),
+		},
+		preimage: Preimage(s.seed, taskID, worker),
+	})
+}
+
+// Pending reports whether any transfer still has work in flight.
+func (s *Settler) Pending() bool {
+	for _, tr := range s.transfers {
+		if !tr.done {
+			return true
+		}
+	}
+	return false
+}
+
+// Results returns the settlement outcomes in Add order.
+func (s *Settler) Results() []Settlement {
+	out := make([]Settlement, len(s.transfers))
+	for i, tr := range s.transfers {
+		out[i] = tr.Settlement
+	}
+	return out
+}
+
+func (s *Settler) submit(shard int, from chain.Address, method string, data []byte) error {
+	return s.shards[shard].Chain.Submit(&chain.Tx{
+		From:     from,
+		Contract: htlc.ContractID,
+		Method:   method,
+		Data:     data,
+	})
+}
+
+// Observe folds newly mined HTLC events on every shard into the settler's
+// view. Call it after each mined round.
+func (s *Settler) Observe() error {
+	for i, cur := range s.cursors {
+		evs, err := cur.Poll()
+		if err != nil {
+			return fmt.Errorf("market: settle: shard %d events: %w", i, err)
+		}
+		for _, ev := range evs {
+			switch ev.Name {
+			case "locked":
+				le, err := htlc.ParseLockedEvent(ev.Data)
+				if err != nil {
+					return fmt.Errorf("market: settle: shard %d: %w", i, err)
+				}
+				s.obs[i][le.ID] = &lockObs{locked: le}
+			case "claimed":
+				ce, err := htlc.ParseClaimedEvent(ev.Data)
+				if err != nil {
+					return fmt.Errorf("market: settle: shard %d: %w", i, err)
+				}
+				if o := s.obs[i][ce.ID]; o != nil {
+					o.claimed = ce
+				}
+			case "refunded":
+				id, err := htlc.ParseRefundedEvent(ev.Data)
+				if err != nil {
+					return fmt.Errorf("market: settle: shard %d: %w", i, err)
+				}
+				if o := s.obs[i][id]; o != nil {
+					o.refunded = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Step submits whatever transactions the observed state calls for, once
+// per transfer per action. Call it before each mined round.
+func (s *Settler) Step() error {
+	round := uint64(s.shards[0].Chain.Round())
+	for _, tr := range s.transfers {
+		if tr.done {
+			continue
+		}
+		tObs := s.obs[tr.TaskShard][tr.LockID]
+		hObs := s.obs[tr.HomeShard][tr.LockID]
+
+		// Open the worker's task-shard lock first.
+		if tObs == nil {
+			if !tr.sentLock {
+				hash := keccak.Sum256(tr.preimage)
+				msg := &htlc.LockMsg{
+					ID:      tr.LockID,
+					Payee:   BridgeAddr,
+					Amount:  tr.Amount,
+					Hash:    hash,
+					Timeout: round + uint64(s.cfg.lockRounds()),
+				}
+				if err := s.submit(tr.TaskShard, tr.Worker, htlc.MethodLock, msg.Marshal()); err != nil {
+					return err
+				}
+				tr.sentLock = true
+			}
+			continue
+		}
+
+		// Terminal states: the transfer is settled once the task-shard lock
+		// is, and no home-shard lock is left open.
+		tSettled := tObs.claimed != nil || tObs.refunded
+		hSettled := hObs == nil || hObs.claimed != nil || hObs.refunded
+		if tSettled && hSettled {
+			tr.Claimed = hObs != nil && hObs.claimed != nil
+			tr.Refunded = tObs.refunded
+			tr.done = true
+			continue
+		}
+
+		// Bridge counter-locks on the home shard — only while enough
+		// headroom remains for the worker's claim AND the bridge's own
+		// claim to land before the task-shard lock expires.
+		if hObs == nil && !tr.sentCounter && !s.cfg.SilentBridge &&
+			round+uint64(s.cfg.counterRounds())+2 <= tObs.locked.Timeout {
+			hash := keccak.Sum256(tr.preimage)
+			msg := &htlc.LockMsg{
+				ID:      tr.LockID,
+				Payee:   tr.Worker,
+				Amount:  tr.Amount,
+				Hash:    hash,
+				Timeout: round + uint64(s.cfg.counterRounds()),
+			}
+			if err := s.submit(tr.HomeShard, BridgeAddr, htlc.MethodLock, msg.Marshal()); err != nil {
+				return err
+			}
+			tr.sentCounter = true
+		}
+
+		if hObs != nil && hObs.claimed == nil && !hObs.refunded {
+			// The worker claims its counter-lock, revealing the preimage —
+			// unless it is a withholder, or the deadline already passed (a
+			// censored claim is not retried; the refund path takes over).
+			if !tr.sentClaim && !s.cfg.WithholdPreimage[tr.Worker] && round <= hObs.locked.Timeout {
+				msg := &htlc.ClaimMsg{ID: tr.LockID, Preimage: tr.preimage}
+				if err := s.submit(tr.HomeShard, tr.Worker, htlc.MethodClaim, msg.Marshal()); err != nil {
+					return err
+				}
+				tr.sentClaim = true
+			}
+			// Expired counter-lock: the bridge reclaims its liquidity.
+			if !tr.sentBridgeRefund && round > hObs.locked.Timeout {
+				msg := &htlc.RefundMsg{ID: tr.LockID}
+				if err := s.submit(tr.HomeShard, BridgeAddr, htlc.MethodRefund, msg.Marshal()); err != nil {
+					return err
+				}
+				tr.sentBridgeRefund = true
+			}
+		}
+
+		// Preimage public: the bridge collects the task-shard lock.
+		if hObs != nil && hObs.claimed != nil && tObs.claimed == nil && !tObs.refunded &&
+			!tr.sentBridgeClaim && round <= tObs.locked.Timeout {
+			msg := &htlc.ClaimMsg{ID: tr.LockID, Preimage: hObs.claimed.Preimage}
+			if err := s.submit(tr.TaskShard, BridgeAddr, htlc.MethodClaim, msg.Marshal()); err != nil {
+				return err
+			}
+			tr.sentBridgeClaim = true
+		}
+
+		// Expired task-shard lock and the worker was never paid at home:
+		// the worker takes its reward back.
+		if !tObs.refunded && tObs.claimed == nil && (hObs == nil || hObs.claimed == nil) &&
+			!tr.sentWorkerRefund && round > tObs.locked.Timeout {
+			msg := &htlc.RefundMsg{ID: tr.LockID}
+			if err := s.submit(tr.TaskShard, tr.Worker, htlc.MethodRefund, msg.Marshal()); err != nil {
+				return err
+			}
+			tr.sentWorkerRefund = true
+		}
+	}
+	return nil
+}

@@ -23,6 +23,14 @@
 // against a round-capped replay view of the restored chain
 // (chain.ReplayBackend), re-drawing the same randomness and re-building the
 // same cursors, then flipped live. See docs/SERVICE.md.
+//
+// With Config.Shards > 1 the service runs S independent chains (a
+// chain.ShardSet) mined in lockstep: admission routes each task to one shard
+// under Config.Placement, the round loop is market.StepShards, and
+// retention, pruning and snapshots all operate per shard — pruning a settled
+// task on shard A never disturbs cursors or history on shard B. Tasks never
+// span shards inside the service, so a sharded stream settles each task
+// byte-identically to the unsharded stream of the same submissions.
 package service
 
 import (
@@ -64,8 +72,18 @@ type Config struct {
 	Population []worker.Model
 	// Scheduler is the network adversary for the shared chain (honest FIFO
 	// if nil). It must be stateless across rounds if the service is to be
-	// snapshotted (the FIFO default is).
+	// snapshotted (the FIFO default is); with Shards > 1 the one value is
+	// shared by every shard, so it must be stateless there too.
 	Scheduler chain.Scheduler
+	// Shards splits the service across that many independent chains mined in
+	// lockstep (0 or 1 keeps the historical single shared chain). Each shard
+	// owns its ledger, chain and off-chain store; admitted tasks are routed
+	// to shards by Placement and never span shards.
+	Shards int
+	// Placement picks each admitted task's shard when Shards > 1:
+	// round-robin by admission index (default), or least-loaded by the
+	// enrolled-worker count of currently active tasks.
+	Placement market.Placement
 	// SharedKey optionally makes every requester share one ElGamal key pair
 	// (the paper's §VI key-reuse deployment).
 	SharedKey *elgamal.PrivateKey
@@ -111,6 +129,13 @@ func (c *Config) taskRoundBudget() int {
 		return DefaultTaskRoundBudget
 	}
 	return c.TaskRoundBudget
+}
+
+func (c *Config) shardCount() int {
+	if c.Shards <= 1 {
+		return 1
+	}
+	return c.Shards
 }
 
 // TaskStatus is the settlement report delivered for one submitted task.
@@ -159,18 +184,31 @@ type taskState struct {
 	spec       market.TaskSpec
 	index      int
 	seed       int64
+	shard      int // the shard hosting the task's contract and content
 	admitted   int // chain round
 	admittedAt time.Time
 	questions  swarm.Digest
 }
 
-// Service is a long-lived streaming marketplace over one shared chain.
+// contentKey identifies one off-chain blob on one shard: shards have
+// independent stores, so the live-reference count is per (shard, digest).
+type contentKey struct {
+	shard  int
+	digest swarm.Digest
+}
+
+// Service is a long-lived streaming marketplace over one shared chain — or,
+// with Config.Shards > 1, over a set of independent chains mined in lockstep.
 type Service struct {
-	cfg      Config
+	cfg    Config
+	shards []*chain.Shard
+	set    *chain.ShardSet
+	// led, ch and store alias shard 0's substrate — THE substrate of an
+	// unsharded service, and the clock/report shard of a sharded one.
 	led      *ledger.Ledger
 	ch       *chain.Chain
 	store    *swarm.Store
-	auditor  *market.Auditor
+	auditors []*market.Auditor // per shard; nil when batch verify is off
 	popAddrs []chain.Address
 
 	// mu guards the chain substrate and the active task set; it is held for
@@ -178,7 +216,7 @@ type Service struct {
 	mu        sync.Mutex
 	active    []*taskState
 	nextIndex int
-	content   map[swarm.Digest]int // live references to off-chain content
+	content   map[contentKey]int // live references to off-chain content
 
 	// qmu guards the admission queue, the result queue and the counters, so
 	// SubmitTask and Poll never wait on mining. Lock order: mu before qmu.
@@ -206,28 +244,44 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Group == nil {
 		return nil, errors.New("service: no group backend")
 	}
-	led := ledger.New()
-	ch := chain.New(led, cfg.Scheduler)
-	ch.SetParallelExecution(chain.ResolveExecWorkers(cfg.ParallelExec, cfg.Parallelism))
-	s := newService(cfg, led, ch, swarm.New())
+	execWorkers := chain.ResolveExecWorkers(cfg.ParallelExec, cfg.Parallelism)
+	shards := make([]*chain.Shard, cfg.shardCount())
+	for i := range shards {
+		shards[i] = chain.NewShard(i, cfg.Scheduler)
+		shards[i].Chain.SetParallelExecution(execWorkers)
+	}
+	s, err := newService(cfg, shards)
+	if err != nil {
+		return nil, err
+	}
+	// Each population member funds on its home shard — mod-S, like the
+	// sharded batch marketplace (trivially shard 0 when unsharded).
 	if cfg.WorkerBalance > 0 {
-		for _, a := range s.popAddrs {
-			led.Mint(ledger.AccountID(a), cfg.WorkerBalance)
+		for i, a := range s.popAddrs {
+			home := market.HomeShard(i, len(shards))
+			shards[home].Ledger.Mint(ledger.AccountID(a), cfg.WorkerBalance)
 		}
 	}
 	s.start()
 	return s, nil
 }
 
-// newService wires a service shell over an existing substrate (fresh in New,
-// restored in Restore). It does not mint or start the background loop.
-func newService(cfg Config, led *ledger.Ledger, ch *chain.Chain, store *swarm.Store) *Service {
+// newService wires a service shell over existing shard substrates (fresh in
+// New, restored in Restore). It does not mint or start the background loop.
+func newService(cfg Config, shards []*chain.Shard) (*Service, error) {
+	set, err := chain.WrapShards(shards)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	set.SetMiners(cfg.Parallelism)
 	s := &Service{
 		cfg:     cfg,
-		led:     led,
-		ch:      ch,
-		store:   store,
-		content: make(map[swarm.Digest]int),
+		shards:  shards,
+		set:     set,
+		led:     shards[0].Ledger,
+		ch:      shards[0].Chain,
+		store:   shards[0].Store,
+		content: make(map[contentKey]int),
 		wake:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
@@ -236,9 +290,12 @@ func newService(cfg Config, led *ledger.Ledger, ch *chain.Chain, store *swarm.St
 		s.popAddrs[i] = market.WorkerAddr(i, m.Name)
 	}
 	if batch.Resolve(cfg.BatchVerify) {
-		s.auditor = market.NewAuditor(cfg.Group)
+		s.auditors = make([]*market.Auditor, len(shards))
+		for i := range s.auditors {
+			s.auditors[i] = market.NewAuditor(cfg.Group)
+		}
 	}
-	return s
+	return s, nil
 }
 
 func (s *Service) start() {
@@ -387,13 +444,47 @@ func (s *Service) step(ctx context.Context) error {
 	}
 
 	rts := make([]*market.Runtime, len(s.active))
+	taskShards := make([]int, len(s.active))
 	for i, st := range s.active {
 		rts[i] = st.rt
+		taskShards[i] = st.shard
 	}
-	if err := market.StepRound(ctx, s.ch, rts, s.cfg.Parallelism, s.auditor); err != nil {
+	if len(s.shards) == 1 {
+		// The historical single-chain path, byte-for-byte.
+		var auditor *market.Auditor
+		if s.auditors != nil {
+			auditor = s.auditors[0]
+		}
+		if err := market.StepRound(ctx, s.ch, rts, s.cfg.Parallelism, auditor); err != nil {
+			return err
+		}
+	} else if err := market.StepShards(ctx, s.set, rts, taskShards, s.cfg.Parallelism, s.auditors); err != nil {
 		return err
 	}
 	return s.settleLocked()
+}
+
+// placeLocked picks the shard for the next admitted task: round-robin by
+// admission index by default, or the shard whose active tasks enroll the
+// fewest workers under PlaceLeastLoaded (ties to the lowest index).
+func (s *Service) placeLocked(spec *market.TaskSpec) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	if s.cfg.Placement == market.PlaceLeastLoaded {
+		load := make([]int, len(s.shards))
+		for _, st := range s.active {
+			load[st.shard] += market.EnrollSize(&st.spec, len(s.cfg.Population))
+		}
+		best := 0
+		for si := 1; si < len(load); si++ {
+			if load[si] < load[best] {
+				best = si
+			}
+		}
+		return best
+	}
+	return s.nextIndex % len(s.shards)
 }
 
 // admitLocked funds and launches one queued spec. Admission failures are
@@ -405,13 +496,15 @@ func (s *Service) admitLocked(spec market.TaskSpec) {
 	if seed == 0 {
 		seed = market.DerivedTaskSeed(s.cfg.Seed, s.nextIndex)
 	}
+	shard := s.placeLocked(&spec)
+	sh := s.shards[shard]
 	rt, err := market.NewRuntime(market.RuntimeConfig{
 		Spec:        spec,
 		Index:       s.nextIndex,
 		Seed:        seed,
 		Group:       s.cfg.Group,
-		Backend:     s.ch,
-		Store:       s.store,
+		Backend:     sh.Chain,
+		Store:       sh.Store,
 		Population:  s.cfg.Population,
 		PopAddrs:    s.popAddrs,
 		SharedKey:   s.cfg.SharedKey,
@@ -427,24 +520,25 @@ func (s *Service) admitLocked(spec market.TaskSpec) {
 			return
 		}
 	}
-	rt.Fund(s.led)
+	rt.Fund(sh.Ledger)
 	if err := rt.Launch(); err != nil {
 		s.reject(spec, err)
 		return
 	}
-	if s.auditor != nil {
-		s.auditor.Register(rt.ID(), rt.RequesterKey().H)
+	if s.auditors != nil {
+		s.auditors[shard].Register(rt.ID(), rt.RequesterKey().H)
 	}
 	st := &taskState{
 		rt:         rt,
 		spec:       spec,
 		index:      s.nextIndex,
 		seed:       seed,
-		admitted:   s.ch.Round(),
+		shard:      shard,
+		admitted:   sh.Chain.Round(),
 		admittedAt: time.Now(),
 		questions:  swarm.Address(spec.Instance.Task.MarshalQuestions()),
 	}
-	s.content[st.questions]++
+	s.content[contentKey{shard, st.questions}]++
 	s.active = append(s.active, st)
 	s.nextIndex++
 	s.qmu.Lock()
@@ -476,7 +570,8 @@ func (s *Service) settleLocked() error {
 	for _, st := range s.active {
 		switch {
 		case st.rt.Finished():
-			res, err := st.rt.Result(s.ch, s.led)
+			sh := s.shards[st.shard]
+			res, err := st.rt.Result(sh.Chain, sh.Ledger)
 			if err != nil {
 				return err
 			}
@@ -537,17 +632,19 @@ func (s *Service) settleLocked() error {
 // contract storage, event log and unreferenced off-chain content only when
 // the task settled and pruning is on.
 func (s *Service) retireLocked(st *taskState, prune bool) error {
-	if s.auditor != nil {
-		s.auditor.Unregister(st.rt.ID())
+	sh := s.shards[st.shard]
+	if s.auditors != nil {
+		s.auditors[st.shard].Unregister(st.rt.ID())
 	}
-	if s.content[st.questions]--; s.content[st.questions] == 0 {
-		delete(s.content, st.questions)
+	key := contentKey{st.shard, st.questions}
+	if s.content[key]--; s.content[key] == 0 {
+		delete(s.content, key)
 		if prune && !s.cfg.KeepSettled {
-			s.store.Delete(st.questions)
+			sh.Store.Delete(st.questions)
 		}
 	}
 	if prune && !s.cfg.KeepSettled {
-		if err := s.ch.PruneContract(st.rt.ID()); err != nil {
+		if err := sh.Chain.PruneContract(st.rt.ID()); err != nil {
 			return fmt.Errorf("service: pruning settled task: %w", err)
 		}
 	}
@@ -560,14 +657,20 @@ func (s *Service) retireLocked(st *taskState, prune bool) error {
 // (copy-commit) need the history of every live task's lifetime.
 func (s *Service) trimLocked() {
 	if s.cfg.RetainRounds >= 0 {
-		floor := s.ch.Round() - s.cfg.retainRounds()
-		for _, st := range s.active {
-			if st.admitted < floor {
-				floor = st.admitted
+		// Shards mine in lockstep, so one floor serves them all; each
+		// shard's window is still pinned by ITS oldest active admission, so
+		// a long-lived task on shard A never forces shard B to hoard
+		// history (and trimming B never breaks A's replaying clients).
+		for si, sh := range s.shards {
+			floor := sh.Chain.Round() - s.cfg.retainRounds()
+			for _, st := range s.active {
+				if st.shard == si && st.admitted < floor {
+					floor = st.admitted
+				}
 			}
-		}
-		if floor > 0 {
-			s.ch.TrimBefore(floor)
+			if floor > 0 {
+				sh.Chain.TrimBefore(floor)
+			}
 		}
 	}
 	if s.cfg.RetainLedgerEvents >= 0 {
@@ -575,7 +678,9 @@ func (s *Service) trimLocked() {
 		if max == 0 {
 			max = DefaultRetainLedgerEvents
 		}
-		s.led.TrimEvents(max)
+		for _, sh := range s.shards {
+			sh.Ledger.TrimEvents(max)
+		}
 	}
 }
 
@@ -611,18 +716,28 @@ func (s *Service) Stats() Stats {
 // assertions (the adversary harness builds its invariant report from them).
 // Both have their own locking; reading them mid-round is safe but racy with
 // a background miner — quiesce (manual mode, or Close) for exact values.
+// On a sharded service they return shard 0's substrate; use Shards for the
+// rest.
 func (s *Service) Chain() *chain.Chain { return s.ch }
 
-// Ledger returns the shared ledger.
+// Ledger returns the shared ledger (shard 0's when sharded).
 func (s *Service) Ledger() *ledger.Ledger { return s.led }
 
-// AuditedProofs counts the VPKE openings the round auditor re-verified (0
-// unless batch verification is on).
+// Shards returns the per-shard substrate handles, in index order; length 1
+// on an unsharded service. Callers must not mutate the slice.
+func (s *Service) Shards() []*chain.Shard { return s.shards }
+
+// AuditedProofs counts the VPKE openings the round auditors re-verified
+// across every shard (0 unless batch verification is on).
 func (s *Service) AuditedProofs() int {
-	if s.auditor == nil {
+	if s.auditors == nil {
 		return 0
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.auditor.Count()
+	total := 0
+	for _, a := range s.auditors {
+		total += a.Count()
+	}
+	return total
 }

@@ -31,8 +31,14 @@ import (
 	"dragoon/internal/wire"
 )
 
-// snapshotVersion guards the service snapshot encoding.
-const snapshotVersion = 1
+// snapshotVersion guards the service snapshot encoding. An unsharded
+// service writes version 1 (the historical layout, one chain/ledger/store
+// triple); a sharded one writes version 2, which carries a shard count, one
+// substrate triple per shard, and each active task's shard index.
+const (
+	snapshotVersion        = 1
+	snapshotVersionSharded = 2
+)
 
 // Rehydrate maps an active task's ID back to its spec on restore. The spec
 // must be semantically identical to the one originally submitted (same
@@ -52,15 +58,23 @@ func (s *Service) Snapshot() ([]byte, error) {
 	if len(s.queue) > 0 {
 		return nil, errors.New("service: snapshot with queued submissions (admit them first: they carry code, not data)")
 	}
-	chainBytes, err := s.ch.Snapshot()
-	if err != nil {
-		return nil, err
-	}
+	sharded := len(s.shards) > 1
 	w := wire.NewWriter()
-	w.WriteUint(snapshotVersion)
-	w.WriteBytes(chainBytes)
-	w.WriteBytes(s.led.Snapshot())
-	w.WriteBytes(s.store.Snapshot())
+	if sharded {
+		w.WriteUint(snapshotVersionSharded)
+		w.WriteUint(uint64(len(s.shards)))
+	} else {
+		w.WriteUint(snapshotVersion)
+	}
+	for _, sh := range s.shards {
+		chainBytes, err := sh.Chain.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		w.WriteBytes(chainBytes)
+		w.WriteBytes(sh.Ledger.Snapshot())
+		w.WriteBytes(sh.Store.Snapshot())
+	}
 	w.WriteUint(uint64(s.nextIndex))
 	w.WriteUint(s.admitted)
 	w.WriteUint(s.settled)
@@ -73,6 +87,9 @@ func (s *Service) Snapshot() ([]byte, error) {
 		w.WriteString(string(st.rt.ID()))
 		w.WriteUint(uint64(st.index))
 		w.WriteInt(st.seed)
+		if sharded {
+			w.WriteUint(uint64(st.shard))
+		}
 		w.WriteUint(uint64(st.admitted))
 		answers := st.rt.RecordedAnswers()
 		w.WriteUint(uint64(len(answers)))
@@ -101,35 +118,57 @@ func Restore(cfg Config, data []byte, rehydrate Rehydrate) (*Service, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: restore: %w", err)
 	}
-	if v != snapshotVersion {
-		return nil, fmt.Errorf("service: restore: snapshot version %d, want %d", v, snapshotVersion)
+	if v != snapshotVersion && v != snapshotVersionSharded {
+		return nil, fmt.Errorf("service: restore: snapshot version %d, want %d or %d",
+			v, snapshotVersion, snapshotVersionSharded)
 	}
-	chainBytes, err := r.ReadBytes()
-	if err != nil {
-		return nil, fmt.Errorf("service: restore: chain: %w", err)
+	sharded := v == snapshotVersionSharded
+	count := uint64(1)
+	if sharded {
+		if count, err = r.ReadUint(); err != nil {
+			return nil, fmt.Errorf("service: restore: shard count: %w", err)
+		}
+		if count < 2 {
+			return nil, fmt.Errorf("service: restore: sharded snapshot with %d shards", count)
+		}
 	}
-	ledgerBytes, err := r.ReadBytes()
-	if err != nil {
-		return nil, fmt.Errorf("service: restore: ledger: %w", err)
+	if int(count) != cfg.shardCount() {
+		return nil, fmt.Errorf("service: restore: snapshot has %d shards, config asks for %d", count, cfg.shardCount())
 	}
-	storeBytes, err := r.ReadBytes()
-	if err != nil {
-		return nil, fmt.Errorf("service: restore: store: %w", err)
+	execWorkers := chain.ResolveExecWorkers(cfg.ParallelExec, cfg.Parallelism)
+	shards := make([]*chain.Shard, count)
+	for i := range shards {
+		chainBytes, err := r.ReadBytes()
+		if err != nil {
+			return nil, fmt.Errorf("service: restore: shard %d chain: %w", i, err)
+		}
+		ledgerBytes, err := r.ReadBytes()
+		if err != nil {
+			return nil, fmt.Errorf("service: restore: shard %d ledger: %w", i, err)
+		}
+		storeBytes, err := r.ReadBytes()
+		if err != nil {
+			return nil, fmt.Errorf("service: restore: shard %d store: %w", i, err)
+		}
+		led, err := ledger.Restore(ledgerBytes)
+		if err != nil {
+			return nil, err
+		}
+		store, err := swarm.Restore(storeBytes)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := chain.RestoreChain(led, cfg.Scheduler, chainBytes)
+		if err != nil {
+			return nil, err
+		}
+		ch.SetParallelExecution(execWorkers)
+		shards[i] = &chain.Shard{Index: i, Ledger: led, Chain: ch, Store: store}
 	}
-	led, err := ledger.Restore(ledgerBytes)
+	s, err := newService(cfg, shards)
 	if err != nil {
 		return nil, err
 	}
-	store, err := swarm.Restore(storeBytes)
-	if err != nil {
-		return nil, err
-	}
-	ch, err := chain.RestoreChain(led, cfg.Scheduler, chainBytes)
-	if err != nil {
-		return nil, err
-	}
-	ch.SetParallelExecution(chain.ResolveExecWorkers(cfg.ParallelExec, cfg.Parallelism))
-	s := newService(cfg, led, ch, store)
 
 	next, err := r.ReadUint()
 	if err != nil {
@@ -147,7 +186,7 @@ func Restore(cfg Config, data []byte, rehydrate Rehydrate) (*Service, error) {
 		return nil, fmt.Errorf("service: restore: active tasks: %w", err)
 	}
 	for i := uint64(0); i < n; i++ {
-		if err := s.restoreTask(r, rehydrate); err != nil {
+		if err := s.restoreTask(r, rehydrate, sharded); err != nil {
 			return nil, err
 		}
 	}
@@ -169,8 +208,8 @@ func Restore(cfg Config, data []byte, rehydrate Rehydrate) (*Service, error) {
 }
 
 // restoreTask rebuilds one active task's clients by replaying its lifetime
-// against the restored chain.
-func (s *Service) restoreTask(r *wire.Reader, rehydrate Rehydrate) error {
+// against its restored shard's chain.
+func (s *Service) restoreTask(r *wire.Reader, rehydrate Rehydrate, sharded bool) error {
 	id, err := r.ReadString()
 	if err != nil {
 		return fmt.Errorf("service: restore: task id: %w", err)
@@ -182,6 +221,15 @@ func (s *Service) restoreTask(r *wire.Reader, rehydrate Rehydrate) error {
 	seed, err := r.ReadInt()
 	if err != nil {
 		return fmt.Errorf("service: restore: task %q: %w", id, err)
+	}
+	shard := uint64(0)
+	if sharded {
+		if shard, err = r.ReadUint(); err != nil {
+			return fmt.Errorf("service: restore: task %q shard: %w", id, err)
+		}
+		if int(shard) >= len(s.shards) {
+			return fmt.Errorf("service: restore: task %q on shard %d of %d", id, shard, len(s.shards))
+		}
 	}
 	admittedRound, err := r.ReadUint()
 	if err != nil {
@@ -211,16 +259,18 @@ func (s *Service) restoreTask(r *wire.Reader, rehydrate Rehydrate) error {
 
 	// Rebuild the clients over a replay view capped at the admission round,
 	// re-install the contract program (snapshots carry state, not code), and
-	// re-step every lived round. Submissions are discarded — they are
-	// already mined into the restored chain.
-	rb := chain.NewReplayBackend(s.ch, int(admittedRound))
+	// re-step every lived round — all against the task's own shard.
+	// Submissions are discarded — they are already mined into the restored
+	// chain.
+	sh := s.shards[shard]
+	rb := chain.NewReplayBackend(sh.Chain, int(admittedRound))
 	rt, err := market.NewRuntime(market.RuntimeConfig{
 		Spec:        spec,
 		Index:       int(index),
 		Seed:        seed,
 		Group:       s.cfg.Group,
 		Backend:     rb,
-		Store:       s.store,
+		Store:       sh.Store,
 		Population:  s.cfg.Population,
 		PopAddrs:    s.popAddrs,
 		SharedKey:   s.cfg.SharedKey,
@@ -230,13 +280,13 @@ func (s *Service) restoreTask(r *wire.Reader, rehydrate Rehydrate) error {
 	if err != nil {
 		return fmt.Errorf("service: restore: task %q: %w", id, err)
 	}
-	if err := s.ch.RegisterContract(rt.ID(), contract.New(s.cfg.Group)); err != nil {
+	if err := sh.Chain.RegisterContract(rt.ID(), contract.New(s.cfg.Group)); err != nil {
 		return fmt.Errorf("service: restore: task %q: %w", id, err)
 	}
 	if err := rt.Launch(); err != nil {
 		return fmt.Errorf("service: restore: task %q: %w", id, err)
 	}
-	for round := int(admittedRound); round < s.ch.Round(); round++ {
+	for round := int(admittedRound); round < sh.Chain.Round(); round++ {
 		rb.SetRound(round)
 		if err := rt.StepRequester(); err != nil {
 			return fmt.Errorf("service: replaying task %q round %d: %w", id, round, err)
@@ -252,18 +302,19 @@ func (s *Service) restoreTask(r *wire.Reader, rehydrate Rehydrate) error {
 	}
 	rb.GoLive()
 
-	if s.auditor != nil {
-		s.auditor.Register(rt.ID(), rt.RequesterKey().H)
+	if s.auditors != nil {
+		s.auditors[shard].Register(rt.ID(), rt.RequesterKey().H)
 	}
 	st := &taskState{
 		rt:        rt,
 		spec:      spec,
 		index:     int(index),
 		seed:      seed,
+		shard:     int(shard),
 		admitted:  int(admittedRound),
 		questions: swarm.Address(spec.Instance.Task.MarshalQuestions()),
 	}
-	s.content[st.questions]++
+	s.content[contentKey{st.shard, st.questions}]++
 	s.active = append(s.active, st)
 	return nil
 }

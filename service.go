@@ -17,7 +17,10 @@ type Service = service.Service
 
 // ServiceConfig configures a streaming marketplace service: the shared
 // population and crypto backend, the retention knobs bounding on-chain
-// history, the per-task round budget, and the consolidated Options.
+// history, the per-task round budget, and the consolidated Options. Setting
+// Shards runs the stream over that many independent chains mined in
+// lockstep — admissions route to shards by Placement, and retention,
+// pruning and snapshots operate per shard.
 type ServiceConfig = service.Config
 
 // ServiceTaskStatus is the settlement report delivered by Service.Poll for
