@@ -4,8 +4,8 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json fmt fmt-check vet all \
-	golden cover fuzz-smoke docs-check soak-smoke
+.PHONY: build test race bench bench-smoke bench-json bench-kernels fmt \
+	fmt-check vet all golden cover fuzz-smoke docs-check soak-smoke
 
 all: build test
 
@@ -27,12 +27,17 @@ test:
 # off-chain store, the HTLC escrow the sharded settlement epoch drives
 # from concurrently-mined shards, and the concurrent crypto (PoQoEA batch
 # prove/verify, QAP quotient, Groth16 MSM fork/join, parallel Miller
-# loops).
+# loops). The crypto-kernel packages (fixed-base tables, GLV, the shared
+# precomputation and short-log registries, the requester's lazy decrypt
+# table, Pedersen commitments) run here too — their property tests and the
+# concurrent-init regression tests are race-sensitive by design.
 race:
 	$(GO) test -race ./internal/parallel ./internal/market ./internal/sim \
 		./internal/service ./internal/adversary ./internal/chain \
 		./internal/htlc ./internal/swarm ./internal/poqoea ./internal/batch \
-		./internal/qap ./internal/groth16 ./internal/bn254
+		./internal/qap ./internal/groth16 ./internal/bn254 \
+		./internal/elgamal ./internal/group ./internal/protocol \
+		./internal/commit
 
 # Regenerate the committed golden fingerprint files after an INTENTIONAL
 # protocol/gas/rng-order change (then commit the testdata diff). The golden
@@ -57,6 +62,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzCommitOpen -fuzztime=$(FUZZTIME) -run='^$$' ./internal/commit
 	$(GO) test -fuzz=FuzzUnmarshalMessages -fuzztime=$(FUZZTIME) -run='^$$' ./internal/contract
 	$(GO) test -fuzz=FuzzUnmarshalHTLC -fuzztime=$(FUZZTIME) -run='^$$' ./internal/htlc
+	$(GO) test -fuzz=FuzzGLVDecompose -fuzztime=$(FUZZTIME) -run='^$$' ./internal/bn254
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
@@ -74,6 +80,13 @@ bench-smoke:
 BENCH_WORKERS ?= 0
 bench-json:
 	$(GO) run ./cmd/benchtables -json BENCH_parallel.json -workers $(BENCH_WORKERS)
+
+# One iteration of every crypto-kernel benchmark (fixed-base tables, GLV
+# scalar mul, batch encryption/short-log, Pedersen commitments) — a CI
+# smoke check that the kernel paths still run, not a timing measurement.
+bench-kernels:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/bn254 \
+		./internal/elgamal ./internal/commit
 
 # Bounded-memory soak slice for CI: stream tasks through a background
 # service for ~30 seconds (or 10^4 tasks, whichever comes first) and fail

@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"time"
 
+	"dragoon/internal/bn254"
 	"dragoon/internal/elgamal"
 	"dragoon/internal/gadget"
 	"dragoon/internal/gas"
@@ -212,6 +213,27 @@ func writeParallelJSON(path string, parWorkers int) error {
 			}
 		}},
 		{"encrypt_answers", nQuestions, func() {
+			if _, err := poqoea.EncryptAnswers(&sk.PublicKey, answers, nil); err != nil {
+				panic(err)
+			}
+		}},
+		// encrypt_fixedbase vs encrypt_generic isolates the crypto-kernel
+		// win: the same batch encryption through the precomputed fixed-base
+		// tables (the default path, so it tracks encrypt_answers) and with
+		// both the precomputation registry and the GLV split disabled. The
+		// ratio is the strength-reduction factor, independent of pool size.
+		{"encrypt_fixedbase", nQuestions, func() {
+			if _, err := poqoea.EncryptAnswers(&sk.PublicKey, answers, nil); err != nil {
+				panic(err)
+			}
+		}},
+		{"encrypt_generic", nQuestions, func() {
+			prevPre := group.SetPrecompute(false)
+			prevGLV := bn254.SetGLV(false)
+			defer func() {
+				group.SetPrecompute(prevPre)
+				bn254.SetGLV(prevGLV)
+			}()
 			if _, err := poqoea.EncryptAnswers(&sk.PublicKey, answers, nil); err != nil {
 				panic(err)
 			}

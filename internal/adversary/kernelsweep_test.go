@@ -1,0 +1,153 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"dragoon/internal/adversary"
+	"dragoon/internal/bn254"
+	"dragoon/internal/group"
+)
+
+// withKernels runs fn with the fixed-base precomputation and GLV kernels
+// forced on or off, restoring both knobs afterwards. The knobs are global
+// process state, so tests built on this helper must NOT call t.Parallel()
+// (the matrix runs already parallelize internally; what must not overlap
+// is two tests disagreeing about the knob).
+func withKernels(t *testing.T, on bool, fn func()) {
+	t.Helper()
+	prevPre := group.SetPrecompute(on)
+	prevGLV := bn254.SetGLV(on)
+	defer func() {
+		group.SetPrecompute(prevPre)
+		bn254.SetGLV(prevGLV)
+	}()
+	fn()
+}
+
+// TestMatrixKernelSweepSim sweeps every scenario through the sim harness
+// with the crypto kernels enabled and disabled. Precomputation and GLV are
+// pure strength reductions — they change how group elements are computed,
+// never which elements — so every receipt, event, gas charge and payout
+// must be byte-identical across the two runs.
+func TestMatrixKernelSweepSim(t *testing.T) {
+	for _, s := range adversary.Matrix() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			var fast, slow *adversary.Report
+			withKernels(t, true, func() {
+				r, err := s.RunSim(opts(0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				fast = r
+			})
+			withKernels(t, false, func() {
+				r, err := s.RunSim(opts(0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				slow = r
+			})
+			if err := fast.CheckInvariants(); err != nil {
+				t.Errorf("kernel run violates invariants: %v", err)
+			}
+			if fingerprint(fast) != fingerprint(slow) {
+				t.Error("kernel run diverged from generic run")
+			}
+		})
+	}
+}
+
+// TestKernelSweepSharedChain co-locates the whole participant matrix on one
+// shared marketplace chain with kernels on vs off and demands identical
+// transcripts of the shared final state.
+func TestKernelSweepSharedChain(t *testing.T) {
+	scenarios := adversary.ParticipantMatrix()
+	var fast, slow *adversary.Report
+	withKernels(t, true, func() {
+		r, err := adversary.RunMatrix(scenarios, opts(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast = r
+	})
+	withKernels(t, false, func() {
+		r, err := adversary.RunMatrix(scenarios, opts(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow = r
+	})
+	if err := fast.CheckInvariants(); err != nil {
+		t.Errorf("kernel matrix violates invariants: %v", err)
+	}
+	if fingerprint(fast) != fingerprint(slow) {
+		t.Error("kernel matrix run diverged from generic run")
+	}
+}
+
+// TestKernelSweepStream replays the participant matrix through the
+// long-lived streaming service with kernels on vs off.
+func TestKernelSweepStream(t *testing.T) {
+	scenarios := adversary.ParticipantMatrix()
+	var fast, slow *adversary.Report
+	withKernels(t, true, func() {
+		r, err := adversary.RunMatrixStream(scenarios, opts(0), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast = r
+	})
+	withKernels(t, false, func() {
+		r, err := adversary.RunMatrixStream(scenarios, opts(0), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow = r
+	})
+	if err := fast.CheckInvariants(); err != nil {
+		t.Errorf("kernel stream violates invariants: %v", err)
+	}
+	if fingerprint(fast) != fingerprint(slow) {
+		t.Error("kernel stream run diverged from generic run")
+	}
+}
+
+// TestKernelSweepBN254 repeats the sweep on the production BN254 G1 group,
+// where the fixed-base tables, GLV split and Jacobian batch normalization
+// are all live (the schnorr runs above exercise only the generic modexp
+// fallback tables). Two scenarios cover both the happy path and the
+// outrange short-log scan.
+func TestKernelSweepBN254(t *testing.T) {
+	bnOpts := func() adversary.Options {
+		o := opts(0)
+		o.Group = group.BN254G1()
+		return o
+	}
+	for _, name := range []string{"baseline-honest", "out-of-range"} {
+		s := scenario(t, name)
+		t.Run(name, func(t *testing.T) {
+			var fast, slow *adversary.Report
+			withKernels(t, true, func() {
+				r, err := s.RunSim(bnOpts())
+				if err != nil {
+					t.Fatal(err)
+				}
+				fast = r
+			})
+			withKernels(t, false, func() {
+				r, err := s.RunSim(bnOpts())
+				if err != nil {
+					t.Fatal(err)
+				}
+				slow = r
+			})
+			if err := fast.CheckInvariants(); err != nil {
+				t.Errorf("kernel run violates invariants: %v", err)
+			}
+			if fingerprint(fast) != fingerprint(slow) {
+				t.Error("BN254 kernel run diverged from generic run")
+			}
+		})
+	}
+}

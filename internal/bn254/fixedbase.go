@@ -5,100 +5,245 @@ import (
 	"sync"
 )
 
-// Fixed-base precomputation for the two generators. Scalar-times-generator
-// is by far the hottest operation in the Groth16 trusted setup (four base
-// multiplications per circuit wire) and in the protocol crypto (every
-// ElGamal encryption and every VPKE verification does base multiplications),
-// so both generators get a windowed table: with 4-bit windows over 256-bit
-// scalars, a base multiplication becomes ≤ 64 mixed additions and no
-// doublings.
+// Fixed-base precomputation. Most scalar multiplications in the protocol's
+// hot loops are over bases that never change — the G1/G2 generators (every
+// ElGamal encryption, every Schnorr/VPKE proof, the whole Groth16 trusted
+// setup), the requester public key h (the second half of every encryption
+// and one verification equation of every VPKE proof), and commitment bases.
+// FixedBaseTable trades a one-time table build per base for multiplications
+// with no doublings at all:
+//
+//	table[w][d-1] = d · 2^(w·width) · B,   d ∈ [1, 2^width)
+//
+// so k·B = Σ_w table[w][digit_w(k)] is at most ⌈255/width⌉ mixed Jacobian
+// additions. The table width is the package constant FixedBaseWindowBits
+// (6): 43 windows of 63 points each, ≈2700 affine points per base. Tables
+// are built in Jacobian coordinates and normalized with ONE shared field
+// inversion (batchAffine — the same trick MSMG1 uses for its bucket sums),
+// and MulMany/MulManyAdd extend that idiom to whole batches of results: one
+// inversion per batch of ciphertexts instead of one per group operation.
 
 const (
-	fixedWindowBits = 4
-	fixedWindows    = 256/fixedWindowBits + 1 // scalars are < 2^255 after reduction
-	fixedTableSize  = 1 << fixedWindowBits
+	// FixedBaseWindowBits is the radix-2^w window width of every fixed-base
+	// table. Width 8 puts a 254-bit scalar multiplication at ≤32 mixed
+	// additions for a 32×255-point (~512 KiB) table per base; the build cost
+	// is amortized by the process-wide registry in internal/group.
+	FixedBaseWindowBits = 8
+
+	// fixedBaseWindows covers scalars up to 255 bits (reduced scalars are
+	// < r < 2^254, with one spare window for safety).
+	fixedBaseWindows = (255 + FixedBaseWindowBits - 1) / FixedBaseWindowBits
+
+	fixedBaseRowLen = 1<<FixedBaseWindowBits - 1 // digits 1 .. 2^width−1
 )
 
-var (
-	g1TableOnce sync.Once
-	g1Table     [][fixedTableSize]*G1 // g1Table[w][d] = d·16^w·G
+// FixedBaseTable is a windowed precomputation for one fixed G1 base.
+// Tables are immutable after construction and safe for concurrent use.
+type FixedBaseTable struct {
+	base *G1
+	// win[w][d-1] = d·2^(w·width)·base, in affine coordinates so every
+	// table hit is a cheap mixed addition.
+	win [][]*G1
+}
 
-	g2TableOnce sync.Once
-	g2Table     [][fixedTableSize]*G2
-)
-
-func buildG1Table() {
-	base := params().g1.Clone()
-	g1Table = make([][fixedTableSize]*G1, fixedWindows)
-	for w := 0; w < fixedWindows; w++ {
-		g1Table[w][0] = G1Infinity()
-		for d := 1; d < fixedTableSize; d++ {
-			g1Table[w][d] = g1Table[w][d-1].Add(base)
+// NewFixedBaseTable builds the window table for base. Building costs
+// ~⌈255/w⌉·2^w Jacobian additions and a single field inversion; Mul then
+// costs at most ⌈255/w⌉ mixed additions (versus ~254 doublings + ~127
+// additions for a cold double-and-add).
+func NewFixedBaseTable(base *G1) *FixedBaseTable {
+	t := &FixedBaseTable{base: base.Clone()}
+	if base.Inf {
+		return t // every Mul returns the identity
+	}
+	p := params().P
+	cur := base.jacobian()
+	jacRows := make([][]g1Jac, fixedBaseWindows)
+	flat := make([]g1Jac, 0, fixedBaseWindows*fixedBaseRowLen)
+	for w := 0; w < fixedBaseWindows; w++ {
+		row := make([]g1Jac, fixedBaseRowLen)
+		row[0] = cur
+		for d := 1; d < fixedBaseRowLen; d++ {
+			row[d] = jacAdd(row[d-1], cur, p)
 		}
-		// base <<= windowBits.
-		for b := 0; b < fixedWindowBits; b++ {
-			base = base.Double()
+		jacRows[w] = row
+		flat = append(flat, row...)
+		for b := 0; b < FixedBaseWindowBits; b++ {
+			cur = jacDouble(cur, p)
 		}
 	}
+	affine := batchAffine(flat)
+	t.win = make([][]*G1, fixedBaseWindows)
+	for w := 0; w < fixedBaseWindows; w++ {
+		t.win[w] = affine[w*fixedBaseRowLen : (w+1)*fixedBaseRowLen]
+	}
+	return t
+}
+
+// Base returns (a copy of) the table's base point.
+func (t *FixedBaseTable) Base() *G1 { return t.base.Clone() }
+
+// mulJac computes s·base in Jacobian coordinates; s must be reduced mod r
+// and sc is the caller's scratch space (shared across a batch).
+func (t *FixedBaseTable) mulJac(s *big.Int, sc *jacScratch) g1Jac {
+	acc := g1Jac{X: big.NewInt(1), Y: big.NewInt(1), Z: new(big.Int)}
+	if t.win == nil || s.Sign() == 0 {
+		return acc
+	}
+	p := params().P
+	for w := 0; w*FixedBaseWindowBits < s.BitLen(); w++ {
+		if d := msmBucketIndex(s, w, FixedBaseWindowBits); d != 0 {
+			sc.addMixed(&acc, t.win[w][d-1], p)
+		}
+	}
+	return acc
+}
+
+// Mul returns k·base (k reduced modulo the group order).
+func (t *FixedBaseTable) Mul(k *big.Int) *G1 {
+	s := new(big.Int).Mod(k, params().R)
+	return t.mulJac(s, newJacScratch()).affine()
+}
+
+// MulMany returns k·base for every scalar, sharing ONE field inversion
+// across the whole batch (nil scalars yield nil results). The returned
+// points are identical to calling Mul per scalar.
+func (t *FixedBaseTable) MulMany(ks []*big.Int) []*G1 {
+	r := params().R
+	jacs := make([]g1Jac, len(ks))
+	skip := make([]bool, len(ks))
+	sc := newJacScratch()
+	for i, k := range ks {
+		if k == nil {
+			skip[i] = true
+			continue
+		}
+		jacs[i] = t.mulJac(new(big.Int).Mod(k, r), sc)
+	}
+	out := batchAffine(jacs)
+	for i := range out {
+		if skip[i] {
+			out[i] = nil
+		}
+	}
+	return out
+}
+
+// MulManyAdd returns ks[i]·base + addends[i] for every i, again with one
+// shared inversion per batch — the encryption kernel's c2 = g^m · h^r shape
+// (nil addends are treated as the identity).
+func (t *FixedBaseTable) MulManyAdd(ks []*big.Int, addends []*G1) []*G1 {
+	r, p := params().R, params().P
+	jacs := make([]g1Jac, len(ks))
+	sc := newJacScratch()
+	for i, k := range ks {
+		s := new(big.Int)
+		if k != nil {
+			s.Mod(k, r)
+		}
+		j := t.mulJac(s, sc)
+		if i < len(addends) && addends[i] != nil {
+			sc.addMixed(&j, addends[i], p)
+		}
+		jacs[i] = j
+	}
+	return batchAffine(jacs)
+}
+
+// batchAffine normalizes a batch of Jacobian points to affine with a single
+// field inversion (Montgomery's trick): the product of all Z coordinates is
+// inverted once and unwound into the individual 1/Z values. Identity points
+// (Z = 0) are skipped and come back as the affine identity.
+func batchAffine(js []g1Jac) []*G1 {
+	p := params().P
+	out := make([]*G1, len(js))
+	// prefix[i] = Z_0 · … · Z_{i-1} over the non-identity points.
+	prefix := make([]*big.Int, 0, len(js))
+	live := make([]int, 0, len(js))
+	acc := big.NewInt(1)
+	for i, j := range js {
+		if j.Z == nil || j.Z.Sign() == 0 {
+			out[i] = G1Infinity()
+			continue
+		}
+		prefix = append(prefix, acc)
+		live = append(live, i)
+		acc = fpMul(acc, j.Z, p)
+	}
+	if len(live) == 0 {
+		return out
+	}
+	inv := fpInv(acc, p) // the one inversion
+	for n := len(live) - 1; n >= 0; n-- {
+		i := live[n]
+		zi := fpMul(inv, prefix[n], p) // 1/Z_i
+		inv = fpMul(inv, js[i].Z, p)   // strip Z_i for the next step
+		zi2 := fpMul(zi, zi, p)
+		zi3 := fpMul(zi2, zi, p)
+		out[i] = &G1{X: fpMul(js[i].X, zi2, p), Y: fpMul(js[i].Y, zi3, p)}
+	}
+	return out
+}
+
+// --- generator tables -------------------------------------------------------
+
+var (
+	g1GenTableOnce sync.Once
+	g1GenTable     *FixedBaseTable
+
+	g2TableOnce sync.Once
+	g2Table     [][]*G2 // g2Table[w][d-1] = d·2^(w·width)·H
+)
+
+// G1GeneratorTable returns the process-wide fixed-base table for the G1
+// generator (built once, shared by ScalarBaseMul and the trusted setup).
+func G1GeneratorTable() *FixedBaseTable {
+	g1GenTableOnce.Do(func() {
+		g1GenTable = NewFixedBaseTable(params().g1)
+	})
+	return g1GenTable
+}
+
+// g1FixedBaseMul computes k·G using the generator's window table.
+func g1FixedBaseMul(k *big.Int) *G1 {
+	return G1GeneratorTable().Mul(k)
 }
 
 func buildG2Table() {
-	base := params().g2.Clone()
-	g2Table = make([][fixedTableSize]*G2, fixedWindows)
-	for w := 0; w < fixedWindows; w++ {
-		g2Table[w][0] = G2Infinity()
-		for d := 1; d < fixedTableSize; d++ {
-			g2Table[w][d] = g2Table[w][d-1].Add(base)
-		}
-		for b := 0; b < fixedWindowBits; b++ {
-			base = base.Double()
-		}
-	}
-}
-
-// g1FixedBaseMul computes k·G using the precomputed window table.
-func g1FixedBaseMul(k *big.Int) *G1 {
-	g1TableOnce.Do(buildG1Table)
-	s := new(big.Int).Mod(k, params().R)
-	if s.Sign() == 0 {
-		return G1Infinity()
-	}
 	p := params().P
-	jac := g1Jac{X: big.NewInt(1), Y: big.NewInt(1), Z: new(big.Int)} // infinity
-	for w := 0; w*fixedWindowBits < s.BitLen(); w++ {
-		if d := windowDigit(s, w); d != 0 {
-			jac = jacAddMixed(jac, g1Table[w][d], p)
+	cur := params().g2.jacobian()
+	g2Table = make([][]*G2, fixedBaseWindows)
+	flat := make([]g2Jac, 0, fixedBaseWindows*fixedBaseRowLen)
+	for w := 0; w < fixedBaseWindows; w++ {
+		row := make([]g2Jac, fixedBaseRowLen)
+		row[0] = cur
+		for d := 1; d < fixedBaseRowLen; d++ {
+			row[d] = g2JacAdd(row[d-1], cur, p)
+		}
+		flat = append(flat, row...)
+		for b := 0; b < FixedBaseWindowBits; b++ {
+			cur = g2JacDouble(cur, p)
 		}
 	}
-	return jac.affine()
+	affine := g2BatchAffine(flat)
+	for w := 0; w < fixedBaseWindows; w++ {
+		g2Table[w] = affine[w*fixedBaseRowLen : (w+1)*fixedBaseRowLen]
+	}
 }
 
-// g2FixedBaseMul computes k·H using the precomputed window table.
+// g2FixedBaseMul computes k·H using the precomputed window table,
+// accumulating in Jacobian coordinates (one Fp2 inversion total).
 func g2FixedBaseMul(k *big.Int) *G2 {
 	g2TableOnce.Do(buildG2Table)
 	s := new(big.Int).Mod(k, params().R)
 	if s.Sign() == 0 {
 		return G2Infinity()
 	}
-	acc := G2Infinity()
-	for w := 0; w*fixedWindowBits < s.BitLen(); w++ {
-		d := windowDigit(s, w)
-		if d == 0 {
-			continue
-		}
-		acc = acc.Add(g2Table[w][d])
-	}
-	return acc
-}
-
-// windowDigit extracts the w-th base-16 digit of s.
-func windowDigit(s *big.Int, w int) int {
-	d := 0
-	base := w * fixedWindowBits
-	for b := 0; b < fixedWindowBits; b++ {
-		if s.Bit(base+b) == 1 {
-			d |= 1 << b
+	p := params().P
+	acc := g2JacInfinity()
+	for w := 0; w*FixedBaseWindowBits < s.BitLen(); w++ {
+		if d := msmBucketIndex(s, w, FixedBaseWindowBits); d != 0 {
+			acc = g2JacAddMixed(acc, g2Table[w][d-1], p)
 		}
 	}
-	return d
+	return acc.affine()
 }

@@ -177,21 +177,21 @@ func jacAddMixed(j g1Jac, b *G1, p *big.Int) g1Jac {
 }
 
 // ScalarMul returns k·a. The scalar is reduced modulo the group order, so
-// negative scalars behave as their additive inverses.
+// negative scalars behave as their additive inverses. The multiplication
+// runs through the GLV endomorphism split (see glv.go) unless disabled via
+// SetGLV; both paths return the identical group element.
 func (a *G1) ScalarMul(k *big.Int) *G1 {
 	cp := params()
 	s := new(big.Int).Mod(k, cp.R)
 	if s.Sign() == 0 || a.Inf {
 		return G1Infinity()
 	}
-	acc := g1Jac{X: big.NewInt(1), Y: big.NewInt(1), Z: new(big.Int)}
-	for i := s.BitLen() - 1; i >= 0; i-- {
-		acc = jacDouble(acc, cp.P)
-		if s.Bit(i) == 1 {
-			acc = jacAddMixed(acc, a, cp.P)
+	if GLVEnabled() {
+		if res := a.glvMul(s); res != nil {
+			return res
 		}
 	}
-	return acc.affine()
+	return genericScalarMul(a, s)
 }
 
 // G1ScalarBaseMul returns k·G for the standard generator G, using a

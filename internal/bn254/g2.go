@@ -102,20 +102,23 @@ func (a *G2) Double() *G2 {
 // Sub returns a − b.
 func (a *G2) Sub(b *G2) *G2 { return a.Add(b.Neg()) }
 
-// ScalarMul returns k·a (double-and-add; the scalar is reduced mod r).
+// ScalarMul returns k·a (the scalar is reduced mod r). The ladder runs in
+// Jacobian coordinates — one Fp2 inversion total instead of one per
+// addition step.
 func (a *G2) ScalarMul(k *big.Int) *G2 {
 	s := new(big.Int).Mod(k, params().R)
 	if s.Sign() == 0 || a.Inf {
 		return G2Infinity()
 	}
-	acc := G2Infinity()
+	p := params().P
+	acc := g2JacInfinity()
 	for i := s.BitLen() - 1; i >= 0; i-- {
-		acc = acc.Double()
+		acc = g2JacDouble(acc, p)
 		if s.Bit(i) == 1 {
-			acc = acc.Add(a)
+			acc = g2JacAddMixed(acc, a, p)
 		}
 	}
-	return acc
+	return acc.affine()
 }
 
 // G2ScalarBaseMul returns k·H for the standard G2 generator H, using a

@@ -1,0 +1,81 @@
+package commit
+
+import (
+	"fmt"
+	"math/big"
+
+	"dragoon/internal/group"
+)
+
+// pedersenTag domain-separates the derivation of the second base H.
+const pedersenTag = "dragoon/commit/pedersen/h/v1"
+
+// Pedersen is a Pedersen commitment scheme over an abstract group:
+// Commit(m; r) = m·G + r·H, where H is derived by hashing into the group so
+// its discrete log relative to G is unknown. Unlike the hash commitments in
+// commit.go — which the Dragoon contract uses for commit-reveal — Pedersen
+// commitments are additively homomorphic, which aggregation layers (quality
+// sums, batched audits) exploit: Commit(m1; r1) + Commit(m2; r2) =
+// Commit(m1+m2; r1+r2). Both fixed bases run through the process-wide
+// precomputation registry, so committing is a fixed-base kernel operation,
+// not a generic scalar multiplication. Values are immutable and safe for
+// concurrent use.
+type Pedersen struct {
+	g group.Group
+	h group.Element // hash-derived second base with unknown dlog
+}
+
+// NewPedersen derives a Pedersen instance over g. The group must implement
+// group.Hasher (both shipped backends do); the second base is
+// deterministic, so two instances over the same group are interoperable.
+func NewPedersen(g group.Group) (*Pedersen, error) {
+	hasher, ok := g.(group.Hasher)
+	if !ok {
+		return nil, fmt.Errorf("commit: group %q cannot hash to an element; Pedersen needs a second base with unknown dlog", g.Name())
+	}
+	h, err := hasher.HashToElement([]byte(pedersenTag))
+	if err != nil {
+		return nil, fmt.Errorf("commit: deriving Pedersen base: %w", err)
+	}
+	return &Pedersen{g: g, h: h}, nil
+}
+
+// Group returns the underlying group.
+func (p *Pedersen) Group() group.Group { return p.g }
+
+// H returns the second base (exported for tests and transcript encoding).
+func (p *Pedersen) H() group.Element { return p.h }
+
+// Commit returns m·G + r·H.
+func (p *Pedersen) Commit(m, r *big.Int) group.Element {
+	gm := group.SharedBase(p.g, p.g.Generator()).Mul(m)
+	return p.g.Add(gm, group.SharedBase(p.g, p.h).Mul(r))
+}
+
+// CommitMany commits to every (ms[i], rs[i]) pair through the batched
+// fixed-base kernels: one table pass per base and one shared normalization
+// per batch.
+func (p *Pedersen) CommitMany(ms, rs []*big.Int) ([]group.Element, error) {
+	if len(ms) != len(rs) {
+		return nil, fmt.Errorf("commit: batch length mismatch: %d messages, %d blinders", len(ms), len(rs))
+	}
+	gms := group.SharedBase(p.g, p.g.Generator()).MulMany(ms)
+	return group.SharedBase(p.g, p.h).MulManyAdd(rs, gms), nil
+}
+
+// Open verifies that c commits to (m, r).
+func (p *Pedersen) Open(c group.Element, m, r *big.Int) bool {
+	return p.g.Equal(c, p.Commit(m, r))
+}
+
+// Add homomorphically combines two commitments:
+// Commit(m1; r1) + Commit(m2; r2) = Commit(m1+m2; r1+r2).
+func (p *Pedersen) Add(a, b group.Element) group.Element {
+	return p.g.Add(a, b)
+}
+
+// Rand samples a blinding scalar (crypto/rand). Exposed so callers don't
+// need to reach into the group package for the common case.
+func (p *Pedersen) Rand() (*big.Int, error) {
+	return group.RandomScalar(p.g, nil)
+}

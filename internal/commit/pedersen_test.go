@@ -1,0 +1,98 @@
+package commit
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"dragoon/internal/group"
+)
+
+func TestPedersenOpenRoundtrip(t *testing.T) {
+	for _, g := range []group.Group{group.TestSchnorr(), group.BN254G1()} {
+		t.Run(g.Name(), func(t *testing.T) {
+			p, err := NewPedersen(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(5))
+			for i := 0; i < 8; i++ {
+				m := new(big.Int).Rand(rng, g.Order())
+				r := new(big.Int).Rand(rng, g.Order())
+				c := p.Commit(m, r)
+				if !p.Open(c, m, r) {
+					t.Fatal("commitment does not open to its own message")
+				}
+				if p.Open(c, new(big.Int).Add(m, big.NewInt(1)), r) {
+					t.Fatal("commitment opened to a different message")
+				}
+				if p.Open(c, m, new(big.Int).Add(r, big.NewInt(1))) {
+					t.Fatal("commitment opened under a different blinder")
+				}
+			}
+		})
+	}
+}
+
+func TestPedersenHomomorphic(t *testing.T) {
+	g := group.TestSchnorr()
+	p, err := NewPedersen(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	m1, r1 := new(big.Int).Rand(rng, g.Order()), new(big.Int).Rand(rng, g.Order())
+	m2, r2 := new(big.Int).Rand(rng, g.Order()), new(big.Int).Rand(rng, g.Order())
+	sum := p.Add(p.Commit(m1, r1), p.Commit(m2, r2))
+	m := new(big.Int).Add(m1, m2)
+	r := new(big.Int).Add(r1, r2)
+	if !p.Open(sum, m, r) {
+		t.Fatal("homomorphic sum does not open to (m1+m2, r1+r2)")
+	}
+}
+
+func TestPedersenCommitMany(t *testing.T) {
+	g := group.BN254G1()
+	p, err := NewPedersen(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	n := 9
+	ms := make([]*big.Int, n)
+	rs := make([]*big.Int, n)
+	for i := range ms {
+		ms[i] = new(big.Int).Rand(rng, g.Order())
+		rs[i] = new(big.Int).Rand(rng, g.Order())
+	}
+	batch, err := p.CommitMany(ms, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ms {
+		if !g.Equal(batch[i], p.Commit(ms[i], rs[i])) {
+			t.Fatalf("CommitMany[%d] differs from Commit", i)
+		}
+	}
+	if _, err := p.CommitMany(ms[:1], rs); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestPedersenDeterministicBase(t *testing.T) {
+	g := group.TestSchnorr()
+	p1, err := NewPedersen(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPedersen(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(p1.H(), p2.H()) {
+		t.Fatal("Pedersen base derivation is not deterministic")
+	}
+	if g.Equal(p1.H(), g.Generator()) || g.IsIdentity(p1.H()) {
+		t.Fatal("degenerate second base")
+	}
+}

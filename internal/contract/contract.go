@@ -482,8 +482,14 @@ func (h *HIT) outrange(env *chain.Env, from chain.Address, data []byte) error {
 		return err
 	}
 	// a(i,j) ∈ range ⇒ pay: the revealed element must NOT be g^v for any
-	// v in range. The scan is metered (one ECADD per candidate).
-	if _, inRange := elgamal.ShortLog(mg, element, params.RangeSize); inRange {
+	// v in range. The scan runs against the process-wide short-log table
+	// (built once per range size over the raw group) while the gas charged
+	// is the exact operation count a metered uncached scan would pay — one
+	// ECADD per candidate step plus the giant-step ECMUL, per LookupOps.
+	table := elgamal.SharedShortLogTable(h.group, params.RangeSize)
+	_, inRange, ops := table.LookupOps(element)
+	env.UseGas(ops.Adds*gas.EcAdd + ops.Muls*gas.EcMul)
+	if inRange {
 		return h.payWorker(env, params, msg.Worker)
 	}
 	if !vpke.VerifyElement(pk, element, ct, proof) {

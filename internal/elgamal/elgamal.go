@@ -76,8 +76,47 @@ func (pk *PublicKey) EncryptWithRandomness(m int64, r *big.Int) (Ciphertext, err
 	}
 	g := pk.Group
 	c1 := g.ScalarBaseMul(r)
-	c2 := g.Add(g.ScalarBaseMul(big.NewInt(m)), g.ScalarMul(pk.H, r))
+	c2 := g.Add(g.ScalarBaseMul(big.NewInt(m)), pk.MulH(r))
 	return Ciphertext{C1: c1, C2: c2}, nil
+}
+
+// MulH returns k·h for the public key element h, through the process-wide
+// fixed-base table registry: over backends with native precomputation the
+// multiplication costs a few dozen mixed additions, while metered and
+// table-less groups transparently fall back to ScalarMul (so on-chain gas
+// accounting is unchanged).
+func (pk *PublicKey) MulH(k *big.Int) group.Element {
+	return group.SharedBase(pk.Group, pk.H).Mul(k)
+}
+
+// EncryptBatchWithRandomness encrypts ms[i] with randomness rs[i] for every
+// i, returning ciphertexts identical to per-element EncryptWithRandomness
+// calls. The batch draws both bases through fixed-base tables and shares
+// one batch normalization per table call, which is what makes the
+// requester's encrypt-answers step cheap: for an n-question task the whole
+// batch costs O(n) mixed additions and O(1) field inversions.
+func (pk *PublicKey) EncryptBatchWithRandomness(ms []int64, rs []*big.Int) ([]Ciphertext, error) {
+	if len(ms) != len(rs) {
+		return nil, fmt.Errorf("elgamal: batch length mismatch: %d plaintexts, %d scalars", len(ms), len(rs))
+	}
+	g := pk.Group
+	mScalars := make([]*big.Int, len(ms))
+	for i, m := range ms {
+		if m < 0 {
+			return nil, errors.New("elgamal: negative plaintext")
+		}
+		mScalars[i] = big.NewInt(m)
+	}
+	gT := group.SharedBase(g, g.Generator())
+	hT := group.SharedBase(g, pk.H)
+	c1s := gT.MulMany(rs)
+	gms := gT.MulMany(mScalars)
+	c2s := hT.MulManyAdd(rs, gms)
+	cts := make([]Ciphertext, len(ms))
+	for i := range cts {
+		cts[i] = Ciphertext{C1: c1s[i], C2: c2s[i]}
+	}
+	return cts, nil
 }
 
 // Plaintext is the result of a short-range decryption: either a recovered
@@ -107,12 +146,14 @@ func (sk *PrivateKey) Decrypt(ct Ciphertext, rangeSize int64) Plaintext {
 
 // ShortLog solves g^m = target for m in [0, bound) using baby-step/giant-step
 // (falling back to a linear scan for tiny bounds). It reports whether a
-// solution in range exists.
+// solution in range exists. Non-positive bounds never match; bounds up to
+// math.MaxInt64 are accepted without overflow (the step size is computed
+// with big.Int arithmetic and the table size is capped — see shortLogStep).
 func ShortLog(g group.Group, target group.Element, bound int64) (int64, bool) {
 	if bound <= 0 {
 		return 0, false
 	}
-	if bound <= 32 {
+	if bound <= shortLogLinearMax {
 		cur := g.Identity()
 		gen := g.Generator()
 		for m := int64(0); m < bound; m++ {
@@ -124,10 +165,7 @@ func ShortLog(g group.Group, target group.Element, bound int64) (int64, bool) {
 		return 0, false
 	}
 	// Baby-step giant-step: m = i·s + j with s = ⌈√bound⌉.
-	s := int64(1)
-	for s*s < bound {
-		s++
-	}
+	s := shortLogStep(bound)
 	baby := make(map[string]int64, s)
 	cur := g.Identity()
 	gen := g.Generator()
@@ -135,10 +173,12 @@ func ShortLog(g group.Group, target group.Element, bound int64) (int64, bool) {
 		baby[string(g.Marshal(cur))] = j
 		cur = g.Add(cur, gen)
 	}
-	// giant = g^(−s).
+	// giant = g^(−s). The loop bound i ≤ (bound−1)/s is the overflow-safe
+	// form of i·s < bound.
 	giant := g.Neg(g.ScalarBaseMul(big.NewInt(s)))
 	probe := target
-	for i := int64(0); i*s < bound; i++ {
+	last := (bound - 1) / s
+	for i := int64(0); i <= last; i++ {
 		if j, ok := baby[string(g.Marshal(probe))]; ok {
 			m := i*s + j
 			if m < bound {
@@ -161,7 +201,7 @@ func (pk *PublicKey) Rerandomize(ct Ciphertext, rnd io.Reader) (Ciphertext, erro
 	g := pk.Group
 	return Ciphertext{
 		C1: g.Add(ct.C1, g.ScalarBaseMul(r)),
-		C2: g.Add(ct.C2, g.ScalarMul(pk.H, r)),
+		C2: g.Add(ct.C2, pk.MulH(r)),
 	}, nil
 }
 

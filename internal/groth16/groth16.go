@@ -141,27 +141,40 @@ func Setup(cs *r1cs.System, rnd io.Reader) (*ProvingKey, *VerifyingKey, error) {
 		Delta2: pk.Delta2,
 		IC:     make([]*bn254.G1, nPub+1),
 	}
+	// All per-wire generator multiplications go through the generator's
+	// fixed-base table as one batch (a single field inversion for the whole
+	// G1 side of the key material).
+	ks := make([]*big.Int, m)
 	for i := 0; i < m; i++ {
-		pk.A1[i] = bn254.G1ScalarBaseMul(ev.U[i])
-		pk.B1[i] = bn254.G1ScalarBaseMul(ev.V[i])
-		pk.B2[i] = bn254.G2ScalarBaseMul(ev.V[i])
 		// k_i = β·u_i + α·v_i + w_i.
 		k := f.Add(f.Add(f.Mul(beta, ev.U[i]), f.Mul(alpha, ev.V[i])), ev.W[i])
 		if i <= nPub {
-			vk.IC[i] = bn254.G1ScalarBaseMul(f.Mul(k, gammaInv))
+			ks[i] = f.Mul(k, gammaInv)
 		} else {
-			pk.K1[i] = bn254.G1ScalarBaseMul(f.Mul(k, deltaInv))
+			ks[i] = f.Mul(k, deltaInv)
+		}
+		pk.B2[i] = bn254.G2ScalarBaseMul(ev.V[i])
+	}
+	gt := bn254.G1GeneratorTable()
+	copy(pk.A1, gt.MulMany(ev.U[:m]))
+	copy(pk.B1, gt.MulMany(ev.V[:m]))
+	for i, pt := range gt.MulMany(ks) {
+		if i <= nPub {
+			vk.IC[i] = pt
+		} else {
+			pk.K1[i] = pt
 		}
 	}
 	// Powers τ^i·Z(τ)/δ.
 	n := q.Domain.N
-	pk.Z1 = make([]*bn254.G1, n-1)
+	powers := make([]*big.Int, n-1)
 	zOverDelta := f.Mul(ev.ZTau, deltaInv)
 	power := new(big.Int).Set(zOverDelta)
 	for i := 0; i < n-1; i++ {
-		pk.Z1[i] = bn254.G1ScalarBaseMul(power)
+		powers[i] = power
 		power = f.Mul(power, tau)
 	}
+	pk.Z1 = gt.MulMany(powers)
 	return pk, vk, nil
 }
 

@@ -1,0 +1,90 @@
+package group
+
+import (
+	"fmt"
+	"math/big"
+
+	"dragoon/internal/bn254"
+	"dragoon/internal/keccak"
+)
+
+// bn254FixedBase adapts a curve-level window table to the FixedBase handle.
+type bn254FixedBase struct {
+	t *bn254.FixedBaseTable
+}
+
+// PrecomputeFixedBase implements the FixedBaser extension with a width-w
+// window table (bn254.FixedBaseWindowBits): multiplications against the
+// base cost only mixed additions, and the batch variants share one field
+// inversion per call.
+func (bn254G1) PrecomputeFixedBase(base Element) FixedBase {
+	return bn254FixedBase{t: bn254.NewFixedBaseTable(asG1(base).pt)}
+}
+
+var _ FixedBaser = bn254G1{}
+
+func (f bn254FixedBase) Mul(k *big.Int) Element {
+	return g1Elem{pt: f.t.Mul(k)}
+}
+
+func (f bn254FixedBase) MulMany(ks []*big.Int) []Element {
+	pts := f.t.MulMany(ks)
+	out := make([]Element, len(pts))
+	for i, pt := range pts {
+		if pt != nil {
+			out[i] = g1Elem{pt: pt}
+		}
+	}
+	return out
+}
+
+func (f bn254FixedBase) MulManyAdd(ks []*big.Int, addends []Element) []Element {
+	adds := make([]*bn254.G1, len(ks))
+	for i := range adds {
+		if i < len(addends) && addends[i] != nil {
+			adds[i] = asG1(addends[i]).pt
+		}
+	}
+	pts := f.t.MulManyAdd(ks, adds)
+	out := make([]Element, len(pts))
+	for i, pt := range pts {
+		out[i] = g1Elem{pt: pt}
+	}
+	return out
+}
+
+// HashToElement implements the Hasher extension by try-and-increment: x is
+// drawn from keccak256(tag ‖ counter) reduced mod p until x³+3 is a square,
+// and y is the "smaller" root for determinism. G1 has cofactor 1, so any
+// curve point is automatically in the prime-order subgroup. The map is
+// deterministic in tag and its discrete log is unknown, which is exactly
+// what Pedersen commitment bases need.
+func (bn254G1) HashToElement(tag []byte) (Element, error) {
+	p := bn254.P()
+	exp := new(big.Int).Add(p, big.NewInt(1))
+	exp.Rsh(exp, 2) // (p+1)/4; valid square-root exponent since p ≡ 3 (mod 4)
+	three := big.NewInt(3)
+	for ctr := 0; ctr < 256; ctr++ {
+		digest := keccak.Sum256Concat([]byte("dragoon/hash-to-g1/v1"), tag, []byte{byte(ctr)})
+		x := new(big.Int).SetBytes(digest[:])
+		x.Mod(x, p)
+		rhs := new(big.Int).Mul(x, x)
+		rhs.Mod(rhs, p).Mul(rhs, x).Add(rhs, three).Mod(rhs, p)
+		y := new(big.Int).Exp(rhs, exp, p)
+		y2 := new(big.Int).Mul(y, y)
+		if y2.Mod(y2, p).Cmp(rhs) != 0 {
+			continue // x³+3 is a non-residue; bump the counter
+		}
+		if alt := new(big.Int).Sub(p, y); alt.Cmp(y) < 0 {
+			y = alt
+		}
+		pt := &bn254.G1{X: x, Y: y}
+		if !pt.IsOnCurve() {
+			continue
+		}
+		return g1Elem{pt: pt}, nil
+	}
+	return nil, fmt.Errorf("group: hash-to-curve failed for tag %q", tag)
+}
+
+var _ Hasher = bn254G1{}

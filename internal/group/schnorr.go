@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+
+	"dragoon/internal/keccak"
 )
 
 // schnorrGroup is a test-only backend: the order-r subgroup of Z_q* for a
@@ -130,3 +132,104 @@ func (s *schnorrGroup) Unmarshal(data []byte) (Element, error) {
 }
 
 func (s *schnorrGroup) ElementLen() int { return s.size }
+
+// schnorrFixedBase precomputes base^(2^(w·width)·d) rows so a fixed-base
+// exponentiation becomes a handful of modular multiplications — the same
+// windowed shape as the BN254 tables, sized for the ≈62-bit test group.
+type schnorrFixedBase struct {
+	g    *schnorrGroup
+	base *big.Int
+	win  [][]*big.Int // win[w][d-1] = base^(d·2^(w·width)) mod q
+}
+
+const schnorrWindowBits = 4
+
+// PrecomputeFixedBase implements the FixedBaser extension for the test
+// backend, so precomputed and generic paths are both exercised by the
+// Schnorr-group protocol tests.
+func (s *schnorrGroup) PrecomputeFixedBase(base Element) FixedBase {
+	b := asSchnorr(base).v
+	bits := s.r.BitLen() + 1
+	windows := (bits + schnorrWindowBits - 1) / schnorrWindowBits
+	rowLen := 1<<schnorrWindowBits - 1
+	win := make([][]*big.Int, windows)
+	cur := new(big.Int).Set(b)
+	for w := 0; w < windows; w++ {
+		row := make([]*big.Int, rowLen)
+		row[0] = new(big.Int).Set(cur)
+		for d := 1; d < rowLen; d++ {
+			row[d] = new(big.Int).Mul(row[d-1], cur)
+			row[d].Mod(row[d], s.q)
+		}
+		win[w] = row
+		for i := 0; i < schnorrWindowBits; i++ {
+			cur.Mul(cur, cur).Mod(cur, s.q)
+		}
+	}
+	return &schnorrFixedBase{g: s, base: b, win: win}
+}
+
+var _ FixedBaser = (*schnorrGroup)(nil)
+
+func (f *schnorrFixedBase) mul(k *big.Int) *big.Int {
+	e := new(big.Int).Mod(k, f.g.r)
+	acc := big.NewInt(1)
+	mask := int64(1<<schnorrWindowBits - 1)
+	tmp := new(big.Int)
+	for w := 0; w < len(f.win) && w*schnorrWindowBits < e.BitLen(); w++ {
+		d := tmp.Rsh(e, uint(w*schnorrWindowBits)).Int64() & mask
+		if d != 0 {
+			acc.Mul(acc, f.win[w][d-1]).Mod(acc, f.g.q)
+		}
+	}
+	return acc
+}
+
+func (f *schnorrFixedBase) Mul(k *big.Int) Element { return schnorrElem{v: f.mul(k)} }
+
+func (f *schnorrFixedBase) MulMany(ks []*big.Int) []Element {
+	out := make([]Element, len(ks))
+	for i, k := range ks {
+		if k == nil {
+			continue
+		}
+		out[i] = schnorrElem{v: f.mul(k)}
+	}
+	return out
+}
+
+func (f *schnorrFixedBase) MulManyAdd(ks []*big.Int, addends []Element) []Element {
+	out := make([]Element, len(ks))
+	for i, k := range ks {
+		s := k
+		if s == nil {
+			s = big.NewInt(0)
+		}
+		v := f.mul(s)
+		if i < len(addends) && addends[i] != nil {
+			v.Mul(v, asSchnorr(addends[i]).v).Mod(v, f.g.q)
+		}
+		out[i] = schnorrElem{v: v}
+	}
+	return out
+}
+
+// HashToElement implements the Hasher extension for tests: the square of a
+// hash-derived residue always lies in the order-r subgroup of Z_q* (q =
+// 2r+1), and its discrete log is unknown. Far too small to be secure —
+// like the whole backend, test-only.
+func (s *schnorrGroup) HashToElement(tag []byte) (Element, error) {
+	digest := keccak.Sum256Concat([]byte("dragoon/hash-to-schnorr/v1"), tag)
+	v := new(big.Int).SetBytes(digest[:])
+	v.Mod(v, s.q)
+	if v.Sign() == 0 {
+		v.SetInt64(2)
+	}
+	v.Mul(v, v).Mod(v, s.q)
+	if v.Cmp(big.NewInt(1)) == 0 {
+		v.SetInt64(4) // 2² — any fixed square works; identity is useless as a base
+	}
+	return schnorrElem{v: v}, nil
+}
+
+var _ Hasher = (*schnorrGroup)(nil)

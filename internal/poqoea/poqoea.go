@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"dragoon/internal/elgamal"
 	"dragoon/internal/group"
@@ -223,9 +224,10 @@ func Quality(answers []int64, st Statement) int {
 // EncryptAnswers encrypts a full answer vector under pk — the worker-side
 // helper used throughout the protocol and tests. Encryption randomness is
 // drawn sequentially from rnd (one scalar per question, matching the
-// sequential consumption order), then the 2N scalar multiplications run
-// concurrently, so the ciphertext vector is identical to a sequential
-// encryption with the same stream.
+// sequential consumption order), then the crypto runs as chunked batch
+// encryptions — fixed-base tables for both bases and one batch
+// normalization per chunk — so the ciphertext vector is identical to a
+// sequential encryption with the same stream.
 func EncryptAnswers(pk *elgamal.PublicKey, answers []int64, rnd io.Reader) ([]elgamal.Ciphertext, error) {
 	rs := make([]*big.Int, len(answers))
 	for i := range answers {
@@ -235,13 +237,25 @@ func EncryptAnswers(pk *elgamal.PublicKey, answers []int64, rnd io.Reader) ([]el
 		}
 		rs[i] = r
 	}
-	return parallel.Map(context.Background(), len(answers), 0, func(i int) (elgamal.Ciphertext, error) {
-		ct, err := pk.EncryptWithRandomness(answers[i], rs[i])
+	out := make([]elgamal.Ciphertext, len(answers))
+	var firstErr error
+	var mu sync.Mutex
+	parallel.Chunks(len(answers), 0, func(_, start, end int) {
+		cts, err := pk.EncryptBatchWithRandomness(answers[start:end], rs[start:end])
 		if err != nil {
-			return elgamal.Ciphertext{}, fmt.Errorf("poqoea: encrypting answer %d: %w", i, err)
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("poqoea: encrypting answers [%d,%d): %w", start, end, err)
+			}
+			mu.Unlock()
+			return
 		}
-		return ct, nil
+		copy(out[start:end], cts)
 	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // ProofSize returns the marshaled size of the proof in bytes for the given

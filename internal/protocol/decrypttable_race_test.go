@@ -1,0 +1,61 @@
+package protocol
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dragoon/internal/elgamal"
+	"dragoon/internal/group"
+	"dragoon/internal/task"
+)
+
+// TestDecryptTableConcurrent exercises the lazy short-log-table init from
+// many goroutines at once — under `go test -race` this pins the sync.Once
+// guard: the old unguarded `if r.logTable == nil` write raced when two
+// submissions were decrypted concurrently.
+func TestDecryptTableConcurrent(t *testing.T) {
+	g := group.TestSchnorr()
+	rng := rand.New(rand.NewSource(7))
+	inst, err := task.Generate(task.GenerateParams{
+		ID: "race", N: 4, RangeSize: 40, NumGolden: 2,
+		Workers: 2, Threshold: 1, Budget: 100,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := elgamal.KeyGen(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Requester{sk: sk, inst: inst}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(m int64) {
+			defer wg.Done()
+			ct, _, err := sk.Encrypt(m, nil)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			plain := sk.DecryptWith(r.decryptTable(), ct)
+			if !plain.InRange || plain.Value != m {
+				errs <- "wrong decryption"
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	// Every goroutine must have observed the same table.
+	if r.logTable == nil || r.decryptTable() != r.logTable {
+		t.Fatal("decryptTable did not settle on one table")
+	}
+}

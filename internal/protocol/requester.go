@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"dragoon/internal/batch"
 	"dragoon/internal/chain"
@@ -98,8 +99,11 @@ type Requester struct {
 	obs *viewObserver
 
 	// logTable amortizes short-range decryption across the K·N
-	// ciphertexts of a task (lazily built).
-	logTable *elgamal.ShortLogTable
+	// ciphertexts of a task (lazily built; logTableOnce guards the build so
+	// concurrent decryptions race neither on the pointer nor on a
+	// half-built table).
+	logTableOnce sync.Once
+	logTable     *elgamal.ShortLogTable
 }
 
 // RequesterConfig configures a requester client.
@@ -427,11 +431,13 @@ func (r *Requester) garbledEvaluate(worker chain.Address, cts []elgamal.Cipherte
 }
 
 // decryptTable returns the lazily-built short-log table for the task's
-// answer range.
+// answer range. Safe for concurrent use: the first caller resolves the
+// table from the process-wide registry (shared across tasks with the same
+// range size), every other caller waits on the Once.
 func (r *Requester) decryptTable() *elgamal.ShortLogTable {
-	if r.logTable == nil {
-		r.logTable = elgamal.NewShortLogTable(r.sk.Group, r.inst.Task.RangeSize)
-	}
+	r.logTableOnce.Do(func() {
+		r.logTable = elgamal.SharedShortLogTable(r.sk.Group, r.inst.Task.RangeSize)
+	})
 	return r.logTable
 }
 

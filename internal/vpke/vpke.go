@@ -90,7 +90,7 @@ func VerifyElement(pk *elgamal.PublicKey, gm group.Element, ct elgamal.Ciphertex
 	}
 	// Equation 2: g^Z ≟ B · h^C.
 	lhs2 := g.ScalarBaseMul(pi.Z)
-	rhs2 := g.Add(pi.B, g.ScalarMul(pk.H, c))
+	rhs2 := g.Add(pi.B, pk.MulH(c))
 	return g.Equal(lhs2, rhs2)
 }
 
@@ -183,7 +183,7 @@ func SimulateProof(pk *elgamal.PublicKey, gm group.Element, ct elgamal.Ciphertex
 	// A = gm^C·c1^Z·c2^(−C), B = g^Z·h^(−C).
 	a := g.Add(g.ScalarMul(gm, c), g.ScalarMul(ct.C1, z))
 	a = group.Sub(g, a, g.ScalarMul(ct.C2, c))
-	b := group.Sub(g, g.ScalarBaseMul(z), g.ScalarMul(pk.H, c))
+	b := group.Sub(g, g.ScalarBaseMul(z), pk.MulH(c))
 	return &Proof{A: a, B: b, Z: z}, c, nil
 }
 
@@ -198,6 +198,6 @@ func VerifyWithChallenge(pk *elgamal.PublicKey, gm group.Element, ct elgamal.Cip
 		return false
 	}
 	lhs2 := g.ScalarBaseMul(pi.Z)
-	rhs2 := g.Add(pi.B, g.ScalarMul(pk.H, c))
+	rhs2 := g.Add(pi.B, pk.MulH(c))
 	return g.Equal(lhs2, rhs2)
 }
