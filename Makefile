@@ -5,7 +5,7 @@
 GO ?= go
 
 .PHONY: build test race bench bench-smoke bench-json bench-kernels fmt \
-	fmt-check vet all golden cover fuzz-smoke docs-check soak-smoke
+	fmt-check vet all golden cover fuzz-smoke fuzz-econ docs-check soak-smoke
 
 all: build test
 
@@ -37,13 +37,14 @@ race:
 		./internal/htlc ./internal/swarm ./internal/poqoea ./internal/batch \
 		./internal/qap ./internal/groth16 ./internal/bn254 \
 		./internal/elgamal ./internal/group ./internal/protocol \
-		./internal/commit
+		./internal/commit ./internal/incentive ./internal/worker
 
 # Regenerate the committed golden fingerprint files after an INTENTIONAL
 # protocol/gas/rng-order change (then commit the testdata diff). The golden
 # tests otherwise catch any determinism break in a single run.
 golden:
-	$(GO) test ./internal/sim ./internal/market -run TestGoldenFingerprint -update-golden
+	$(GO) test ./internal/sim ./internal/market ./internal/adversary \
+		-run TestGoldenFingerprint -update-golden
 
 # Coverage summary over every package (single profile, per-function table
 # tail + total in the CI log; cover.out is left for `go tool cover -html`).
@@ -63,6 +64,15 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzUnmarshalMessages -fuzztime=$(FUZZTIME) -run='^$$' ./internal/contract
 	$(GO) test -fuzz=FuzzUnmarshalHTLC -fuzztime=$(FUZZTIME) -run='^$$' ./internal/htlc
 	$(GO) test -fuzz=FuzzGLVDecompose -fuzztime=$(FUZZTIME) -run='^$$' ./internal/bn254
+
+# Economic fuzz pass: the incentive solver's parameter space (MinimalReward
+# self-verification against Decide at degenerate boundaries) and whole
+# generated scenarios through all three harness paths with every invariant
+# checked and market/stream transcripts compared. Seeded from the committed
+# corpus; failures shrink to a minimal spec before reporting.
+fuzz-econ:
+	$(GO) test -fuzz=FuzzRationalParams -fuzztime=$(FUZZTIME) -run='^$$' ./internal/incentive
+	$(GO) test -fuzz=FuzzScenario -fuzztime=$(FUZZTIME) -run='^$$' ./internal/adversary
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

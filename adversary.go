@@ -47,6 +47,71 @@ func RunScenarioMatrix(scenarios []Scenario, opts ScenarioOptions) (*ScenarioRep
 	return adversary.RunMatrix(scenarios, opts)
 }
 
+// ScenarioEconSpec declares a scenario's economic structure — which lineup
+// indices are rational deciders, a collusion ring, or sybil identities of
+// one principal, and under which reward regime — so CheckInvariants can
+// verify the game-theoretic claims (honest dominance, no coalition or
+// sybil profit) on the realized outcomes.
+type ScenarioEconSpec = adversary.EconSpec
+
+// FuzzSpec is a generated adversarial scenario in normalized small-integer
+// form: lineup composition (honest, rational, ring, sybil, byzantine),
+// requester policy, network scheduler, reward regime and execution knobs.
+// Derive one from a seed with GenerateFuzzSpec, realize it with its
+// Scenario and Options methods, and minimize a failing one with
+// ShrinkFuzzSpec.
+type FuzzSpec = adversary.GenSpec
+
+// GenerateFuzzSpec derives a random valid scenario spec from the seed via
+// the deterministic DRBG — the generator behind the FuzzScenario fuzz
+// target. Every returned spec satisfies the protocol's invariants by
+// construction; a violation on any harness path is a real bug.
+func GenerateFuzzSpec(seed int64) FuzzSpec { return adversary.GenerateSpec(seed) }
+
+// ShrinkFuzzSpec greedily minimizes a failing spec: it retries the fails
+// predicate with each structural feature removed (byzantines dropped, ring
+// and sybils zeroed, policy and scheduler reset, knobs cleared) until a
+// fixpoint or the attempt budget, returning the smallest spec that still
+// fails.
+func ShrinkFuzzSpec(spec FuzzSpec, fails func(FuzzSpec) bool, budget int) FuzzSpec {
+	return adversary.ShrinkSpec(spec, fails, budget)
+}
+
+// Typed economic-invariant errors surfaced (wrapped) by
+// ScenarioReport.CheckInvariants and matchable with errors.Is.
+var (
+	// ErrScenarioEconSpec reports a malformed ScenarioEconSpec (an index
+	// outside the lineup, an empty coalition).
+	ErrScenarioEconSpec = adversary.ErrEconSpec
+	// ErrHonestNotDominant reports a task whose posted reward clears the
+	// dominance bound while the rational engine still chose deviation.
+	ErrHonestNotDominant = adversary.ErrHonestNotDominant
+	// ErrRationalDeviated reports a rational worker whose realized
+	// transcript contradicts its computed best response.
+	ErrRationalDeviated = adversary.ErrRationalDeviated
+	// ErrHonestUnderpaid reports an accepted honest-playing rational
+	// worker that was not paid on a finalized, honestly-audited task.
+	ErrHonestUnderpaid = adversary.ErrHonestUnderpaid
+	// ErrStreamDiverged reports ring or sybil members whose supposedly
+	// shared answer stream differs between members.
+	ErrStreamDiverged = adversary.ErrStreamDiverged
+	// ErrSplitVerdict reports a shared stream accepted for one member and
+	// rejected for another — the audit must be stream-deterministic.
+	ErrSplitVerdict = adversary.ErrSplitVerdict
+	// ErrAuditBypassed reports a below-threshold shared stream that was
+	// nevertheless paid under an honest audit.
+	ErrAuditBypassed = adversary.ErrAuditBypassed
+	// ErrCoalitionProfit reports a collusion ring whose net payoff exceeds
+	// what its members could earn playing independently.
+	ErrCoalitionProfit = adversary.ErrCoalitionProfit
+	// ErrSybilDoubleClaim reports one principal's sybil identities paid
+	// more than once for the same shared stream.
+	ErrSybilDoubleClaim = adversary.ErrSybilDoubleClaim
+	// ErrSybilProfit reports a sybil principal whose aggregate net payoff
+	// across all identities beats the honest single-identity baseline.
+	ErrSybilProfit = adversary.ErrSybilProfit
+)
+
 // Network adversaries (values for SimulationConfig.Scheduler,
 // MarketplaceConfig.Scheduler or Scenario.NewScheduler).
 

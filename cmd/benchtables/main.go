@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"time"
 
+	"dragoon/internal/adversary"
 	"dragoon/internal/bn254"
 	"dragoon/internal/elgamal"
 	"dragoon/internal/gadget"
@@ -196,6 +197,7 @@ func writeParallelJSON(path string, parWorkers int) error {
 	if err != nil {
 		return err
 	}
+	adversaryMatrix := adversary.ParticipantMatrix()
 
 	ops := []struct {
 		name      string
@@ -261,6 +263,25 @@ func writeParallelJSON(path string, parWorkers int) error {
 		// marketplace_run is the service's overhead.
 		{"service_stream", marketBenchTasks * marketBenchQuestions, func() {
 			if err := runServiceStream(marketCfg); err != nil {
+				panic(err)
+			}
+		}},
+		// The participant-level adversary matrix — every byzantine and
+		// economic (rational/collusion/sybil) scenario co-located on one
+		// shared chain, invariants checked — as a single op. This is the
+		// harness's own cost: tracking it PR over PR keeps the invariant
+		// suite cheap enough to run everywhere, and the parallel row measures
+		// how well the scenario fan-out uses the pool.
+		{"adversary_matrix", len(adversaryMatrix) * 16, func() {
+			rep, err := adversary.RunMatrix(adversaryMatrix, adversary.Options{
+				Group:         group.TestSchnorr(),
+				Seed:          1729,
+				WorkerBalance: 5,
+			})
+			if err != nil {
+				panic(err)
+			}
+			if err := rep.CheckInvariants(); err != nil {
 				panic(err)
 			}
 		}},

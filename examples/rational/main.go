@@ -1,0 +1,174 @@
+// Command rational demonstrates the economic threat model end to end:
+//
+//  1. a requester prices a task with the incentive solver
+//     (MinimalDominantReward) and a rational, utility-maximizing worker
+//     plays honestly — because at that reward honest effort IS its best
+//     response;
+//  2. the same worker facing a stingy reward abstains, starving the quota
+//     until the task cancels and refunds — underpaying buys nothing;
+//  3. a two-member collusion ring splits one lazy answer stream across two
+//     reward slots, the golden-standard audit rejects the shared stream
+//     for both members at once, and the ring walks away strictly poorer
+//     than two independent honest workers.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dragoon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "rational: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+const (
+	numGolden  = 6
+	threshold  = 5
+	rangeSize  = 2
+	effortCost = 8
+	submitCost = 1
+	accuracy   = 1.0
+)
+
+func run() error {
+	terms := dragoon.IncentiveParams{
+		NumGolden:  numGolden,
+		Threshold:  threshold,
+		RangeSize:  rangeSize,
+		SubmitCost: submitCost,
+	}
+	minReward, err := dragoon.MinimalDominantReward(terms, accuracy, effortCost)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("incentive solver: reward ≥ %.1f makes honest effort dominant\n\n", minReward)
+
+	fmt.Println("=== 1: rational worker at a solver-priced reward plays honestly ===")
+	if err := rationalAt("well-priced", 90, 11); err != nil { // reward 90/3 = 30 ≥ bound
+		return err
+	}
+
+	fmt.Println("=== 2: the same worker at a stingy reward abstains; the task cancels ===")
+	if err := rationalAt("stingy", 9, 12); err != nil { // reward 9/3 = 3 < bound
+		return err
+	}
+
+	fmt.Println("=== 3: a collusion ring loses money ===")
+	return collusionRing()
+}
+
+// rationalAt runs one honest worker, one bot and one rational worker
+// against a task paying budget/3 per slot and prints the rational
+// worker's realized choice.
+func rationalAt(id string, budget dragoon.Amount, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	inst, err := dragoon.NewTask(dragoon.TaskParams{
+		ID: id, N: 16, RangeSize: rangeSize, NumGolden: numGolden,
+		Workers: 3, Threshold: threshold, Budget: budget,
+	}, rng)
+	if err != nil {
+		return err
+	}
+	profile := dragoon.RationalProfile{
+		Accuracy:   accuracy,
+		EffortCost: effortCost,
+		SubmitCost: submitCost,
+		NumGolden:  numGolden,
+	}
+	terms := dragoon.IncentiveParams{
+		NumGolden: numGolden, Threshold: threshold, RangeSize: rangeSize,
+		Reward: float64(budget / 3), SubmitCost: submitCost,
+	}
+	fmt.Printf("  posted reward %d, best response: %v\n",
+		budget/3, choiceName(dragoon.DecideRational(terms, accuracy, effortCost)))
+	res, err := dragoon.Simulate(dragoon.SimulationConfig{
+		Instance: inst,
+		Group:    dragoon.TestGroup(),
+		Workers: []dragoon.WorkerModel{
+			dragoon.PerfectWorker("honest", inst.GroundTruth),
+			dragoon.BotWorker("bot", rand.New(rand.NewSource(seed+1))),
+			dragoon.RationalWorker("rational", inst.GroundTruth, profile,
+				rand.New(rand.NewSource(seed+2))),
+		},
+		Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	for _, o := range res.Outcomes {
+		fmt.Printf("  %-9s revealed=%-5v quality=%-2d paid=%v\n",
+			o.Name, o.Revealed, o.Quality, o.Paid)
+	}
+	switch {
+	case res.Finalized:
+		fmt.Println("  task finalized")
+	case res.Cancelled:
+		fmt.Println("  task cancelled: the abstention starved the quota, the escrow refunded")
+	}
+	fmt.Println()
+	return nil
+}
+
+// collusionRing runs one honest worker beside a two-member ring sharing a
+// single lazy (golden-wrong) answer stream, and balances the ring's books.
+func collusionRing() error {
+	rng := rand.New(rand.NewSource(21))
+	inst, err := dragoon.NewTask(dragoon.TaskParams{
+		ID: "ring", N: 16, RangeSize: rangeSize, NumGolden: numGolden,
+		Workers: 3, Threshold: threshold, Budget: 90,
+	}, rng)
+	if err != nil {
+		return err
+	}
+	// One unit of "work", shared: constant answers, wrong on most goldens.
+	lazy := func(qs []dragoon.Question, rangeSize int64) []int64 {
+		return make([]int64, len(qs))
+	}
+	ring := dragoon.CollusionRingWorkers("ring", 2, lazy)
+	res, err := dragoon.Simulate(dragoon.SimulationConfig{
+		Instance: inst,
+		Group:    dragoon.TestGroup(),
+		Workers: append([]dragoon.WorkerModel{
+			dragoon.PerfectWorker("honest", inst.GroundTruth),
+		}, ring...),
+		Seed: 21,
+	})
+	if err != nil {
+		return err
+	}
+	reward := int64(30) // 90 / 3 slots
+	var ringNet int64
+	for _, o := range res.Outcomes {
+		fmt.Printf("  %-7s quality=%-2d paid=%-5v rejected=%v\n",
+			o.Name, o.Quality, o.Paid, o.Rejected)
+		if o.Name == "ring0" || o.Name == "ring1" {
+			ringNet -= submitCost
+			if o.Paid {
+				ringNet += reward
+			}
+		}
+	}
+	fmt.Printf("  ring books: 2 submissions, 0 rewards → net %+d "+
+		"(two honest workers would have netted %+d)\n",
+		ringNet, 2*(reward-effortCost-submitCost))
+	fmt.Println("  sharing one stream multiplies the submission costs, not the payoff:")
+	fmt.Println("  the audit rejects the stream once and voids every slot that carried it")
+	return nil
+}
+
+func choiceName(c dragoon.RationalChoice) string {
+	switch c {
+	case dragoon.ChoiceHonest:
+		return "honest effort"
+	case dragoon.ChoiceGuess:
+		return "zero-effort guess"
+	default:
+		return "abstain"
+	}
+}

@@ -47,3 +47,52 @@ func HonestEffortDominates(p IncentiveParams, accuracy, effortCost float64) bool
 func MinimalDominantReward(p IncentiveParams, accuracy, effortCost float64) (float64, error) {
 	return incentive.MinimalReward(p, accuracy, effortCost)
 }
+
+// RationalChoice is the action a rational worker selects once it has seen
+// a task's posted terms: abstain, guess at zero effort, or play honestly.
+type RationalChoice = incentive.Choice
+
+// The three rational actions, ordered by commitment: abstaining costs
+// nothing, guessing costs only the submission, honest play adds effort.
+const (
+	// ChoiceAbstain: no participating strategy has positive expected
+	// utility, so the worker never enrolls.
+	ChoiceAbstain = incentive.ChoiceAbstain
+	// ChoiceGuess: participation pays but effort does not, so the worker
+	// submits uniform guesses.
+	ChoiceGuess = incentive.ChoiceGuess
+	// ChoiceHonest: honest effort has the best expected utility.
+	ChoiceHonest = incentive.ChoiceHonest
+)
+
+// DecideRational is the rational worker's best response to a task's posted
+// terms — the decision rule RationalWorker executes inside a run.
+// Malformed parameters decide as abstention (a rational agent does not
+// enroll in a task it cannot price).
+func DecideRational(p IncentiveParams, accuracy, effortCost float64) RationalChoice {
+	return incentive.Decide(p, accuracy, effortCost)
+}
+
+// Typed incentive-parameter errors, returned (wrapped) by AcceptProbability
+// and MinimalDominantReward's validation and matchable with errors.Is.
+var (
+	// ErrNoGolden rejects a task with no golden standards: quality is
+	// unmeasurable and every acceptance probability degenerates.
+	ErrNoGolden = incentive.ErrNoGolden
+	// ErrBadThreshold rejects a quality threshold outside [0, NumGolden].
+	ErrBadThreshold = incentive.ErrBadThreshold
+	// ErrTooManyGolden rejects an absurd golden count before the binomial
+	// tail underflows.
+	ErrTooManyGolden = incentive.ErrTooManyGolden
+	// ErrDegenerateRange rejects an answer range with fewer than two
+	// options, under which guessing is indistinguishable from knowledge.
+	ErrDegenerateRange = incentive.ErrDegenerateRange
+	// ErrBadAmount rejects negative or non-finite rewards and costs.
+	ErrBadAmount = incentive.ErrBadAmount
+	// ErrBadStrategy rejects non-finite strategy accuracies or costs.
+	ErrBadStrategy = incentive.ErrBadStrategy
+	// ErrNoDominantReward reports that no finite reward makes honest
+	// effort dominant for the given worker profile (for example at
+	// accuracy so low the bot clears the audit just as often).
+	ErrNoDominantReward = incentive.ErrNoDominantReward
+)

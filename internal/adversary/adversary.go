@@ -63,6 +63,15 @@ type Scenario struct {
 	ExpectCancel bool
 	// MaxRounds overrides the harness round bound (0 → default).
 	MaxRounds int
+	// Budget overrides the generated tasks' reward pool B (0 → the
+	// catalogue default). The stingy economic scenarios post rewards below
+	// the dominant-reward bound this way.
+	Budget ledger.Amount
+	// Econ declares the scenario's economic structure — which lineup
+	// indices are rational, colluding, or sybil identities — so
+	// CheckInvariants can enforce the incentive-layer invariants on top of
+	// the fund-safety ones. Nil for purely byzantine scenarios.
+	Econ *EconSpec
 	// Settle optionally fault-injects the cross-shard HTLC settlement epoch
 	// of a sharded run (see market.SettleConfig). workers holds the enrolled
 	// workers' chain addresses in lineup order. Only consulted when the run
@@ -117,6 +126,10 @@ func (s Scenario) instance(opts Options, idx int) (*task.Instance, error) {
 	if n == 0 {
 		n = defaultN
 	}
+	budget := s.Budget
+	if budget == 0 {
+		budget = defaultBudget
+	}
 	id := fmt.Sprintf("%s-%d", s.Name, idx)
 	return task.Generate(task.GenerateParams{
 		ID:        id,
@@ -125,7 +138,7 @@ func (s Scenario) instance(opts Options, idx int) (*task.Instance, error) {
 		NumGolden: numGolden,
 		Workers:   s.Quota,
 		Threshold: threshold,
-		Budget:    defaultBudget,
+		Budget:    budget,
 		// Task-unique question content, so distinct tasks sharing one
 		// off-chain store have distinct content digests (the default
 		// generator content depends only on the task shape — co-resident
@@ -162,8 +175,37 @@ type TaskReport struct {
 	Quota            int
 	Honest           []int
 	ExpectCancel     bool
+	// Policy is the requester behaviour the task ran under; the economic
+	// checks only bind under an honest audit (a pay-all policy legitimately
+	// pays bad answer streams).
+	Policy protocol.RequesterPolicy
+	// Econ carries the scenario's economic structure (nil if none).
+	Econ *EconSpec
+	// NumGolden, Threshold and RangeSize are the task's audit shape — what
+	// the incentive model needs to reprice the posted terms.
+	NumGolden int
+	Threshold int
+	RangeSize int64
 	// Shard is the chain the task ran on (0 on unsharded runs).
 	Shard int
+}
+
+// taskReport seeds one task's report with the scenario metadata every
+// harness path shares; the caller fills the end-state fields.
+func (s Scenario) taskReport(inst *task.Instance, reqAddr chain.Address) TaskReport {
+	return TaskReport{
+		ID:           inst.Task.ID,
+		Requester:    reqAddr,
+		Budget:       inst.Task.Budget,
+		Quota:        s.Quota,
+		Honest:       s.Honest,
+		ExpectCancel: s.ExpectCancel,
+		Policy:       s.Policy,
+		Econ:         s.Econ,
+		NumGolden:    len(inst.Golden.Indices),
+		Threshold:    inst.Task.Threshold,
+		RangeSize:    inst.Task.RangeSize,
+	}
 }
 
 // Report is a completed scenario run, ready for invariant checking.
@@ -232,24 +274,18 @@ func (s Scenario) RunSim(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("adversary: %s/sim: %w", s.Name, err)
 	}
+	tr := s.taskReport(inst, sim.RequesterAddr)
+	tr.RequesterBalance = res.RequesterBalance
+	tr.Finalized = res.Finalized
+	tr.Cancelled = res.Cancelled
+	tr.Outcomes = res.Outcomes
 	return &Report{
 		Name:          s.Name + "/sim",
 		Ledger:        res.Ledger,
 		Chain:         res.Chain,
 		WorkerBalance: opts.WorkerBalance,
 		Minted:        inst.Task.Budget*2 + ledger.Amount(len(models))*opts.WorkerBalance,
-		Tasks: []TaskReport{{
-			ID:               inst.Task.ID,
-			Requester:        sim.RequesterAddr,
-			RequesterBalance: res.RequesterBalance,
-			Finalized:        res.Finalized,
-			Cancelled:        res.Cancelled,
-			Outcomes:         res.Outcomes,
-			Budget:           inst.Task.Budget,
-			Quota:            s.Quota,
-			Honest:           s.Honest,
-			ExpectCancel:     s.ExpectCancel,
-		}},
+		Tasks:         []TaskReport{tr},
 	}, nil
 }
 
@@ -290,14 +326,7 @@ func (s Scenario) RunMarket(m int, opts Options) (*Report, error) {
 			Policy:    s.Policy,
 			Requester: reqAddr,
 		}
-		reports[i] = TaskReport{
-			ID:           inst.Task.ID,
-			Requester:    reqAddr,
-			Budget:       inst.Task.Budget,
-			Quota:        s.Quota,
-			Honest:       s.Honest,
-			ExpectCancel: s.ExpectCancel,
-		}
+		reports[i] = s.taskReport(inst, reqAddr)
 		minted += inst.Task.Budget * 2
 	}
 	minted += ledger.Amount(len(population)) * opts.WorkerBalance
@@ -415,14 +444,7 @@ func RunMatrix(scenarios []Scenario, opts Options) (*Report, error) {
 			Policy:    s.Policy,
 			Requester: reqAddr,
 		}
-		reports[i] = TaskReport{
-			ID:           inst.Task.ID,
-			Requester:    reqAddr,
-			Budget:       inst.Task.Budget,
-			Quota:        s.Quota,
-			Honest:       s.Honest,
-			ExpectCancel: s.ExpectCancel,
-		}
+		reports[i] = s.taskReport(inst, reqAddr)
 		minted += inst.Task.Budget * 2
 	}
 	minted += ledger.Amount(len(population)) * opts.WorkerBalance

@@ -1,0 +1,315 @@
+package adversary
+
+// Economic invariants: the incentive-layer counterpart of the fund-safety
+// checks in invariants.go. A scenario that declares its economic structure
+// (which lineup indices are rational, which collude, which are sybil
+// identities of one principal) gets checked against the paper's incentive
+// argument, not just its safety argument:
+//
+//   - a rational worker facing a posted reward at or above the
+//     dominant-reward bound must compute honest effort as its best
+//     response, play it, and (under an honest audit) be paid for it;
+//   - a coalition sharing one answer stream cannot net more than the same
+//     heads playing independently at their best: the golden-standard audit
+//     grades the one stream, so an effort-skipping ring fails together;
+//   - a sybil principal gains nothing from extra addresses: each address
+//     pays its own submission costs while the shared stream's quality
+//     decides every address's verdict at once.
+//
+// The checks bind only under an honest requester policy — a pay-all policy
+// (silent, no-golden, garbled-proof, false-report) legitimately pays bad
+// streams, and what it loses is the requester's problem, not a protocol
+// violation.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dragoon/internal/incentive"
+	"dragoon/internal/ledger"
+	"dragoon/internal/protocol"
+)
+
+// Typed economic-invariant violations, matchable with errors.Is.
+var (
+	// ErrEconSpec marks a malformed economic declaration (an index outside
+	// the lineup, an empty group).
+	ErrEconSpec = errors.New("adversary: malformed econ spec")
+	// ErrHonestNotDominant fires when the posted reward clears the
+	// dominant-reward bound but the rational engine still deviates from
+	// honest effort — the solver and the decision rule disagree.
+	ErrHonestNotDominant = errors.New("adversary: honest play not dominant at a solver-cleared reward")
+	// ErrRationalDeviated fires when a rational worker's realized behaviour
+	// (committed or not, answer stream played) contradicts the choice the
+	// incentive model computes from the posted terms.
+	ErrRationalDeviated = errors.New("adversary: rational worker deviated from its computed best response")
+	// ErrHonestUnderpaid fires when a worker who played honest effort and
+	// passed the audit went unpaid on a finalized task.
+	ErrHonestUnderpaid = errors.New("adversary: honest effort passed the audit but went unpaid")
+	// ErrStreamDiverged fires when members of a declared shared-stream group
+	// (a coalition or a sybil swarm) submitted different answer vectors.
+	ErrStreamDiverged = errors.New("adversary: shared-stream group submitted diverging answers")
+	// ErrSplitVerdict fires when revealed members of one shared stream
+	// received different verdicts — the audit graded one stream two ways.
+	ErrSplitVerdict = errors.New("adversary: one shared stream received split verdicts")
+	// ErrAuditBypassed fires when a below-threshold coalition stream was
+	// paid under an honest audit.
+	ErrAuditBypassed = errors.New("adversary: coalition paid despite failing the golden-standard audit")
+	// ErrCoalitionProfit fires when a coalition netted more than the same
+	// number of independent workers playing their best responses.
+	ErrCoalitionProfit = errors.New("adversary: coalition outperformed the honest baseline")
+	// ErrSybilDoubleClaim fires when sybil addresses of one principal were
+	// paid for a below-threshold stream under an honest audit.
+	ErrSybilDoubleClaim = errors.New("adversary: sybil addresses paid despite failing the golden-standard audit")
+	// ErrSybilProfit fires when a sybil principal netted more across all its
+	// addresses than independent workers would at their best.
+	ErrSybilProfit = errors.New("adversary: sybil principal outperformed the honest baseline")
+)
+
+// EconSpec declares a scenario's economic structure so CheckInvariants can
+// enforce the incentive-layer invariants. Lineup indices refer to the
+// scenario's Lineup order (every enrolled worker is assumed to win a quota
+// slot — economic scenarios size their lineup to the quota).
+type EconSpec struct {
+	// Regime labels the reward regime for reports ("dominant", "stingy").
+	Regime string
+	// SubmitCost is the per-submission cost (gas, bandwidth) every
+	// participant pays, in the same unit as the ledger reward.
+	SubmitCost float64
+	// HonestAccuracy and HonestEffort describe the honest baseline worker
+	// the profit bounds compare against.
+	HonestAccuracy float64
+	HonestEffort   float64
+	// Rational maps lineup indices to the economic profile each
+	// StrategyRational worker decides with.
+	Rational map[int]protocol.RationalProfile
+	// Coalition lists lineup indices of one collusion ring sharing a single
+	// answer stream; CoalitionEffort is the total effort the ring spent
+	// producing it (once, not per member).
+	Coalition       []int
+	CoalitionEffort float64
+	// Sybils maps each sybil principal to the lineup indices of its chain
+	// addresses; SybilEffort is the effort each principal spent on its one
+	// shared stream.
+	Sybils      map[string][]int
+	SybilEffort map[string]float64
+}
+
+// checkEconomics enforces the declared economic structure of every task.
+// It runs after settlement checks (so finalized/cancelled is trustworthy)
+// and before the fund checks (so an economic violation surfaces as itself,
+// not as a downstream balance mismatch).
+func (r *Report) checkEconomics() error {
+	for i := range r.Tasks {
+		t := &r.Tasks[i]
+		if t.Econ == nil {
+			continue
+		}
+		if err := t.Econ.check(t); err != nil {
+			return fmt.Errorf("task %s: %w", t.ID, err)
+		}
+	}
+	return nil
+}
+
+// honestAudit reports whether the task ran under an honest evaluation — the
+// only regime in which the audit-gating and profit bounds are guarantees.
+func (t *TaskReport) honestAudit() bool {
+	return t.Policy == 0 || t.Policy == protocol.PolicyHonest
+}
+
+// params assembles the incentive-model view of the task's posted terms.
+func (e *EconSpec) params(t *TaskReport) incentive.Params {
+	return incentive.Params{
+		NumGolden:  t.NumGolden,
+		Threshold:  t.Threshold,
+		RangeSize:  t.RangeSize,
+		Reward:     float64(t.Budget / ledger.Amount(t.Quota)),
+		SubmitCost: e.SubmitCost,
+	}
+}
+
+// bestIndependentUtility is the per-head profit ceiling: the best a single
+// independent worker can expect at the posted terms — honest effort at the
+// baseline accuracy, zero-effort guessing, or staying out entirely.
+func (e *EconSpec) bestIndependentUtility(p incentive.Params) float64 {
+	best := 0.0
+	if u := incentive.ExpectedUtility(p, incentive.Honest(e.HonestAccuracy, e.HonestEffort)); u > best {
+		best = u
+	}
+	if u := incentive.ExpectedUtility(p, incentive.Bot(p.RangeSize)); u > best {
+		best = u
+	}
+	return best
+}
+
+func (e *EconSpec) check(t *TaskReport) error {
+	if err := e.checkRational(t); err != nil {
+		return err
+	}
+	if len(e.Coalition) > 0 {
+		if err := e.checkSharedGroup(t, "coalition", e.Coalition, e.CoalitionEffort,
+			ErrAuditBypassed, ErrCoalitionProfit); err != nil {
+			return err
+		}
+	}
+	principals := make([]string, 0, len(e.Sybils))
+	for name := range e.Sybils {
+		principals = append(principals, name)
+	}
+	sort.Strings(principals)
+	for _, name := range principals {
+		if err := e.checkSharedGroup(t, "sybil principal "+name, e.Sybils[name],
+			e.SybilEffort[name], ErrSybilDoubleClaim, ErrSybilProfit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkRational verifies each declared rational worker decided the way the
+// incentive model says it must at the posted terms, and that its realized
+// transcript matches the decision.
+func (e *EconSpec) checkRational(t *TaskReport) error {
+	idxs := make([]int, 0, len(e.Rational))
+	for i := range e.Rational {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		if i < 0 || i >= len(t.Outcomes) {
+			return fmt.Errorf("%w: rational index %d outside lineup (%d workers)",
+				ErrEconSpec, i, len(t.Outcomes))
+		}
+		prof := e.Rational[i]
+		p := e.params(t)
+		p.SubmitCost = prof.SubmitCost
+		if prof.NumGolden != 0 {
+			p.NumGolden = prof.NumGolden
+		} else {
+			// The worker decides from on-chain terms alone, where only the
+			// acceptance threshold bounds the hidden golden count.
+			p.NumGolden = t.Threshold
+		}
+		choice := incentive.Decide(p, prof.Accuracy, prof.EffortCost)
+		o := &t.Outcomes[i]
+
+		// Solver consistency: a reward at or above the dominant-reward
+		// bound must make honest effort the choice.
+		if minR, err := incentive.MinimalReward(p, prof.Accuracy, prof.EffortCost); err == nil && p.Reward >= minR && choice != incentive.ChoiceHonest {
+			return fmt.Errorf("%w: worker %s chose %v at reward %v ≥ bound %v",
+				ErrHonestNotDominant, o.Addr, choice, p.Reward, minR)
+		}
+
+		// Realized behaviour must match the decision: an abstainer never
+		// commits (no answers, no pay); a player commits an answer stream.
+		switch choice {
+		case incentive.ChoiceAbstain:
+			if o.Answers != nil || o.Revealed || o.Paid {
+				return fmt.Errorf("%w: worker %s abstains at the posted terms but answered=%v revealed=%v paid=%v",
+					ErrRationalDeviated, o.Addr, o.Answers != nil, o.Revealed, o.Paid)
+			}
+		default:
+			if o.Answers == nil {
+				return fmt.Errorf("%w: worker %s chose %v but never committed",
+					ErrRationalDeviated, o.Addr, choice)
+			}
+		}
+
+		// Payment: honest effort that passed the audit is always paid on a
+		// finalized task — the paper's core guarantee, extended to the
+		// worker whose honesty was computed rather than scripted.
+		if choice == incentive.ChoiceHonest && t.Finalized && t.honestAudit() &&
+			o.Quality >= t.Threshold && !o.Paid {
+			return fmt.Errorf("%w: rational worker %s quality %d ≥ Θ=%d on finalized task",
+				ErrHonestUnderpaid, o.Addr, o.Quality, t.Threshold)
+		}
+	}
+	return nil
+}
+
+// checkSharedGroup enforces the shared-stream invariants for one declared
+// group (a collusion ring, or one sybil principal's addresses): stream
+// identity, verdict coherence, audit gating, and the profit bound.
+func (e *EconSpec) checkSharedGroup(t *TaskReport, kind string, members []int,
+	effort float64, auditErr, profitErr error) error {
+	if len(members) == 0 {
+		return fmt.Errorf("%w: empty %s", ErrEconSpec, kind)
+	}
+	var stream []int64
+	streamOwner := ""
+	paid, submitted := 0, 0
+	for _, i := range members {
+		if i < 0 || i >= len(t.Outcomes) {
+			return fmt.Errorf("%w: %s index %d outside lineup (%d workers)",
+				ErrEconSpec, kind, i, len(t.Outcomes))
+		}
+		o := &t.Outcomes[i]
+		if o.Answers != nil {
+			submitted++
+			if stream == nil {
+				stream, streamOwner = o.Answers, string(o.Addr)
+			} else if !equalAnswers(stream, o.Answers) {
+				return fmt.Errorf("%w: %s members %s and %s submitted different streams",
+					ErrStreamDiverged, kind, streamOwner, o.Addr)
+			}
+		}
+		if o.Paid {
+			paid++
+		}
+	}
+
+	// One stream, one verdict: every revealed member shares the graded
+	// stream, so the audit cannot split them.
+	verdictSet := false
+	var verdict bool
+	for _, i := range members {
+		o := &t.Outcomes[i]
+		if !o.Revealed {
+			continue
+		}
+		if !verdictSet {
+			verdict, verdictSet = o.Paid, true
+		} else if o.Paid != verdict {
+			return fmt.Errorf("%w: %s member %s paid=%v while its stream-mates got %v",
+				ErrSplitVerdict, kind, o.Addr, o.Paid, verdict)
+		}
+	}
+
+	if !t.honestAudit() {
+		return nil
+	}
+	// Audit gating: a graded below-threshold stream pays nobody.
+	for _, i := range members {
+		o := &t.Outcomes[i]
+		if o.Paid && o.Quality >= 0 && o.Quality < t.Threshold {
+			return fmt.Errorf("%w: %s member %s paid at quality %d < Θ=%d",
+				auditErr, kind, o.Addr, o.Quality, t.Threshold)
+		}
+	}
+	// Profit bound: the group's realized net — rewards collected minus the
+	// one shared production effort minus every member's submission costs —
+	// must not beat the same heads playing independently at their best.
+	p := e.params(t)
+	net := float64(paid)*p.Reward - effort - float64(submitted)*e.SubmitCost
+	bound := float64(len(members))*e.bestIndependentUtility(p) + 1e-6
+	if net > bound {
+		return fmt.Errorf("%w: %s netted %v, independent baseline caps it at %v",
+			profitErr, kind, net, bound)
+	}
+	return nil
+}
+
+// equalAnswers compares two answer vectors for byte-for-byte equality.
+func equalAnswers(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

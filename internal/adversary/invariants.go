@@ -17,6 +17,10 @@ import (
 //
 //  1. settlement: every task ended, and ended the way the scenario's
 //     security argument predicts (finalized vs cancelled);
+//     1a. economics (scenarios declaring an EconSpec): rational workers played
+//     their computed best response and honest effort was paid, coalitions
+//     and sybil principals could not beat the independent baseline, and no
+//     below-threshold shared stream was paid under an honest audit;
 //  2. fund conservation: the ledger balances+escrows sum to exactly the
 //     minted supply, and every settled contract's escrow is drained;
 //  3. exact balances: each requester holds 2B minus one reward per paid
@@ -36,6 +40,9 @@ import (
 // the lock hash) or refunded (after it), never both, never neither.
 func (r *Report) CheckInvariants() error {
 	if err := r.checkSettlement(); err != nil {
+		return fmt.Errorf("%s: %w", r.Name, err)
+	}
+	if err := r.checkEconomics(); err != nil {
 		return fmt.Errorf("%s: %w", r.Name, err)
 	}
 	if err := r.checkFunds(); err != nil {

@@ -55,6 +55,53 @@ func twoHonestPlus(inst *task.Instance, adv worker.Model) []worker.Model {
 	return append(perfect(inst, 2), adv)
 }
 
+// econProfile is the economic scenarios' standard rational profile: exact
+// ground-truth knowledge, unit submission cost, and the true golden count
+// (the profile models an informed insider; the audit shape is still what
+// decides it).
+func econProfile(effort float64) protocol.RationalProfile {
+	return protocol.RationalProfile{
+		Accuracy:   1,
+		EffortCost: effort,
+		SubmitCost: 1,
+		NumGolden:  numGolden,
+	}
+}
+
+// econBaseline fills the EconSpec fields every economic scenario shares:
+// the honest-baseline worker the profit ceilings compare against.
+func econBaseline(regime string) *EconSpec {
+	return &EconSpec{
+		Regime:         regime,
+		SubmitCost:     1,
+		HonestAccuracy: 0.95,
+		HonestEffort:   20,
+	}
+}
+
+// econSpec declares rational lineup members on the shared baseline.
+func econSpec(regime string, rational map[int]protocol.RationalProfile) *EconSpec {
+	e := econBaseline(regime)
+	e.Rational = rational
+	return e
+}
+
+// ringSpec declares a zero-effort collusion ring on the shared baseline.
+func ringSpec(regime string, members []int) *EconSpec {
+	e := econBaseline(regime)
+	e.Coalition = members
+	e.CoalitionEffort = 0
+	return e
+}
+
+// sybilSpec declares one zero-effort sybil principal on the shared baseline.
+func sybilSpec(regime, principal string, members []int) *EconSpec {
+	e := econBaseline(regime)
+	e.Sybils = map[string][]int{principal: members}
+	e.SybilEffort = map[string]float64{principal: 0}
+	return e
+}
+
 // Matrix returns the standard adversarial scenario catalogue: byzantine
 // workers attacking the commitment and reveal machinery, malicious
 // requesters attacking the payment logic, network schedulers attacking the
@@ -201,6 +248,87 @@ func Matrix() []Scenario {
 			Honest:       indices(3),
 			Policy:       protocol.PolicyWithholdQuestions,
 			ExpectCancel: true,
+		},
+		{
+			Name:        "rational-dominant",
+			Description: "a rational utility-maximizer facing a solver-cleared reward computes honest effort as its best response, commits honestly and is paid",
+			Quota:       3,
+			Lineup: func(inst *task.Instance, rng *rand.Rand) []worker.Model {
+				return append(perfect(inst, 2),
+					worker.Rational("rat", inst.GroundTruth, econProfile(20), rng))
+			},
+			Honest: []int{0, 1},
+			Econ:   econSpec("dominant", map[int]protocol.RationalProfile{2: econProfile(20)}),
+		},
+		{
+			Name:        "rational-starved",
+			Description: "a stingy reward below the dominant bound makes every action net-negative; the rational worker abstains, the quota never fills and the task cancels with full refund",
+			Quota:       3,
+			Budget:      31, // reward 31/3 = 10: below effort + submission cost
+			Lineup: func(inst *task.Instance, rng *rand.Rand) []worker.Model {
+				return append(perfect(inst, 2),
+					worker.Rational("rat", inst.GroundTruth, econProfile(20), rng))
+			},
+			Honest:       []int{0, 1},
+			ExpectCancel: true,
+			Econ:         econSpec("stingy", map[int]protocol.RationalProfile{2: econProfile(20)}),
+		},
+		{
+			Name:        "rational-freeride",
+			Description: "effort priced above the reward turns the best response into zero-effort guessing; the guess stream faces the golden-standard audit like any bot",
+			Quota:       3,
+			Lineup: func(inst *task.Instance, rng *rand.Rand) []worker.Model {
+				return append(perfect(inst, 2),
+					worker.Rational("rat", inst.GroundTruth, econProfile(400), rng))
+			},
+			Honest: []int{0, 1},
+			Econ:   econSpec("dominant", map[int]protocol.RationalProfile{2: econProfile(400)}),
+		},
+		{
+			Name:        "collude-lazy",
+			Description: "a two-head collusion ring shares one zero-effort golden-wrong stream; the audit grades the stream once, both heads are rejected together and the ring nets less than honest play",
+			Quota:       4,
+			Lineup: func(inst *task.Instance, _ *rand.Rand) []worker.Model {
+				ring := worker.CollusionRing("ring", 2, goldenWrongModel("ring", inst).Answers)
+				return append(perfect(inst, 2), ring...)
+			},
+			Honest: []int{0, 1},
+			Econ:   ringSpec("dominant", []int{2, 3}),
+		},
+		{
+			Name:        "collude-stingy",
+			Description: "the same effort-skipping ring under a reward so small even honest play nets nothing; the profit ceiling tightens to zero and the ring still ends under it",
+			Quota:       4,
+			Budget:      61, // reward 61/4 = 15: honest utility is negative
+			Lineup: func(inst *task.Instance, _ *rand.Rand) []worker.Model {
+				ring := worker.CollusionRing("ring", 2, goldenWrongModel("ring", inst).Answers)
+				return append(perfect(inst, 2), ring...)
+			},
+			Honest: []int{0, 1},
+			Econ:   ringSpec("stingy", []int{2, 3}),
+		},
+		{
+			Name:        "sybil-lazy",
+			Description: "one principal enrolls three chain addresses all submitting its single golden-wrong stream; every address pays its own submission cost and the shared stream's rejection voids them all at once",
+			Quota:       5,
+			Lineup: func(inst *task.Instance, _ *rand.Rand) []worker.Model {
+				swarm := worker.SybilSwarm("syb", 3, goldenWrongModel("syb", inst).Answers)
+				return append(perfect(inst, 2), swarm...)
+			},
+			Honest: []int{0, 1},
+			Econ:   sybilSpec("dominant", "syb", []int{2, 3, 4}),
+		},
+		{
+			Name:        "sybil-stingy",
+			Description: "the same three-address sybil under a stingy reward; multiplying identities multiplies only the costs, never the per-stream audit odds",
+			Quota:       5,
+			Budget:      41, // reward 41/5 = 8: below every strategy's break-even
+			Lineup: func(inst *task.Instance, _ *rand.Rand) []worker.Model {
+				swarm := worker.SybilSwarm("syb", 3, goldenWrongModel("syb", inst).Answers)
+				return append(perfect(inst, 2), swarm...)
+			},
+			Honest: []int{0, 1},
+			Econ:   sybilSpec("stingy", "syb", []int{2, 3, 4}),
 		},
 		{
 			Name:        "rushing",

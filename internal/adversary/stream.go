@@ -59,14 +59,7 @@ func (s Scenario) RunStream(m int, opts Options) (*Report, error) {
 			Policy:    s.Policy,
 			Requester: reqAddr,
 		}
-		reports[i] = TaskReport{
-			ID:           inst.Task.ID,
-			Requester:    reqAddr,
-			Budget:       inst.Task.Budget,
-			Quota:        s.Quota,
-			Honest:       s.Honest,
-			ExpectCancel: s.ExpectCancel,
-		}
+		reports[i] = s.taskReport(inst, reqAddr)
 		minted += inst.Task.Budget * 2
 	}
 	minted += ledger.Amount(len(population)) * opts.WorkerBalance
@@ -191,14 +184,7 @@ func RunMatrixStream(scenarios []Scenario, opts Options, prune bool) (*Report, e
 			Policy:    s.Policy,
 			Requester: reqAddr,
 		}
-		reports[i] = TaskReport{
-			ID:           inst.Task.ID,
-			Requester:    reqAddr,
-			Budget:       inst.Task.Budget,
-			Quota:        s.Quota,
-			Honest:       s.Honest,
-			ExpectCancel: s.ExpectCancel,
-		}
+		reports[i] = s.taskReport(inst, reqAddr)
 		minted += inst.Task.Budget * 2
 	}
 	minted += ledger.Amount(len(population)) * opts.WorkerBalance

@@ -1,0 +1,224 @@
+package incentive
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestValidateTypedErrors pins the typed error each degenerate parameter
+// boundary yields, so callers can dispatch with errors.Is.
+func TestValidateTypedErrors(t *testing.T) {
+	valid := Params{NumGolden: 5, Threshold: 4, RangeSize: 3, Reward: 100, SubmitCost: 1}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		want   error
+	}{
+		{"zero golden", func(p *Params) { p.NumGolden = 0 }, ErrNoGolden},
+		{"negative golden", func(p *Params) { p.NumGolden = -1 }, ErrNoGolden},
+		{"too many golden", func(p *Params) { p.NumGolden = maxGolden + 1 }, ErrTooManyGolden},
+		{"negative threshold", func(p *Params) { p.Threshold = -1 }, ErrBadThreshold},
+		{"threshold above golden", func(p *Params) { p.Threshold = 6 }, ErrBadThreshold},
+		{"range one", func(p *Params) { p.RangeSize = 1 }, ErrDegenerateRange},
+		{"range zero", func(p *Params) { p.RangeSize = 0 }, ErrDegenerateRange},
+		{"negative reward", func(p *Params) { p.Reward = -1 }, ErrBadAmount},
+		{"NaN reward", func(p *Params) { p.Reward = math.NaN() }, ErrBadAmount},
+		{"infinite reward", func(p *Params) { p.Reward = math.Inf(1) }, ErrBadAmount},
+		{"negative submit cost", func(p *Params) { p.SubmitCost = -1 }, ErrBadAmount},
+		{"NaN submit cost", func(p *Params) { p.SubmitCost = math.NaN() }, ErrBadAmount},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := valid
+			tc.mutate(&p)
+			if err := p.Validate(); !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestAcceptProbabilityBoundaries exercises the degenerate boundaries the
+// scenario fuzzer generates: Θ=0, Θ=|G|, accuracy 0/1 (and beyond, and
+// NaN), and parameter shapes that used to overflow the int64 binomial.
+func TestAcceptProbabilityBoundaries(t *testing.T) {
+	base := Params{NumGolden: 5, Threshold: 4, RangeSize: 3, Reward: 100, SubmitCost: 1}
+	cases := []struct {
+		name     string
+		p        Params
+		accuracy float64
+		want     float64
+	}{
+		{"threshold zero accepts everyone", withThreshold(base, 0), 0, 1},
+		{"threshold zero even a bot", withThreshold(base, 0), 1.0 / 3, 1},
+		{"threshold |G| needs perfection from accuracy 1", withThreshold(base, 5), 1, 1},
+		{"threshold |G| at accuracy .5", withThreshold(base, 5), 0.5, math.Pow(0.5, 5)},
+		{"accuracy 0 never passes a positive bar", base, 0, 0},
+		{"accuracy 1 always passes", base, 1, 1},
+		{"accuracy below 0 clamps", base, -3, 0},
+		{"accuracy above 1 clamps", base, 7, 1},
+		{"NaN accuracy clamps to 0", base, math.NaN(), 0},
+		{"invalid params give 0", withThreshold(base, -1), 0.9, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := AcceptProbability(tc.p, tc.accuracy)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("AcceptProbability = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func withThreshold(p Params, th int) Params {
+	p.Threshold = th
+	return p
+}
+
+// TestAcceptProbabilityLargeGolden covers the log-gamma path: golden counts
+// far past the int64-binomial overflow point must still give finite, sane,
+// monotone probabilities. (The old integer path overflowed near |G| ≈ 62
+// and could return probabilities outside [0,1].)
+func TestAcceptProbabilityLargeGolden(t *testing.T) {
+	for _, n := range []int{100, 500, 10000} {
+		p := Params{NumGolden: n, Threshold: n/2 + n/20, RangeSize: 3, Reward: 100}
+		lo := AcceptProbability(p, 0.5)
+		hi := AcceptProbability(p, 0.6)
+		for _, v := range []float64{lo, hi} {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				t.Fatalf("|G|=%d: probability %v outside [0,1]", n, v)
+			}
+		}
+		if hi <= lo {
+			t.Fatalf("|G|=%d: tail not monotone in accuracy (%v at .5, %v at .6)", n, lo, hi)
+		}
+		// A bar above the mean must be a strict minority event, and one at
+		// the mean a near-certainty from above.
+		if lo > 0.5 {
+			t.Fatalf("|G|=%d: above-mean tail %v too large", n, lo)
+		}
+		if hi < 0.5 {
+			t.Fatalf("|G|=%d: below-mean tail %v too small", n, hi)
+		}
+	}
+	// Exact cross-check at the boundary of the integer path: C(62,31) and
+	// friends must match the log-gamma evaluation closely.
+	small := Params{NumGolden: 59, Threshold: 30, RangeSize: 2, Reward: 1}
+	big := Params{NumGolden: 61, Threshold: 31, RangeSize: 2, Reward: 1}
+	// Symmetric binomial at p=.5: P[X ≥ ceil(n/2)] for odd n is exactly .5.
+	if got := AcceptProbability(small, 0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("exact path: symmetric tail %v, want 0.5", got)
+	}
+	if got := AcceptProbability(big, 0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("lgamma path: symmetric tail %v, want 0.5", got)
+	}
+}
+
+// TestMinimalRewardBoundaries pins the typed errors at every boundary the
+// fuzzer reaches, and that every successful solve is finite and actually
+// dominant.
+func TestMinimalRewardBoundaries(t *testing.T) {
+	base := Params{NumGolden: 5, Threshold: 4, RangeSize: 3, SubmitCost: 1}
+	errCases := []struct {
+		name     string
+		p        Params
+		accuracy float64
+		effort   float64
+		want     error
+	}{
+		{"threshold zero has no separating reward", withThreshold(base, 0), 0.95, 20, ErrNoDominantReward},
+		{"accuracy 0 loses to the bot", base, 0, 20, ErrNoDominantReward},
+		{"accuracy equal to guessing", base, 1.0 / 3, 20, ErrNoDominantReward},
+		{"below-guessing accuracy", base, 0.1, 20, ErrNoDominantReward},
+		{"NaN accuracy", base, math.NaN(), 20, ErrBadStrategy},
+		{"negative effort", base, 0.95, -1, ErrBadStrategy},
+		{"NaN effort", base, 0.95, math.NaN(), ErrBadStrategy},
+		{"infinite effort", base, 0.95, math.Inf(1), ErrBadStrategy},
+		{"huge effort overflows", base, 1.0/3 + 1e-9, math.MaxFloat64, ErrNoDominantReward},
+		{"invalid params propagate", withThreshold(base, 9), 0.95, 20, ErrBadThreshold},
+	}
+	for _, tc := range errCases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := MinimalReward(tc.p, tc.accuracy, tc.effort); !errors.Is(err, tc.want) {
+				t.Fatalf("MinimalReward err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	okCases := []struct {
+		name     string
+		p        Params
+		accuracy float64
+		effort   float64
+	}{
+		{"typical", base, 0.95, 20},
+		{"threshold equals |G|", withThreshold(base, 5), 0.95, 20},
+		{"accuracy 1", base, 1, 20},
+		{"zero costs still strictly dominant", Params{NumGolden: 5, Threshold: 4, RangeSize: 3}, 1, 0},
+		{"large golden (lgamma path)", Params{NumGolden: 200, Threshold: 110, RangeSize: 2, SubmitCost: 1}, 0.8, 50},
+	}
+	for _, tc := range okCases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := MinimalReward(tc.p, tc.accuracy, tc.effort)
+			if err != nil {
+				t.Fatalf("MinimalReward: %v", err)
+			}
+			if math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+				t.Fatalf("MinimalReward = %v, want finite positive", r)
+			}
+			q := tc.p
+			q.Reward = r
+			if !HonestDominates(q, tc.accuracy, tc.effort) {
+				t.Fatalf("reward %v from the solver is not dominant", r)
+			}
+			if got := Decide(q, tc.accuracy, tc.effort); got != ChoiceHonest {
+				t.Fatalf("Decide at the solver's reward = %v, want honest", got)
+			}
+		})
+	}
+}
+
+// TestDecide pins the rational action in each reward regime, including the
+// tie-breaking rules.
+func TestDecide(t *testing.T) {
+	p := Params{NumGolden: 5, Threshold: 4, RangeSize: 3, SubmitCost: 1}
+	generous, stingy := p, p
+	generous.Reward = 332
+	stingy.Reward = 10
+
+	if got := Decide(generous, 1, 20); got != ChoiceHonest {
+		t.Fatalf("eager worker under a generous reward: %v, want honest", got)
+	}
+	// Effort so expensive that guessing beats working but still pays.
+	if got := Decide(generous, 1, 400); got != ChoiceGuess {
+		t.Fatalf("lazy worker under a generous reward: %v, want guess", got)
+	}
+	if got := Decide(stingy, 1, 20); got != ChoiceAbstain {
+		t.Fatalf("eager worker under a stingy reward: %v, want abstain", got)
+	}
+	if got := Decide(stingy, 1, 400); got != ChoiceAbstain {
+		t.Fatalf("lazy worker under a stingy reward: %v, want abstain", got)
+	}
+	// Ill-posed terms: a rational worker abstains rather than guesses.
+	bad := generous
+	bad.RangeSize = 1
+	if got := Decide(bad, 1, 20); got != ChoiceAbstain {
+		t.Fatalf("ill-posed params: %v, want abstain", got)
+	}
+	// Zero-utility tie goes to abstention (honest must be strictly
+	// positive to be chosen).
+	exact := p
+	exact.SubmitCost = 0
+	exact.Reward = 0
+	if got := Decide(exact, 1, 0); got != ChoiceAbstain {
+		t.Fatalf("zero reward, zero cost: %v, want abstain", got)
+	}
+	for _, c := range []Choice{ChoiceHonest, ChoiceGuess, ChoiceAbstain} {
+		if c.String() == "" {
+			t.Fatalf("Choice %d has no name", c)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package incentive
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// typedParamError reports whether err is one of the package's typed
+// parameter/solver errors — the fuzz targets assert that no code path
+// invents an untyped failure.
+func typedParamError(err error) bool {
+	for _, want := range []error{
+		ErrNoGolden, ErrBadThreshold, ErrTooManyGolden, ErrDegenerateRange,
+		ErrBadAmount, ErrBadStrategy, ErrNoDominantReward,
+	} {
+		if errors.Is(err, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzRationalParams drives the incentive solvers over arbitrary parameter
+// and strategy space and asserts the analytic properties the rational
+// adversary engine relies on:
+//
+//   - AcceptProbability is always a finite probability in [0,1] and
+//     monotone (non-decreasing) in accuracy;
+//   - ExpectedUtility is never NaN on valid parameters;
+//   - every MinimalReward failure is a typed error, and every success is a
+//     finite reward under which HonestDominates holds and Decide picks
+//     honest effort.
+func FuzzRationalParams(f *testing.F) {
+	f.Add(5, 4, int64(3), 200.0, 1.0, 0.95, 20.0)    // the matrix task shape
+	f.Add(6, 4, int64(2), 1000.0, 50.0, 0.95, 100.0) // the ImageNet example
+	f.Add(5, 0, int64(3), 100.0, 1.0, 0.95, 20.0)    // Θ=0: everyone accepted
+	f.Add(5, 5, int64(3), 100.0, 1.0, 0.95, 20.0)    // Θ=|G|: perfection bar
+	f.Add(5, 4, int64(3), 100.0, 1.0, 0.0, 20.0)     // accuracy 0
+	f.Add(5, 4, int64(3), 100.0, 1.0, 1.0, 20.0)     // accuracy 1
+	f.Add(5, 4, int64(1), 100.0, 1.0, 0.95, 20.0)    // one-option range
+	f.Add(100, 55, int64(3), 100.0, 1.0, 0.6, 20.0)  // past the int64 binomial
+	f.Add(0, 0, int64(3), 100.0, 1.0, 0.95, 20.0)    // no golden standards
+	f.Add(5, 4, int64(3), -7.0, 1.0, 0.95, 20.0)     // negative reward
+	f.Add(5, 4, int64(3), 100.0, 1.0, 0.95, 0.0)     // zero effort
+	f.Add(5, 4, int64(3), 1e308, 1e308, 0.5, 1e308)  // float64 edge
+	f.Fuzz(func(t *testing.T, numGolden, threshold int, rangeSize int64,
+		reward, submit, accuracy, effort float64) {
+		p := Params{
+			NumGolden: numGolden, Threshold: threshold, RangeSize: rangeSize,
+			Reward: reward, SubmitCost: submit,
+		}
+		if err := p.Validate(); err != nil {
+			if !typedParamError(err) {
+				t.Fatalf("untyped validation error: %v", err)
+			}
+			if AcceptProbability(p, accuracy) != 0 {
+				t.Fatalf("invalid params accepted with positive probability")
+			}
+			return
+		}
+
+		pa := AcceptProbability(p, accuracy)
+		if math.IsNaN(pa) || pa < 0 || pa > 1 {
+			t.Fatalf("AcceptProbability(%+v, %v) = %v outside [0,1]", p, accuracy, pa)
+		}
+		for _, delta := range []float64{0.01, 0.1, 0.5} {
+			hi := AcceptProbability(p, accuracy+delta)
+			if math.IsNaN(hi) || hi+1e-9 < pa {
+				t.Fatalf("tail not monotone: %v at %v but %v at +%v", pa, accuracy, hi, delta)
+			}
+		}
+
+		if u := ExpectedUtility(p, Honest(accuracy, 0)); math.IsNaN(u) {
+			t.Fatalf("ExpectedUtility NaN at accuracy %v", accuracy)
+		}
+
+		r, err := MinimalReward(p, accuracy, effort)
+		if err != nil {
+			if !typedParamError(err) {
+				t.Fatalf("untyped MinimalReward error: %v", err)
+			}
+			return
+		}
+		if math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+			t.Fatalf("MinimalReward = %v, want finite positive", r)
+		}
+		q := p
+		q.Reward = r
+		if q.Validate() != nil {
+			// The solved reward can exceed the finite-amount bound only by
+			// being infinite, which was excluded above.
+			t.Fatalf("solved reward %v fails validation", r)
+		}
+		if !HonestDominates(q, accuracy, effort) {
+			t.Fatalf("solver reward %v not dominant for accuracy %v effort %v under %+v", r, accuracy, effort, p)
+		}
+		if got := Decide(q, accuracy, effort); got != ChoiceHonest {
+			t.Fatalf("Decide at solver reward = %v, want honest", got)
+		}
+	})
+}

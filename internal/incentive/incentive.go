@@ -12,6 +12,11 @@
 //   - a zero-effort bot passes the quality bar only with the binomial tail
 //     probability of guessing Θ of |G| golden standards;
 //   - an honest worker of accuracy p passes with the binomial tail at p.
+//
+// The solver entry points (MinimalReward, Decide) are hardened for
+// property-based fuzzing: every degenerate boundary (Θ=0, Θ=|G|, accuracy
+// 0/1, one-option ranges, huge |G|, non-finite amounts) yields a typed
+// error or a well-defined clamped value, never NaN or ±Inf.
 package incentive
 
 import (
@@ -19,6 +24,35 @@ import (
 	"fmt"
 	"math"
 )
+
+// Typed parameter and solver errors, so callers (and the scenario fuzzer)
+// can distinguish boundary conditions with errors.Is.
+var (
+	// ErrNoGolden: the task has no golden-standard questions, so the audit
+	// cannot distinguish effort levels.
+	ErrNoGolden = errors.New("incentive: no golden standards")
+	// ErrBadThreshold: Θ outside [0, |G|].
+	ErrBadThreshold = errors.New("incentive: threshold out of range")
+	// ErrTooManyGolden: |G| beyond the solver's sane bound (the binomial
+	// tail loop is linear in |G|).
+	ErrTooManyGolden = errors.New("incentive: unreasonably many golden standards")
+	// ErrDegenerateRange: fewer than two options per question, so guessing
+	// is always "correct" and no audit separates strategies.
+	ErrDegenerateRange = errors.New("incentive: degenerate option range")
+	// ErrBadAmount: a negative or non-finite reward or submission cost.
+	ErrBadAmount = errors.New("incentive: negative or non-finite amount")
+	// ErrBadStrategy: a non-finite accuracy or a negative/non-finite effort
+	// cost handed to a solver.
+	ErrBadStrategy = errors.New("incentive: non-finite strategy accuracy or cost")
+	// ErrNoDominantReward: no finite reward makes honest effort strictly
+	// dominant (e.g. Θ=0 accepts everyone, or the accuracy is no better
+	// than guessing).
+	ErrNoDominantReward = errors.New("incentive: no finite reward makes honest effort dominant")
+)
+
+// maxGolden bounds |G| in Validate: the tail sum is a loop over Θ..|G|, so
+// an absurd golden count is rejected rather than ground through.
+const maxGolden = 1 << 20
 
 // Params fixes the task's incentive environment.
 type Params struct {
@@ -35,19 +69,28 @@ type Params struct {
 	SubmitCost float64
 }
 
-// Validate checks the parameters.
+// Validate checks the parameters, returning a typed error (ErrNoGolden,
+// ErrBadThreshold, ErrTooManyGolden, ErrDegenerateRange, ErrBadAmount) on
+// the first violation.
 func (p Params) Validate() error {
 	if p.NumGolden <= 0 {
-		return errors.New("incentive: no golden standards")
+		return ErrNoGolden
+	}
+	if p.NumGolden > maxGolden {
+		return fmt.Errorf("%w: %d", ErrTooManyGolden, p.NumGolden)
 	}
 	if p.Threshold < 0 || p.Threshold > p.NumGolden {
-		return fmt.Errorf("incentive: threshold %d out of [0,%d]", p.Threshold, p.NumGolden)
+		return fmt.Errorf("%w: %d not in [0,%d]", ErrBadThreshold, p.Threshold, p.NumGolden)
 	}
 	if p.RangeSize <= 1 {
-		return errors.New("incentive: degenerate range")
+		return fmt.Errorf("%w: %d options", ErrDegenerateRange, p.RangeSize)
 	}
-	if p.Reward < 0 || p.SubmitCost < 0 {
-		return errors.New("incentive: negative amounts")
+	// The negated comparisons also reject NaN (NaN >= 0 is false).
+	if !(p.Reward >= 0) || math.IsInf(p.Reward, 0) {
+		return fmt.Errorf("%w: reward %v", ErrBadAmount, p.Reward)
+	}
+	if !(p.SubmitCost >= 0) || math.IsInf(p.SubmitCost, 0) {
+		return fmt.Errorf("%w: submit cost %v", ErrBadAmount, p.SubmitCost)
 	}
 	return nil
 }
@@ -88,28 +131,65 @@ func CopyPaste() Strategy {
 
 // AcceptProbability is the probability that a worker of the given
 // per-question accuracy clears the quality bar: the binomial upper tail
-// P[Bin(|G|, accuracy) ≥ Θ].
+// P[Bin(|G|, accuracy) ≥ Θ]. The accuracy is clamped to [0,1] (NaN clamps
+// to 0); the result is always a finite probability in [0,1], and 0 when
+// the parameters are invalid.
 func AcceptProbability(p Params, accuracy float64) float64 {
 	if err := p.Validate(); err != nil {
 		return 0
 	}
-	if accuracy < 0 {
+	if !(accuracy >= 0) {
 		accuracy = 0
 	}
 	if accuracy > 1 {
 		accuracy = 1
 	}
+	if p.Threshold == 0 {
+		// The whole distribution: exactly 1 for every accuracy (summing the
+		// PMF would leave an ulp-sized residue that downstream dominance
+		// comparisons could mistake for a real gap).
+		return 1
+	}
 	total := 0.0
 	for k := p.Threshold; k <= p.NumGolden; k++ {
 		total += binomPMF(p.NumGolden, k, accuracy)
 	}
+	if total > 1 {
+		total = 1 // summation wiggle
+	}
 	return total
 }
 
+// binomPMF is P[Bin(n,p) = k]. Small n uses exact integer binomials; large
+// n switches to log-gamma so the coefficient never overflows int64 (the
+// old int64 path silently overflowed past n ≈ 62 and could return garbage
+// probabilities).
 func binomPMF(n, k int, p float64) float64 {
-	return float64(choose(n, k)) * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	if n <= 60 {
+		return float64(choose(n, k)) * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+	}
+	lg := lgammaInt(n+1) - lgammaInt(k+1) - lgammaInt(n-k+1) +
+		float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(lg)
 }
 
+// choose is the exact binomial coefficient for n ≤ 60 (the multiplicative
+// loop's largest intermediate, C(60,30)·30, stays inside int64).
 func choose(n, k int) int64 {
 	if k < 0 || k > n {
 		return 0
@@ -122,6 +202,12 @@ func choose(n, k int) int64 {
 		c = c * int64(n-i) / int64(i+1)
 	}
 	return c
+}
+
+// lgammaInt is ln Γ(x) for positive integer x.
+func lgammaInt(x int) float64 {
+	v, _ := math.Lgamma(float64(x))
+	return v
 }
 
 // ExpectedUtility is the strategy's expected payoff:
@@ -160,21 +246,98 @@ func HonestDominates(p Params, accuracy, effortCost float64) bool {
 }
 
 // MinimalReward returns the smallest reward making honest effort (at the
-// given accuracy/cost) strictly dominant, or an error if no finite reward
-// works (e.g. the bot's acceptance probability is at least the honest
-// one's).
+// given accuracy/cost) strictly dominant. Errors are typed: parameter
+// violations propagate from Validate, non-finite strategy inputs return
+// ErrBadStrategy, and boundaries where no finite reward separates honest
+// effort from guessing (Θ=0 accepts everyone; accuracy at or below 1/range;
+// costs overflowing float64) return ErrNoDominantReward. A successful
+// result R is finite and satisfies HonestDominates with Reward=R exactly —
+// including at zero costs, where a strictly positive floor keeps the
+// dominance strict.
 func MinimalReward(p Params, accuracy, effortCost float64) (float64, error) {
 	if err := p.Validate(); err != nil {
 		return 0, err
 	}
+	if math.IsNaN(accuracy) || math.IsInf(accuracy, 0) {
+		return 0, fmt.Errorf("%w: accuracy %v", ErrBadStrategy, accuracy)
+	}
+	if !(effortCost >= 0) || math.IsInf(effortCost, 0) {
+		return 0, fmt.Errorf("%w: effort cost %v", ErrBadStrategy, effortCost)
+	}
 	pa := AcceptProbability(p, accuracy)
 	pb := AcceptProbability(p, 1/float64(p.RangeSize))
 	if pa <= pb {
-		return 0, fmt.Errorf("incentive: accuracy %.2f accepted no more often than guessing", accuracy)
+		return 0, fmt.Errorf("%w: accuracy %.3g accepted no more often than guessing", ErrNoDominantReward, accuracy)
 	}
 	// Against the bot: R·pa − cost − submit > R·pb − submit.
 	vsBot := effortCost / (pa - pb)
 	// Against not participating: R·pa − cost − submit > 0.
 	vsOut := (effortCost + p.SubmitCost) / pa
-	return math.Max(vsBot, vsOut) * 1.0000001, nil
+	// A relative margin keeps the dominance strict through float rounding;
+	// the absolute floor keeps it strict even at zero costs (pa > pb, so
+	// any positive reward separates the two acceptance probabilities).
+	r := math.Max(vsBot, vsOut)*(1+1e-7) + 1e-9
+	if math.IsInf(r, 0) || math.IsNaN(r) {
+		return 0, fmt.Errorf("%w: costs overflow float64", ErrNoDominantReward)
+	}
+	// Self-verify: when pa−pb is only an ulp-sized residue the solved
+	// reward is so large that the utility comparison cancels at float64
+	// precision — dominance holds on paper but not in arithmetic, and the
+	// honest answer is that no representable reward works.
+	q := p
+	q.Reward = r
+	if !HonestDominates(q, accuracy, effortCost) {
+		return 0, fmt.Errorf("%w: dominance margin below float64 precision at reward %g", ErrNoDominantReward, r)
+	}
+	return r, nil
+}
+
+// Choice is the action a rational worker selects once it has seen a task's
+// posted terms.
+type Choice int
+
+// The rational worker's action space.
+const (
+	// ChoiceAbstain: no participating strategy has positive expected
+	// utility, so the worker stays out (utility 0).
+	ChoiceAbstain Choice = iota
+	// ChoiceGuess: zero-effort uniform guessing pays better than honest
+	// effort and better than abstention.
+	ChoiceGuess
+	// ChoiceHonest: honest effort is the (weakly) best response.
+	ChoiceHonest
+)
+
+// String names the choice for reports.
+func (c Choice) String() string {
+	switch c {
+	case ChoiceHonest:
+		return "honest"
+	case ChoiceGuess:
+		return "guess"
+	default:
+		return "abstain"
+	}
+}
+
+// Decide returns the utility-maximizing action for a worker able to reach
+// the given accuracy at the given effort cost: honest effort, zero-effort
+// guessing, or abstaining (utility exactly 0). Ties break toward honesty
+// over guessing and toward abstention at zero; ill-posed parameters make a
+// rational worker abstain — it never commits to a task whose terms it
+// cannot evaluate.
+func Decide(p Params, accuracy, effortCost float64) Choice {
+	if p.Validate() != nil {
+		return ChoiceAbstain
+	}
+	honest := ExpectedUtility(p, Honest(accuracy, effortCost))
+	guess := ExpectedUtility(p, Bot(p.RangeSize))
+	switch {
+	case honest >= guess && honest > 0:
+		return ChoiceHonest
+	case guess > 0:
+		return ChoiceGuess
+	default:
+		return ChoiceAbstain
+	}
 }

@@ -137,14 +137,15 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 		m := cfg.Population[pi]
 		t.models[i] = m
 		t.addrs[i] = cfg.PopAddrs[pi]
-		var fn protocol.AnswerFn
-		if m.Answers != nil {
-			i, m, t := i, m, t
-			fn = func(qs []task.Question, rangeSize int64) []int64 {
-				if t.answers[i] == nil {
-					t.answers[i] = m.Answers(qs, rangeSize)
-				}
-				return t.answers[i]
+		fn := t.record(i, m.Answers)
+		var rb *protocol.RationalBehaviour
+		if m.Rational != nil {
+			// A rational model's two candidate streams record into the same
+			// slot: whichever the worker plays is what the snapshot keeps.
+			rb = &protocol.RationalBehaviour{
+				Profile: m.Rational.Profile,
+				Honest:  t.record(i, m.Rational.Honest),
+				Guess:   t.record(i, m.Rational.Guess),
 			}
 		}
 		// Each enrollment draws from a private per-task stream labelled
@@ -160,6 +161,7 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 			ContractID: id,
 			Strategy:   m.Strategy,
 			AnswerFn:   fn,
+			Rational:   rb,
 			Rand:       drbg.New(cfg.Seed, fmt.Sprintf("worker-%d-%s", i, m.Name)),
 		})
 		if err != nil {
@@ -168,6 +170,21 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 		t.clients[i] = w
 	}
 	return t, nil
+}
+
+// record wraps an answer stream so its first resolution is cached into the
+// task's per-enrollment answer record (snapshot/restore reads it back, and a
+// restored task never re-consumes a model's — possibly shared — rng).
+func (t *Runtime) record(i int, produce protocol.AnswerFn) protocol.AnswerFn {
+	if produce == nil {
+		return nil
+	}
+	return func(qs []task.Question, rangeSize int64) []int64 {
+		if t.answers[i] == nil {
+			t.answers[i] = produce(qs, rangeSize)
+		}
+		return t.answers[i]
+	}
 }
 
 // ID returns the task (and contract) identifier.

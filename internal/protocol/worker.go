@@ -10,6 +10,7 @@ import (
 	"dragoon/internal/contract"
 	"dragoon/internal/elgamal"
 	"dragoon/internal/group"
+	"dragoon/internal/incentive"
 	"dragoon/internal/ledger"
 	"dragoon/internal/poqoea"
 	"dragoon/internal/swarm"
@@ -58,7 +59,75 @@ const (
 	// adversarial one-round delay pushes it past the deadline and the
 	// commit reverts.
 	StrategyLateCommit
+	// StrategyRational plays the paper's rational worker: when it first
+	// observes the task's posted terms (reward B/K, threshold Θ, option
+	// range) it computes the expected utility of honest effort, zero-effort
+	// guessing and abstention under its private economic profile
+	// (accuracy, costs, knowledge of |G|) and follows the maximizing
+	// action for the rest of the run — committing its honest stream, its
+	// guess stream, or nothing at all. Requires WorkerConfig.Rational.
+	StrategyRational
+	// StrategyCollude marks one member of a collusion ring: protocol
+	// mechanics stay honest (own commitment, own encryption, own reveal)
+	// but the plaintext answer stream is produced once and shared by the
+	// whole ring (see package worker's CollusionRing), so the coalition
+	// spends the answering effort once and splits the payoff. The
+	// golden-standard audit grades every member by that one stream, which
+	// is what makes effort-skipping rings unprofitable.
+	StrategyCollude
+	// StrategySybil marks one address of a sybil principal: a single
+	// actor enrolling under many chain addresses, each submitting the same
+	// shared answer stream under its own commitment (see package worker's
+	// SybilSwarm). Per-address enrollment multiplies the principal's
+	// submission costs, not its audit odds.
+	StrategySybil
 )
+
+// RationalProfile is a rational worker's private economic type: what
+// honest effort costs it, what accuracy that effort buys, the fixed cost
+// of participating at all, and its knowledge of the golden-standard count
+// (|G| is posted with the off-chain task description; the on-chain publish
+// hides it inside the golden commitment).
+type RationalProfile struct {
+	// Accuracy is the per-question correctness probability honest effort
+	// achieves.
+	Accuracy float64
+	// EffortCost is the cost of answering at that accuracy.
+	EffortCost float64
+	// SubmitCost is the fixed participation cost (commit + reveal gas), in
+	// the same unit as the reward.
+	SubmitCost float64
+	// NumGolden is the worker's belief about |G|. Zero falls back to the
+	// posted threshold Θ (the smallest |G| consistent with the contract).
+	NumGolden int
+}
+
+// Params assembles the incentive environment the profile faces under a
+// task's posted terms.
+func (rp RationalProfile) Params(published *contract.PublishMsg) incentive.Params {
+	g := rp.NumGolden
+	if g == 0 {
+		g = published.Threshold
+	}
+	return incentive.Params{
+		NumGolden:  g,
+		Threshold:  published.Threshold,
+		RangeSize:  published.RangeSize,
+		Reward:     float64(contract.RewardOf(published)),
+		SubmitCost: rp.SubmitCost,
+	}
+}
+
+// RationalBehaviour equips a rational worker with its economic profile and
+// the two answer streams it can play.
+type RationalBehaviour struct {
+	// Profile is the worker's private economic type.
+	Profile RationalProfile
+	// Honest produces the effortful answers (accuracy Profile.Accuracy).
+	Honest AnswerFn
+	// Guess produces the zero-effort answers (uniform guessing).
+	Guess AnswerFn
+}
 
 // Worker is the off-chain worker client.
 type Worker struct {
@@ -72,6 +141,13 @@ type Worker struct {
 	contractID ledger.ContractID
 	strategy   WorkerStrategy
 	answerFn   AnswerFn
+
+	// rational holds the economic behaviour of a StrategyRational worker;
+	// choice/decided latch its one-time utility-maximizing decision, made
+	// when the posted terms are first observed.
+	rational *RationalBehaviour
+	choice   incentive.Choice
+	decided  bool
 
 	committed bool
 	revealed  bool
@@ -99,8 +175,11 @@ type WorkerConfig struct {
 	ContractID ledger.ContractID
 	Strategy   WorkerStrategy
 	// AnswerFn decides the answers (required unless the strategy never
-	// answers).
+	// answers, or is rational — see Rational).
 	AnswerFn AnswerFn
+	// Rational supplies a StrategyRational worker's profile and answer
+	// streams (required for, and only consulted by, that strategy).
+	Rational *RationalBehaviour
 	// Rand supplies protocol randomness (crypto/rand if nil).
 	Rand io.Reader
 }
@@ -110,7 +189,11 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Strategy == 0 {
 		cfg.Strategy = StrategyHonest
 	}
-	if cfg.AnswerFn == nil && cfg.Strategy != StrategyCopyCommit {
+	if cfg.Strategy == StrategyRational {
+		if cfg.Rational == nil || cfg.Rational.Honest == nil || cfg.Rational.Guess == nil {
+			return nil, errors.New("protocol: rational worker needs a RationalBehaviour with both answer streams")
+		}
+	} else if cfg.AnswerFn == nil && cfg.Strategy != StrategyCopyCommit {
 		return nil, errors.New("protocol: worker needs an AnswerFn")
 	}
 	return &Worker{
@@ -122,6 +205,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		contractID: cfg.ContractID,
 		strategy:   cfg.Strategy,
 		answerFn:   cfg.AnswerFn,
+		rational:   cfg.Rational,
 		obs:        newViewObserver(cfg.Chain, cfg.ContractID),
 	}, nil
 }
@@ -150,8 +234,10 @@ func (w *Worker) Step() error {
 // the prepared vector and performs only per-worker crypto. Prepare is
 // optional: an unprepared StepTxs resolves the answers itself.
 func (w *Worker) Prepare() error {
-	if w.committed || w.preparedAnswers != nil || w.answerFn == nil ||
-		w.strategy == StrategyCopyCommit {
+	if w.committed || w.preparedAnswers != nil || w.strategy == StrategyCopyCommit {
+		return nil
+	}
+	if w.strategy != StrategyRational && w.answerFn == nil {
 		return nil
 	}
 	view, err := w.obs.refresh()
@@ -161,6 +247,12 @@ func (w *Worker) Prepare() error {
 	if view.publishedParams == nil {
 		return nil
 	}
+	fn := w.answerFn
+	if w.strategy == StrategyRational {
+		if fn = w.rationalAnswerFn(view.publishedParams); fn == nil {
+			return nil // the utility calculus says abstain
+		}
+	}
 	questions, err := w.fetchQuestions(view.publishedParams)
 	if err != nil {
 		// The content is not (yet) in off-chain storage, or fails its
@@ -169,8 +261,29 @@ func (w *Worker) Prepare() error {
 		// never commits to questions it could not verify.
 		return nil
 	}
-	w.preparedAnswers = w.answerFn(questions, view.publishedParams.RangeSize)
+	w.preparedAnswers = fn(questions, view.publishedParams.RangeSize)
 	return nil
+}
+
+// rationalAnswerFn latches the rational worker's one-time decision under
+// the posted terms and returns the answer stream it plays (nil when it
+// abstains). The decision is pure arithmetic over on-chain terms and the
+// private profile, so every harness — and every parallelism level —
+// computes the same choice at the same observation point.
+func (w *Worker) rationalAnswerFn(params *contract.PublishMsg) AnswerFn {
+	if !w.decided {
+		p := w.rational.Profile.Params(params)
+		w.choice = incentive.Decide(p, w.rational.Profile.Accuracy, w.rational.Profile.EffortCost)
+		w.decided = true
+	}
+	switch w.choice {
+	case incentive.ChoiceGuess:
+		return w.rational.Guess
+	case incentive.ChoiceHonest:
+		return w.rational.Honest
+	default:
+		return nil
+	}
 }
 
 // StepTxs advances the worker one clock round and returns the transactions
@@ -261,6 +374,15 @@ func (w *Worker) commitTxs(view *chainView) ([]*chain.Tx, error) {
 		return nil, nil
 	}
 
+	fn := w.answerFn
+	if w.strategy == StrategyRational {
+		if fn = w.rationalAnswerFn(params); fn == nil {
+			// Abstain: negative expected utility at the posted reward, so
+			// the rational worker never commits (and, if the quota depends
+			// on it, the task starves and cancels).
+			return nil, nil
+		}
+	}
 	answers := w.preparedAnswers
 	w.preparedAnswers = nil
 	if answers == nil {
@@ -270,7 +392,7 @@ func (w *Worker) commitTxs(view *chainView) ([]*chain.Tx, error) {
 			// retry next round rather than committing blind (see Prepare).
 			return nil, nil
 		}
-		answers = w.answerFn(questions, params.RangeSize)
+		answers = fn(questions, params.RangeSize)
 	}
 	if len(answers) != params.N {
 		return nil, fmt.Errorf("protocol: behaviour produced %d answers, want %d", len(answers), params.N)

@@ -1,11 +1,14 @@
 // Package worker provides worker behaviour models for experiments and
 // security tests: honest workers of configurable accuracy, low-effort bots,
-// out-of-range submitters, non-revealers, and the copy-paste free-rider the
-// paper's confidentiality requirement exists to defeat. Models are
-// deterministic given a seeded rng, so every experiment is reproducible.
+// out-of-range submitters, non-revealers, the copy-paste free-rider the
+// paper's confidentiality requirement exists to defeat, and the economic
+// adversaries of the paper's incentive analysis — rational workers,
+// collusion rings and sybil swarms. Models are deterministic given a
+// seeded rng, so every experiment is reproducible.
 package worker
 
 import (
+	"fmt"
 	"math/rand"
 
 	"dragoon/internal/protocol"
@@ -22,6 +25,9 @@ type Model struct {
 	// Answers produces the plaintext answer vector (nil for strategies
 	// that never answer, like the commitment copier).
 	Answers protocol.AnswerFn
+	// Rational carries a StrategyRational model's economic profile and its
+	// two candidate answer streams (nil for every other strategy).
+	Rational *protocol.RationalBehaviour
 }
 
 // Accurate returns an honest worker who knows the ground truth and answers
@@ -152,4 +158,78 @@ func LateCommitter(name string, groundTruth []int64) Model {
 	m := Perfect(name, groundTruth)
 	m.Strategy = protocol.StrategyLateCommit
 	return m
+}
+
+// Rational returns the paper's rational worker: on first observing a
+// task's posted terms it weighs honest effort (ground truth at the
+// profile's accuracy), zero-effort guessing, and abstention, then plays
+// the utility-maximizing action. Accuracy 1 plays the exact ground truth;
+// lower accuracies draw errors from rng like Accurate; the guess stream
+// draws from rng like Bot.
+func Rational(name string, groundTruth []int64, profile protocol.RationalProfile, rng *rand.Rand) Model {
+	honest := Perfect(name, groundTruth).Answers
+	if profile.Accuracy < 1 {
+		honest = Accurate(name, groundTruth, profile.Accuracy, rng).Answers
+	}
+	return Model{
+		Name:     name,
+		Strategy: protocol.StrategyRational,
+		Rational: &protocol.RationalBehaviour{
+			Profile: profile,
+			Honest:  honest,
+			Guess:   Bot(name, rng).Answers,
+		},
+	}
+}
+
+// sharedStream wraps an answer function so the underlying work happens
+// once: the first caller resolves the answers, every later caller is
+// served the same vector — the "do the work once, submit it many times"
+// core of a coalition.
+func sharedStream(produce protocol.AnswerFn) protocol.AnswerFn {
+	var cached []int64
+	return func(qs []task.Question, rangeSize int64) []int64 {
+		if cached == nil {
+			cached = produce(qs, rangeSize)
+		}
+		return cached
+	}
+}
+
+// CollusionRing returns n colluding workers (named prefix0..prefix<n-1>)
+// who share ONE answer stream: the ring produces the answers once (via
+// stream) and every member submits that same vector under its own
+// commitment, encryption and reveal. The golden-standard audit grades the
+// one stream, so the ring's verdicts are all-or-nothing — an
+// effort-skipping ring fails together and splits nothing.
+func CollusionRing(prefix string, n int, stream protocol.AnswerFn) []Model {
+	shared := sharedStream(stream)
+	models := make([]Model, n)
+	for i := range models {
+		models[i] = Model{
+			Name:     fmt.Sprintf("%s%d", prefix, i),
+			Strategy: protocol.StrategyCollude,
+			Answers:  shared,
+		}
+	}
+	return models
+}
+
+// SybilSwarm returns n chain identities of ONE principal (named
+// principal-s0..principal-s<n-1>), each enrolling separately and each
+// submitting the principal's single shared answer stream under its own
+// commitment. Extra identities multiply the principal's submission costs,
+// not its audit odds: the stream's quality decides every address's fate
+// at once.
+func SybilSwarm(principal string, n int, stream protocol.AnswerFn) []Model {
+	shared := sharedStream(stream)
+	models := make([]Model, n)
+	for i := range models {
+		models[i] = Model{
+			Name:     fmt.Sprintf("%s-s%d", principal, i),
+			Strategy: protocol.StrategySybil,
+			Answers:  shared,
+		}
+	}
+	return models
 }

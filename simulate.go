@@ -125,6 +125,42 @@ func LateCommitWorker(name string, groundTruth []int64) WorkerModel {
 	return worker.LateCommitter(name, groundTruth)
 }
 
+// AnswerFunc produces a worker's plaintext answers for the fetched
+// questions — the behaviour slot of a WorkerModel.
+type AnswerFunc = protocol.AnswerFn
+
+// RationalProfile is a rational worker's private type: its accuracy under
+// honest effort, its effort and submission costs, and the golden count it
+// assumes when pricing a task.
+type RationalProfile = protocol.RationalProfile
+
+// RationalWorker is a utility-maximizing worker: it reads the published
+// task terms, computes its best response with DecideRational, and then
+// abstains, submits zero-effort guesses, or plays honestly at its profiled
+// accuracy — whichever maximizes expected utility. The decision latches on
+// first observation, so one run realizes one strategy.
+func RationalWorker(name string, groundTruth []int64, profile RationalProfile, rng *rand.Rand) WorkerModel {
+	return worker.Rational(name, groundTruth, profile, rng)
+}
+
+// CollusionRingWorkers builds n workers (prefix0..prefix<n-1>) that share
+// one cached answer stream — a coalition splitting one unit of effort
+// across n reward slots. The commit/reveal protocol makes the shared
+// stream visible to the audit, which accepts or rejects the whole ring
+// together.
+func CollusionRingWorkers(prefix string, n int, stream AnswerFunc) []WorkerModel {
+	return worker.CollusionRing(prefix, n, stream)
+}
+
+// SybilSwarmWorkers builds n distinct on-chain identities of one principal
+// (principal-s0..), all submitting the principal's single cached answer
+// stream — a sybil attack on the quota. Identity multiplication buys the
+// principal nothing: every identity still pays the audit with the same
+// stream.
+func SybilSwarmWorkers(principal string, n int, stream AnswerFunc) []WorkerModel {
+	return worker.SybilSwarm(principal, n, stream)
+}
+
 // PriceModel converts gas to US dollars.
 type PriceModel = gas.PriceModel
 
