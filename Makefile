@@ -37,7 +37,8 @@ race:
 		./internal/htlc ./internal/swarm ./internal/poqoea ./internal/batch \
 		./internal/qap ./internal/groth16 ./internal/bn254 \
 		./internal/elgamal ./internal/group ./internal/protocol \
-		./internal/commit ./internal/incentive ./internal/worker
+		./internal/commit ./internal/incentive ./internal/worker \
+		./internal/limb ./internal/ff
 
 # Regenerate the committed golden fingerprint files after an INTENTIONAL
 # protocol/gas/rng-order change (then commit the testdata diff). The golden
@@ -64,6 +65,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzUnmarshalMessages -fuzztime=$(FUZZTIME) -run='^$$' ./internal/contract
 	$(GO) test -fuzz=FuzzUnmarshalHTLC -fuzztime=$(FUZZTIME) -run='^$$' ./internal/htlc
 	$(GO) test -fuzz=FuzzGLVDecompose -fuzztime=$(FUZZTIME) -run='^$$' ./internal/bn254
+	$(GO) test -fuzz=FuzzFpMont -fuzztime=$(FUZZTIME) -run='^$$' ./internal/limb
 
 # Economic fuzz pass: the incentive solver's parameter space (MinimalReward
 # self-verification against Decide at degenerate boundaries) and whole

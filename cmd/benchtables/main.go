@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dragoon/internal/adversary"
@@ -54,6 +55,8 @@ func main() {
 		steps    = flag.Int("steps", 1024, "generic-ZKP circuit size (chain steps per decryption)")
 		jsonPath = flag.String("json", "", "write parallel-speedup benchmark results to this JSON file")
 		workers  = flag.Int("workers", 0, "parallel pool size for the -json comparison (0 = NumCPU; floored at 2 so a sequential/parallel pair is always measured, even on 1-CPU hosts)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the selected runs to this file")
 	)
 	flag.Parse()
 
@@ -62,6 +65,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		run(err)
+		run(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			run(err)
+			runtime.GC()
+			run(pprof.WriteHeapProfile(f))
+			f.Close()
+		}()
 	}
 	did := false
 	if *all || *table == 1 {
@@ -198,6 +219,11 @@ func writeParallelJSON(path string, parWorkers int) error {
 		return err
 	}
 	adversaryMatrix := adversary.ParticipantMatrix()
+	// Variable-base scalar-mul fixture for the field-backend comparison: an
+	// off-generator point (so no fixed-base table applies) and a full-width
+	// scalar, shared by the scalar_mul_limb / scalar_mul_bigint ops.
+	scalarMulBase := bn254.G1Generator().ScalarMul(big.NewInt(987654321))
+	scalarMulK := new(big.Int).Rsh(bn254.Order(), 1)
 
 	ops := []struct {
 		name      string
@@ -238,6 +264,26 @@ func writeParallelJSON(path string, parWorkers int) error {
 			}()
 			if _, err := poqoea.EncryptAnswers(&sk.PublicKey, answers, nil); err != nil {
 				panic(err)
+			}
+		}},
+		// scalar_mul_limb vs scalar_mul_bigint isolates the field-arithmetic
+		// backend: the same variable-base GLV scalar multiplication on BN254
+		// G1 with the Montgomery-limb Fp kernels (the default) and with the
+		// big.Int reference forced. The ratio is the limb backend's
+		// strength-reduction factor; it is independent of pool size and of
+		// the precompute/GLV knobs above.
+		{"scalar_mul_limb", 0, func() {
+			prev := bn254.SetLimbArithmetic(true)
+			defer bn254.SetLimbArithmetic(prev)
+			for i := 0; i < 16; i++ {
+				scalarMulBase.ScalarMul(scalarMulK)
+			}
+		}},
+		{"scalar_mul_bigint", 0, func() {
+			prev := bn254.SetLimbArithmetic(false)
+			defer bn254.SetLimbArithmetic(prev)
+			for i := 0; i < 16; i++ {
+				scalarMulBase.ScalarMul(scalarMulK)
 			}
 		}},
 		{"groth16_prove", 0, func() {

@@ -173,6 +173,7 @@ import (
 	"math/rand"
 
 	"dragoon/internal/batch"
+	"dragoon/internal/bn254"
 	"dragoon/internal/elgamal"
 	"dragoon/internal/group"
 	"dragoon/internal/ledger"
@@ -211,6 +212,20 @@ func SetBatchVerify(on bool) bool { return batch.SetEnabled(on) }
 
 // BatchVerifyEnabled reports the process-wide batch-verification knob.
 func BatchVerifyEnabled() bool { return batch.Enabled() }
+
+// SetLimbArithmetic flips the process-wide field-arithmetic backend and
+// returns the previous setting. On (the default), the BN254 base-field and
+// scalar-field hot paths — Jacobian ladders, Pippenger MSM buckets,
+// fixed-base windows, NTT butterflies — run on 4×64-bit Montgomery limbs
+// with zero heap allocations; off, they run on the original big.Int
+// reference implementation. The backends are bit-for-bit interchangeable
+// (a pure change of representation), so flipping the knob never changes a
+// transcript — only speed. Like the knobs above it mutates global state,
+// so flip it only around whole runs, never concurrently with one.
+func SetLimbArithmetic(on bool) bool { return bn254.SetLimbArithmetic(on) }
+
+// LimbArithmeticEnabled reports the process-wide field-backend knob.
+func LimbArithmeticEnabled() bool { return bn254.LimbArithmeticEnabled() }
 
 // Group is a prime-order cyclic group backend for the protocol crypto.
 type Group = group.Group

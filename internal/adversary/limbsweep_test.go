@@ -1,0 +1,147 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"dragoon/internal/adversary"
+	"dragoon/internal/bn254"
+	"dragoon/internal/group"
+)
+
+// withLimbs runs fn with the Montgomery-limb field backend forced on or
+// off, restoring the knob afterwards. Like withKernels, the knob is global
+// process state, so tests built on this helper must NOT call t.Parallel().
+func withLimbs(t *testing.T, on bool, fn func()) {
+	t.Helper()
+	prev := bn254.SetLimbArithmetic(on)
+	defer bn254.SetLimbArithmetic(prev)
+	fn()
+}
+
+// TestMatrixLimbSweepSim sweeps every scenario through the sim harness with
+// limb arithmetic enabled and disabled. The limb backend is a pure change
+// of field-element representation — Montgomery limbs in, the same canonical
+// integers out — so every receipt, event, gas charge and payout must be
+// byte-identical across the two runs, and the golden fingerprints must not
+// move.
+func TestMatrixLimbSweepSim(t *testing.T) {
+	for _, s := range adversary.Matrix() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			var fast, slow *adversary.Report
+			withLimbs(t, true, func() {
+				r, err := s.RunSim(opts(0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				fast = r
+			})
+			withLimbs(t, false, func() {
+				r, err := s.RunSim(opts(0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				slow = r
+			})
+			if err := fast.CheckInvariants(); err != nil {
+				t.Errorf("limb run violates invariants: %v", err)
+			}
+			if fingerprint(fast) != fingerprint(slow) {
+				t.Error("limb run diverged from big.Int run")
+			}
+		})
+	}
+}
+
+// TestLimbSweepSharedChain co-locates the whole participant matrix on one
+// shared marketplace chain with limbs on vs off and demands identical
+// transcripts of the shared final state.
+func TestLimbSweepSharedChain(t *testing.T) {
+	scenarios := adversary.ParticipantMatrix()
+	var fast, slow *adversary.Report
+	withLimbs(t, true, func() {
+		r, err := adversary.RunMatrix(scenarios, opts(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast = r
+	})
+	withLimbs(t, false, func() {
+		r, err := adversary.RunMatrix(scenarios, opts(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow = r
+	})
+	if err := fast.CheckInvariants(); err != nil {
+		t.Errorf("limb matrix violates invariants: %v", err)
+	}
+	if fingerprint(fast) != fingerprint(slow) {
+		t.Error("limb matrix run diverged from big.Int run")
+	}
+}
+
+// TestLimbSweepStream replays the participant matrix through the long-lived
+// streaming service with limbs on vs off.
+func TestLimbSweepStream(t *testing.T) {
+	scenarios := adversary.ParticipantMatrix()
+	var fast, slow *adversary.Report
+	withLimbs(t, true, func() {
+		r, err := adversary.RunMatrixStream(scenarios, opts(0), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast = r
+	})
+	withLimbs(t, false, func() {
+		r, err := adversary.RunMatrixStream(scenarios, opts(0), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow = r
+	})
+	if err := fast.CheckInvariants(); err != nil {
+		t.Errorf("limb stream violates invariants: %v", err)
+	}
+	if fingerprint(fast) != fingerprint(slow) {
+		t.Error("limb stream run diverged from big.Int run")
+	}
+}
+
+// TestLimbSweepBN254 repeats the sweep on the production BN254 G1 group,
+// where the limb ladders, Pippenger buckets and fixed-base windows are all
+// live (the schnorr-group runs above exercise the limb backend only through
+// the NTT/QAP chains).
+func TestLimbSweepBN254(t *testing.T) {
+	bnOpts := func() adversary.Options {
+		o := opts(0)
+		o.Group = group.BN254G1()
+		return o
+	}
+	for _, name := range []string{"baseline-honest", "out-of-range"} {
+		s := scenario(t, name)
+		t.Run(name, func(t *testing.T) {
+			var fast, slow *adversary.Report
+			withLimbs(t, true, func() {
+				r, err := s.RunSim(bnOpts())
+				if err != nil {
+					t.Fatal(err)
+				}
+				fast = r
+			})
+			withLimbs(t, false, func() {
+				r, err := s.RunSim(bnOpts())
+				if err != nil {
+					t.Fatal(err)
+				}
+				slow = r
+			})
+			if err := fast.CheckInvariants(); err != nil {
+				t.Errorf("limb run violates invariants: %v", err)
+			}
+			if fingerprint(fast) != fingerprint(slow) {
+				t.Error("BN254 limb run diverged from big.Int run")
+			}
+		})
+	}
+}

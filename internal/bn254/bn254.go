@@ -3,7 +3,7 @@
 // subgroup backs all of the paper's public-key primitives and whose pairing
 // backs the zk-SNARK baseline (generic ZKP) that the paper compares against.
 //
-// The implementation is self-contained on math/big:
+// The implementation is self-contained on the standard library:
 //
 //   - Fp, and the tower Fp2 = Fp[i]/(i²+1), Fp6 = Fp2[v]/(v³-ξ) with
 //     ξ = 9+i, Fp12 = Fp6[w]/(w²-v);
@@ -13,6 +13,13 @@
 //     affine Miller loop over the untwisted curve E(Fp12) and a plain
 //     (p¹²-1)/r final exponentiation. The style favours auditability over
 //     raw speed; it is more than fast enough for the paper's workloads.
+//
+// Two Fp backends coexist under the same exported surface. The reference
+// path keeps elements as *big.Int reduced in [0, p). The default fast path
+// (fp.go) runs the G1 hot core — scalar ladders, Pippenger buckets,
+// fixed-base windows — on internal/limb's 4×64-bit Montgomery
+// representation, allocation-free; SetLimbArithmetic pins either backend,
+// and differential tests assert they agree bit for bit.
 //
 // Curve parameters (BN parameterization with u = 4965661367192848881):
 //

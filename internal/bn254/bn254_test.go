@@ -258,6 +258,7 @@ func TestPairingWithInfinity(t *testing.T) {
 func BenchmarkG1ScalarMul(b *testing.B) {
 	k := mustBig("12345678901234567890123456789012345678901234567890")
 	g := G1Generator()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.ScalarMul(k)
@@ -267,6 +268,7 @@ func BenchmarkG1ScalarMul(b *testing.B) {
 func BenchmarkPairing(b *testing.B) {
 	g1 := G1Generator()
 	g2 := G2Generator()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Pair(g1, g2)

@@ -3,6 +3,8 @@ package bn254
 import (
 	"math/big"
 	"sync"
+
+	"dragoon/internal/limb"
 )
 
 // Fixed-base precomputation. Most scalar multiplications in the protocol's
@@ -44,20 +46,31 @@ type FixedBaseTable struct {
 	// win[w][d-1] = d·2^(w·width)·base, in affine coordinates so every
 	// table hit is a cheap mixed addition.
 	win [][]*G1
+	// winL is the same table in Montgomery limb form, for the limb Mul
+	// path. Both representations are always populated (conversion between
+	// them is exact); which one was COMPUTED depends on the backend toggle
+	// at build time, so a disabled-limb build remains a pure math/big
+	// reference for the differential sweeps.
+	winL [][]g1AffL
 }
 
 // NewFixedBaseTable builds the window table for base. Building costs
 // ~⌈255/w⌉·2^w Jacobian additions and a single field inversion; Mul then
 // costs at most ⌈255/w⌉ mixed additions (versus ~254 doublings + ~127
-// additions for a cold double-and-add).
+// additions for a cold double-and-add). The table is computed with
+// whichever field backend is active (see SetLimbArithmetic) and stored in
+// both representations.
 func NewFixedBaseTable(base *G1) *FixedBaseTable {
 	t := &FixedBaseTable{base: base.Clone()}
 	if base.Inf {
 		return t // every Mul returns the identity
 	}
+	if limb.Enabled() {
+		t.buildLimb(base)
+		return t
+	}
 	p := params().P
 	cur := base.jacobian()
-	jacRows := make([][]g1Jac, fixedBaseWindows)
 	flat := make([]g1Jac, 0, fixedBaseWindows*fixedBaseRowLen)
 	for w := 0; w < fixedBaseWindows; w++ {
 		row := make([]g1Jac, fixedBaseRowLen)
@@ -65,7 +78,6 @@ func NewFixedBaseTable(base *G1) *FixedBaseTable {
 		for d := 1; d < fixedBaseRowLen; d++ {
 			row[d] = jacAdd(row[d-1], cur, p)
 		}
-		jacRows[w] = row
 		flat = append(flat, row...)
 		for b := 0; b < FixedBaseWindowBits; b++ {
 			cur = jacDouble(cur, p)
@@ -73,10 +85,49 @@ func NewFixedBaseTable(base *G1) *FixedBaseTable {
 	}
 	affine := batchAffine(flat)
 	t.win = make([][]*G1, fixedBaseWindows)
+	t.winL = make([][]g1AffL, fixedBaseWindows)
 	for w := 0; w < fixedBaseWindows; w++ {
 		t.win[w] = affine[w*fixedBaseRowLen : (w+1)*fixedBaseRowLen]
+		rowL := make([]g1AffL, fixedBaseRowLen)
+		for d, pt := range t.win[w] {
+			rowL[d].fromG1(pt)
+		}
+		t.winL[w] = rowL
 	}
 	return t
+}
+
+// buildLimb constructs the window rows entirely in limb arithmetic and
+// derives the big.Int representation from the result.
+func (t *FixedBaseTable) buildLimb(base *G1) {
+	var cur g1JacL
+	var baseL g1AffL
+	baseL.fromG1(base)
+	cur.setAffine(&baseL)
+	flat := make([]g1JacL, 0, fixedBaseWindows*fixedBaseRowLen)
+	for w := 0; w < fixedBaseWindows; w++ {
+		row := make([]g1JacL, fixedBaseRowLen)
+		row[0] = cur
+		for d := 1; d < fixedBaseRowLen; d++ {
+			row[d] = row[d-1]
+			jacLAdd(&row[d], &cur)
+		}
+		flat = append(flat, row...)
+		for b := 0; b < FixedBaseWindowBits; b++ {
+			jacLDouble(&cur)
+		}
+	}
+	affine := batchAffineLAff(flat)
+	t.win = make([][]*G1, fixedBaseWindows)
+	t.winL = make([][]g1AffL, fixedBaseWindows)
+	for w := 0; w < fixedBaseWindows; w++ {
+		t.winL[w] = affine[w*fixedBaseRowLen : (w+1)*fixedBaseRowLen]
+		row := make([]*G1, fixedBaseRowLen)
+		for d := range t.winL[w] {
+			row[d] = t.winL[w][d].toG1()
+		}
+		t.win[w] = row
+	}
 }
 
 // Base returns (a copy of) the table's base point.
@@ -98,9 +149,28 @@ func (t *FixedBaseTable) mulJac(s *big.Int, sc *jacScratch) g1Jac {
 	return acc
 }
 
+// mulJacL is the limb twin of mulJac: s must be reduced mod r; no scratch
+// is needed because limb additions never touch the heap.
+func (t *FixedBaseTable) mulJacL(s *big.Int) g1JacL {
+	var acc g1JacL
+	if t.winL == nil || s.Sign() == 0 {
+		return acc
+	}
+	for w := 0; w*FixedBaseWindowBits < s.BitLen(); w++ {
+		if d := msmBucketIndex(s, w, FixedBaseWindowBits); d != 0 {
+			jacLAddMixed(&acc, &t.winL[w][d-1])
+		}
+	}
+	return acc
+}
+
 // Mul returns k·base (k reduced modulo the group order).
 func (t *FixedBaseTable) Mul(k *big.Int) *G1 {
 	s := new(big.Int).Mod(k, params().R)
+	if limb.Enabled() {
+		acc := t.mulJacL(s)
+		return acc.affine()
+	}
 	return t.mulJac(s, newJacScratch()).affine()
 }
 
@@ -109,6 +179,24 @@ func (t *FixedBaseTable) Mul(k *big.Int) *G1 {
 // points are identical to calling Mul per scalar.
 func (t *FixedBaseTable) MulMany(ks []*big.Int) []*G1 {
 	r := params().R
+	if limb.Enabled() {
+		jacs := make([]g1JacL, len(ks))
+		skip := make([]bool, len(ks))
+		for i, k := range ks {
+			if k == nil {
+				skip[i] = true
+				continue
+			}
+			jacs[i] = t.mulJacL(new(big.Int).Mod(k, r))
+		}
+		out := batchAffineL(jacs)
+		for i := range out {
+			if skip[i] {
+				out[i] = nil
+			}
+		}
+		return out
+	}
 	jacs := make([]g1Jac, len(ks))
 	skip := make([]bool, len(ks))
 	sc := newJacScratch()
@@ -133,6 +221,23 @@ func (t *FixedBaseTable) MulMany(ks []*big.Int) []*G1 {
 // (nil addends are treated as the identity).
 func (t *FixedBaseTable) MulManyAdd(ks []*big.Int, addends []*G1) []*G1 {
 	r, p := params().R, params().P
+	if limb.Enabled() {
+		jacs := make([]g1JacL, len(ks))
+		var aff g1AffL
+		for i, k := range ks {
+			s := new(big.Int)
+			if k != nil {
+				s.Mod(k, r)
+			}
+			j := t.mulJacL(s)
+			if i < len(addends) && addends[i] != nil {
+				aff.fromG1(addends[i])
+				jacLAddMixed(&j, &aff)
+			}
+			jacs[i] = j
+		}
+		return batchAffineL(jacs)
+	}
 	jacs := make([]g1Jac, len(ks))
 	sc := newJacScratch()
 	for i, k := range ks {

@@ -140,6 +140,7 @@ func TestG2ScalarMulJacobian(t *testing.T) {
 func BenchmarkFixedBaseMul(b *testing.B) {
 	table := NewFixedBaseTable(G1Generator().ScalarMul(big.NewInt(99)))
 	ks := randScalars(64, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		table.Mul(ks[i%len(ks)])
@@ -149,6 +150,7 @@ func BenchmarkFixedBaseMul(b *testing.B) {
 func BenchmarkFixedBaseMulMany64(b *testing.B) {
 	table := NewFixedBaseTable(G1Generator().ScalarMul(big.NewInt(99)))
 	ks := randScalars(64, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		table.MulMany(ks)
@@ -157,6 +159,7 @@ func BenchmarkFixedBaseMulMany64(b *testing.B) {
 
 func BenchmarkFixedBaseTableBuild(b *testing.B) {
 	base := G1Generator().ScalarMul(big.NewInt(99))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		NewFixedBaseTable(base)

@@ -46,6 +46,7 @@ func TestG2FixedBaseMatchesGeneric(t *testing.T) {
 func BenchmarkG1ScalarBaseMulFixed(b *testing.B) {
 	k := mustBig("9876543210987654321098765432109876543210987654321098765432109876")
 	G1ScalarBaseMul(k) // warm the table
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		G1ScalarBaseMul(k)

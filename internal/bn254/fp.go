@@ -1,0 +1,399 @@
+package bn254
+
+import (
+	"math/big"
+	"sync"
+
+	"dragoon/internal/limb"
+)
+
+// Limb-arithmetic backend for the G1 hot core. The exported surface of the
+// package is unchanged — G1 still carries *big.Int affine coordinates, and
+// every constructor and codec speaks big.Int — but the inner loops of
+// scalar multiplication (generic ladder, GLV ladder, Pippenger buckets,
+// fixed-base windows) run on fpElem, the 4×64-bit Montgomery representation
+// from internal/limb. Conversion happens once on ingress (affine big.Int →
+// Montgomery limbs) and once on egress (the normalized result back to
+// big.Int); the thousands of field multiplications in between touch no
+// heap and pay no division.
+//
+// The math/big formulas in g1.go/msm.go/jacscratch.go remain compiled and
+// reachable: SetLimbArithmetic(false) pins them, and the differential and
+// fingerprint sweeps assert both backends produce identical group elements.
+
+// fpElem is a BN254 base-field element in Montgomery limb form.
+type fpElem = limb.Element
+
+var (
+	fpFieldOnce sync.Once
+	fpFieldVal  *limb.Field
+)
+
+// fpField returns the limb-arithmetic descriptor of Fp (built once; BN254's
+// modulus satisfies the CIOS no-carry bound, so MustField cannot fail).
+func fpField() *limb.Field {
+	fpFieldOnce.Do(func() {
+		fpFieldVal = limb.MustField(params().P)
+	})
+	return fpFieldVal
+}
+
+// SetLimbArithmetic enables or disables the Montgomery-limb fast paths,
+// returning the previous setting. The toggle is process-wide and shared
+// with internal/ff (both delegate to internal/limb), so one switch pins
+// every field-arithmetic backend to the math/big reference at once. The
+// computed group elements are identical either way.
+func SetLimbArithmetic(on bool) bool { return limb.SetEnabled(on) }
+
+// LimbArithmeticEnabled reports whether the limb backend is active.
+func LimbArithmeticEnabled() bool { return limb.Enabled() }
+
+// g1AffL is an affine G1 point on limbs (the table/ingress representation).
+type g1AffL struct {
+	X, Y fpElem
+	Inf  bool
+}
+
+// g1JacL is a Jacobian G1 point on limbs; Z = 0 encodes the identity (the
+// zero value is the identity, which is what makes `var acc g1JacL` a valid
+// ladder accumulator).
+type g1JacL struct {
+	X, Y, Z fpElem
+}
+
+// fromG1 converts an exported affine point to limb form.
+func (a *g1AffL) fromG1(pt *G1) {
+	if pt.Inf {
+		*a = g1AffL{Inf: true}
+		return
+	}
+	f := fpField()
+	a.Inf = false
+	f.SetBig(&a.X, pt.X)
+	f.SetBig(&a.Y, pt.Y)
+}
+
+// toG1 converts back to the exported representation.
+func (a *g1AffL) toG1() *G1 {
+	if a.Inf {
+		return G1Infinity()
+	}
+	f := fpField()
+	return &G1{X: f.ToBig(nil, &a.X), Y: f.ToBig(nil, &a.Y)}
+}
+
+// jacBig converts to the big.Int Jacobian representation (used where a limb
+// chunk result feeds a big.Int combiner).
+func (j *g1JacL) jacBig() g1Jac {
+	if j.Z.IsZero() {
+		return g1Jac{X: big.NewInt(1), Y: big.NewInt(1), Z: new(big.Int)}
+	}
+	f := fpField()
+	return g1Jac{X: f.ToBig(nil, &j.X), Y: f.ToBig(nil, &j.Y), Z: f.ToBig(nil, &j.Z)}
+}
+
+// setAffine loads an affine point as Z = 1 Jacobian.
+func (j *g1JacL) setAffine(a *g1AffL) {
+	if a.Inf {
+		*j = g1JacL{}
+		return
+	}
+	j.X, j.Y = a.X, a.Y
+	j.Z = fpField().One()
+}
+
+// affine normalizes to the exported affine representation (one field
+// inversion, via the division-free limb EEA).
+func (j *g1JacL) affine() *G1 {
+	if j.Z.IsZero() {
+		return G1Infinity()
+	}
+	f := fpField()
+	var zi, zi2, x, y fpElem
+	f.Inverse(&zi, &j.Z)
+	f.Square(&zi2, &zi)
+	f.Mul(&x, &j.X, &zi2)
+	f.Mul(&zi2, &zi2, &zi) // now 1/Z³
+	f.Mul(&y, &j.Y, &zi2)
+	return &G1{X: f.ToBig(nil, &x), Y: f.ToBig(nil, &y)}
+}
+
+// jacLDouble doubles j in place (a = 0 doubling, 2M + 5S — the same
+// formulas as jacDouble, on limbs).
+func jacLDouble(j *g1JacL) {
+	if j.Z.IsZero() || j.Y.IsZero() {
+		*j = g1JacL{}
+		return
+	}
+	f := fpField()
+	var a, b, c, d, e, t fpElem
+	f.Square(&a, &j.X) // A = X²
+	f.Square(&b, &j.Y) // B = Y²
+	f.Square(&c, &b)   // C = B²
+	f.Add(&d, &j.X, &b)
+	f.Square(&d, &d)
+	f.Sub(&d, &d, &a)
+	f.Sub(&d, &d, &c)
+	f.Double(&d, &d) // D = 2((X+B)² − A − C)
+	f.Double(&e, &a)
+	f.Add(&e, &e, &a) // E = 3A
+	f.Square(&t, &e)  // F = E²
+	var x3 fpElem
+	f.Double(&x3, &d)
+	f.Sub(&x3, &t, &x3) // X3 = F − 2D
+	f.Double(&c, &c)
+	f.Double(&c, &c)
+	f.Double(&c, &c) // 8C
+	f.Sub(&t, &d, &x3)
+	f.Mul(&t, &e, &t)
+	f.Sub(&t, &t, &c) // Y3 = E(D − X3) − 8C
+	f.Double(&b, &j.Y)
+	f.Mul(&j.Z, &b, &j.Z) // Z3 = 2Y·Z
+	j.X, j.Y = x3, t
+}
+
+// jacLAddMixed sets j = j + b in place, with b affine (7M + 4S — the limb
+// twin of jacAddMixed/jacScratch.addMixed).
+func jacLAddMixed(j *g1JacL, b *g1AffL) {
+	if b.Inf {
+		return
+	}
+	if j.Z.IsZero() {
+		j.setAffine(b)
+		return
+	}
+	f := fpField()
+	var z1z1, u2, s2 fpElem
+	f.Square(&z1z1, &j.Z)
+	f.Mul(&u2, &b.X, &z1z1)
+	f.Mul(&s2, &b.Y, &j.Z)
+	f.Mul(&s2, &s2, &z1z1)
+	if u2.Equal(&j.X) {
+		if s2.Equal(&j.Y) {
+			jacLDouble(j)
+			return
+		}
+		*j = g1JacL{} // b = −j
+		return
+	}
+	var h, hh, v, r, t fpElem
+	f.Sub(&h, &u2, &j.X)
+	f.Square(&hh, &h)
+	f.Mul(&u2, &h, &hh) // u2 now H³
+	f.Mul(&v, &j.X, &hh)
+	f.Sub(&r, &s2, &j.Y)
+	var x3 fpElem
+	f.Square(&x3, &r)
+	f.Sub(&x3, &x3, &u2)
+	f.Double(&t, &v)
+	f.Sub(&x3, &x3, &t) // X3 = R² − H³ − 2V
+	f.Sub(&t, &v, &x3)
+	f.Mul(&t, &r, &t)
+	f.Mul(&s2, &j.Y, &u2) // s2 now Y1·H³
+	f.Sub(&t, &t, &s2)    // Y3 = R(V − X3) − Y1·H³
+	f.Mul(&j.Z, &j.Z, &h)
+	j.X, j.Y = x3, t
+}
+
+// jacLAdd sets a = a + b in place (general Jacobian addition; handles
+// doubling and inverse pairs — the limb twin of jacAdd).
+func jacLAdd(a, b *g1JacL) {
+	if b.Z.IsZero() {
+		return
+	}
+	if a.Z.IsZero() {
+		*a = *b
+		return
+	}
+	f := fpField()
+	var z1z1, z2z2, u1, u2, s1, s2 fpElem
+	f.Square(&z1z1, &a.Z)
+	f.Square(&z2z2, &b.Z)
+	f.Mul(&u1, &a.X, &z2z2)
+	f.Mul(&u2, &b.X, &z1z1)
+	f.Mul(&s1, &a.Y, &b.Z)
+	f.Mul(&s1, &s1, &z2z2)
+	f.Mul(&s2, &b.Y, &a.Z)
+	f.Mul(&s2, &s2, &z1z1)
+	if u1.Equal(&u2) {
+		if s1.Equal(&s2) {
+			jacLDouble(a)
+			return
+		}
+		*a = g1JacL{}
+		return
+	}
+	var h, h2, v, r, t fpElem
+	f.Sub(&h, &u2, &u1)
+	f.Square(&h2, &h)
+	f.Mul(&u2, &h, &h2) // u2 now H³
+	f.Mul(&v, &u1, &h2)
+	f.Sub(&r, &s2, &s1)
+	var x3 fpElem
+	f.Square(&x3, &r)
+	f.Sub(&x3, &x3, &u2)
+	f.Double(&t, &v)
+	f.Sub(&x3, &x3, &t)
+	f.Sub(&t, &v, &x3)
+	f.Mul(&t, &r, &t)
+	f.Mul(&s1, &s1, &u2) // s1 now S1·H³
+	f.Sub(&t, &t, &s1)
+	f.Mul(&a.Z, &a.Z, &b.Z)
+	f.Mul(&a.Z, &a.Z, &h)
+	a.X, a.Y = x3, t
+}
+
+// batchAffineL normalizes a batch of limb Jacobian points to exported
+// affine points with a single field inversion — the limb twin of
+// batchAffine. Identity points come back as the affine identity.
+func batchAffineL(js []g1JacL) []*G1 {
+	f := fpField()
+	out := make([]*G1, len(js))
+	prefix := make([]fpElem, len(js)) // prefix[n] = Z product over earlier live points
+	live := make([]int, 0, len(js))
+	acc := f.One()
+	for i := range js {
+		if js[i].Z.IsZero() {
+			out[i] = G1Infinity()
+			continue
+		}
+		prefix[len(live)] = acc
+		live = append(live, i)
+		f.Mul(&acc, &acc, &js[i].Z)
+	}
+	if len(live) == 0 {
+		return out
+	}
+	var inv fpElem
+	f.Inverse(&inv, &acc) // the one inversion
+	for n := len(live) - 1; n >= 0; n-- {
+		i := live[n]
+		var zi, zi2, x, y fpElem
+		f.Mul(&zi, &inv, &prefix[n]) // 1/Z_i
+		f.Mul(&inv, &inv, &js[i].Z)  // strip Z_i for the next step
+		f.Square(&zi2, &zi)
+		f.Mul(&x, &js[i].X, &zi2)
+		f.Mul(&zi2, &zi2, &zi)
+		f.Mul(&y, &js[i].Y, &zi2)
+		out[i] = &G1{X: f.ToBig(nil, &x), Y: f.ToBig(nil, &y)}
+	}
+	return out
+}
+
+// batchAffineLAff is batchAffineL staying in limb representation (the
+// fixed-base table build).
+func batchAffineLAff(js []g1JacL) []g1AffL {
+	f := fpField()
+	out := make([]g1AffL, len(js))
+	prefix := make([]fpElem, len(js))
+	live := make([]int, 0, len(js))
+	acc := f.One()
+	for i := range js {
+		if js[i].Z.IsZero() {
+			out[i] = g1AffL{Inf: true}
+			continue
+		}
+		prefix[len(live)] = acc
+		live = append(live, i)
+		f.Mul(&acc, &acc, &js[i].Z)
+	}
+	if len(live) == 0 {
+		return out
+	}
+	var inv fpElem
+	f.Inverse(&inv, &acc)
+	for n := len(live) - 1; n >= 0; n-- {
+		i := live[n]
+		var zi, zi2 fpElem
+		f.Mul(&zi, &inv, &prefix[n])
+		f.Mul(&inv, &inv, &js[i].Z)
+		f.Square(&zi2, &zi)
+		f.Mul(&out[i].X, &js[i].X, &zi2)
+		f.Mul(&zi2, &zi2, &zi)
+		f.Mul(&out[i].Y, &js[i].Y, &zi2)
+	}
+	return out
+}
+
+// genericScalarMulL is the limb double-and-add ladder (same bit schedule as
+// genericScalarMul, so both backends take identical branch sequences).
+func genericScalarMulL(a *G1, s *big.Int) *G1 {
+	var aff g1AffL
+	aff.fromG1(a)
+	var acc g1JacL
+	for i := s.BitLen() - 1; i >= 0; i-- {
+		jacLDouble(&acc)
+		if s.Bit(i) == 1 {
+			jacLAddMixed(&acc, &aff)
+		}
+	}
+	return acc.affine()
+}
+
+// glvLadderL is the limb Shamir ladder over a precomputed (P1, P2, P1+P2)
+// triple; k1, k2 are the non-negative GLV half-scalars.
+func glvLadderL(p1, p2, p12 *G1, k1, k2 *big.Int, n int) *G1 {
+	var l1, l2, l12 g1AffL
+	l1.fromG1(p1)
+	l2.fromG1(p2)
+	l12.fromG1(p12)
+	var acc g1JacL
+	for i := n - 1; i >= 0; i-- {
+		jacLDouble(&acc)
+		b1 := k1.Bit(i) == 1
+		b2 := k2.Bit(i) == 1
+		switch {
+		case b1 && b2:
+			jacLAddMixed(&acc, &l12)
+		case b1:
+			jacLAddMixed(&acc, &l1)
+		case b2:
+			jacLAddMixed(&acc, &l2)
+		}
+	}
+	return acc.affine()
+}
+
+// msmG1ChunkL is the limb Pippenger core over preprocessed (finite point,
+// reduced nonzero scalar) pairs — the limb twin of msmG1Chunk's bucket loop.
+func msmG1ChunkL(ps []*G1, ss []*big.Int, maxBits int) g1JacL {
+	window := msmWindow(len(ps))
+	numWindows := (maxBits + window - 1) / window
+	affs := make([]g1AffL, len(ps))
+	for i := range ps {
+		affs[i].fromG1(ps[i])
+	}
+	var acc g1JacL
+	buckets := make([]g1JacL, 1<<window)
+	used := make([]bool, 1<<window)
+	for w := numWindows - 1; w >= 0; w-- {
+		for i := 0; i < window; i++ {
+			jacLDouble(&acc)
+		}
+		for b := range used {
+			used[b] = false
+		}
+		for i := range affs {
+			idx := msmBucketIndex(ss[i], w, window)
+			if idx == 0 {
+				continue
+			}
+			if !used[idx] {
+				buckets[idx].setAffine(&affs[i])
+				used[idx] = true
+			} else {
+				jacLAddMixed(&buckets[idx], &affs[i])
+			}
+		}
+		// Running-sum bucket aggregation.
+		var sum, windowAcc g1JacL
+		for b := (1 << window) - 1; b >= 1; b-- {
+			if used[b] {
+				jacLAdd(&sum, &buckets[b])
+			}
+			jacLAdd(&windowAcc, &sum)
+		}
+		jacLAdd(&acc, &windowAcc)
+	}
+	return acc
+}

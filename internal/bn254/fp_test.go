@@ -1,0 +1,200 @@
+package bn254
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// withLimbArithmetic runs fn with the limb backend pinned on or off,
+// restoring the previous setting afterwards.
+func withLimbArithmetic(t *testing.T, on bool, fn func()) {
+	t.Helper()
+	prev := SetLimbArithmetic(on)
+	defer SetLimbArithmetic(prev)
+	fn()
+}
+
+func limbTestScalars(n int, seed int64) []*big.Int {
+	rng := rand.New(rand.NewSource(seed))
+	r := Order()
+	out := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		big.NewInt(-5),
+		new(big.Int).Sub(r, big.NewInt(1)),
+		new(big.Int).Rsh(r, 1),
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, new(big.Int).Rand(rng, r))
+	}
+	return out
+}
+
+// TestScalarMulLimbVsBigInt pins each backend in turn and asserts identical
+// group elements from both the GLV and the generic ladder.
+func TestScalarMulLimbVsBigInt(t *testing.T) {
+	base := G1Generator().ScalarMul(big.NewInt(987654321)) // a non-generator base
+	for _, glvOn := range []bool{true, false} {
+		prevGLV := SetGLV(glvOn)
+		for _, k := range limbTestScalars(24, 7) {
+			var limbRes, bigRes *G1
+			withLimbArithmetic(t, true, func() { limbRes = base.ScalarMul(k) })
+			withLimbArithmetic(t, false, func() { bigRes = base.ScalarMul(k) })
+			if !limbRes.Equal(bigRes) {
+				t.Fatalf("glv=%v k=%v: limb %v != big %v", glvOn, k, limbRes, bigRes)
+			}
+			if !limbRes.IsOnCurve() {
+				t.Fatalf("glv=%v k=%v: limb result off curve", glvOn, k)
+			}
+		}
+		SetGLV(prevGLV)
+	}
+}
+
+// TestMSMLimbVsBigInt covers the Pippenger bucket loop on both backends,
+// including nil entries and identity points.
+func TestMSMLimbVsBigInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	r := Order()
+	for _, n := range []int{1, 2, 7, 33, 70} {
+		points := make([]*G1, n)
+		scalars := make([]*big.Int, n)
+		for i := range points {
+			points[i] = G1Generator().ScalarMul(new(big.Int).Rand(rng, r))
+			scalars[i] = new(big.Int).Rand(rng, r)
+		}
+		if n > 2 {
+			points[1] = G1Infinity()
+			scalars[2] = nil
+		}
+		var limbRes, bigRes *G1
+		withLimbArithmetic(t, true, func() { limbRes = MSMG1(points, scalars) })
+		withLimbArithmetic(t, false, func() { bigRes = MSMG1(points, scalars) })
+		if !limbRes.Equal(bigRes) {
+			t.Fatalf("n=%d: MSM limb %v != big %v", n, limbRes, bigRes)
+		}
+	}
+}
+
+// TestFixedBaseTableLimbVsBigInt builds tables under each backend and
+// cross-checks Mul/MulMany/MulManyAdd between all four combinations of
+// build backend × query backend.
+func TestFixedBaseTableLimbVsBigInt(t *testing.T) {
+	base := G1Generator().ScalarMul(big.NewInt(31337))
+	var tblLimb, tblBig *FixedBaseTable
+	withLimbArithmetic(t, true, func() { tblLimb = NewFixedBaseTable(base) })
+	withLimbArithmetic(t, false, func() { tblBig = NewFixedBaseTable(base) })
+
+	ks := limbTestScalars(12, 13)
+	for _, k := range ks {
+		want := base.ScalarMul(k)
+		for _, on := range []bool{true, false} {
+			withLimbArithmetic(t, on, func() {
+				for name, tbl := range map[string]*FixedBaseTable{"limb-built": tblLimb, "big-built": tblBig} {
+					if got := tbl.Mul(k); !got.Equal(want) {
+						t.Fatalf("%s table, query limb=%v, k=%v: got %v want %v", name, on, k, got, want)
+					}
+				}
+			})
+		}
+	}
+
+	addends := make([]*G1, len(ks))
+	for i := range addends {
+		if i%3 == 0 {
+			addends[i] = nil
+			continue
+		}
+		addends[i] = G1Generator().ScalarMul(big.NewInt(int64(i + 1)))
+	}
+	ksWithNil := append(append([]*big.Int{}, ks...), nil)
+	var manyLimb, manyBig, maLimb, maBig []*G1
+	withLimbArithmetic(t, true, func() {
+		manyLimb = tblLimb.MulMany(ksWithNil)
+		maLimb = tblLimb.MulManyAdd(ks, addends)
+	})
+	withLimbArithmetic(t, false, func() {
+		manyBig = tblBig.MulMany(ksWithNil)
+		maBig = tblBig.MulManyAdd(ks, addends)
+	})
+	for i := range ksWithNil {
+		if (manyLimb[i] == nil) != (manyBig[i] == nil) {
+			t.Fatalf("MulMany[%d]: nil mismatch", i)
+		}
+		if manyLimb[i] != nil && !manyLimb[i].Equal(manyBig[i]) {
+			t.Fatalf("MulMany[%d]: limb %v != big %v", i, manyLimb[i], manyBig[i])
+		}
+	}
+	for i := range ks {
+		if !maLimb[i].Equal(maBig[i]) {
+			t.Fatalf("MulManyAdd[%d]: limb %v != big %v", i, maLimb[i], maBig[i])
+		}
+	}
+}
+
+// TestG1ScalarBaseMulLimb sanity-checks the generator table path against a
+// direct multiplication on both backends.
+func TestG1ScalarBaseMulLimb(t *testing.T) {
+	for _, k := range limbTestScalars(6, 17) {
+		want := genericScalarMul(G1Generator(), new(big.Int).Mod(k, Order()))
+		if k.Sign() == 0 || new(big.Int).Mod(k, Order()).Sign() == 0 {
+			want = G1Infinity()
+		}
+		for _, on := range []bool{true, false} {
+			withLimbArithmetic(t, on, func() {
+				if got := G1ScalarBaseMul(k); !got.Equal(want) {
+					t.Fatalf("limb=%v k=%v: got %v want %v", on, k, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestJacMixedAddZeroAllocs proves the limb mixed Jacobian addition and
+// doubling — the two operations inside every ladder step, bucket update and
+// table hit — allocate nothing.
+func TestJacMixedAddZeroAllocs(t *testing.T) {
+	var aff g1AffL
+	aff.fromG1(G1Generator().ScalarMul(big.NewInt(99)))
+	var acc g1JacL
+	acc.setAffine(&aff)
+	jacLDouble(&acc)
+	if allocs := testing.AllocsPerRun(100, func() {
+		jacLAddMixed(&acc, &aff)
+		jacLDouble(&acc)
+	}); allocs != 0 {
+		t.Fatalf("limb mixed add + double: %v allocs/op, want 0", allocs)
+	}
+	other := acc
+	if allocs := testing.AllocsPerRun(100, func() {
+		jacLAdd(&acc, &other)
+	}); allocs != 0 {
+		t.Fatalf("limb general add: %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkScalarMulLimb(b *testing.B) {
+	prev := SetLimbArithmetic(true)
+	defer SetLimbArithmetic(prev)
+	base := G1Generator().ScalarMul(big.NewInt(987654321))
+	k := new(big.Int).Rsh(Order(), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base.ScalarMul(k)
+	}
+}
+
+func BenchmarkScalarMulBigInt(b *testing.B) {
+	prev := SetLimbArithmetic(false)
+	defer SetLimbArithmetic(prev)
+	base := G1Generator().ScalarMul(big.NewInt(987654321))
+	k := new(big.Int).Rsh(Order(), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base.ScalarMul(k)
+	}
+}

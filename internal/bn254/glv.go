@@ -4,6 +4,8 @@ import (
 	"math/big"
 	"sync"
 	"sync/atomic"
+
+	"dragoon/internal/limb"
 )
 
 // GLV endomorphism decomposition for G1 (Gallant–Lambert–Vanstone). BN254
@@ -205,6 +207,9 @@ func (a *G1) glvMul(s *big.Int) *G1 {
 	if b := k2.BitLen(); b > n {
 		n = b
 	}
+	if limb.Enabled() {
+		return glvLadderL(p1, p2, p12, k1, k2, n)
+	}
 	acc := g1Jac{X: big.NewInt(1), Y: big.NewInt(1), Z: new(big.Int)}
 	for i := n - 1; i >= 0; i-- {
 		acc = jacDouble(acc, p)
@@ -227,6 +232,9 @@ func (a *G1) glvMul(s *big.Int) *G1 {
 func genericScalarMul(a *G1, s *big.Int) *G1 {
 	if s.Sign() == 0 || a.Inf {
 		return G1Infinity()
+	}
+	if limb.Enabled() {
+		return genericScalarMulL(a, s)
 	}
 	p := params().P
 	acc := g1Jac{X: big.NewInt(1), Y: big.NewInt(1), Z: new(big.Int)}

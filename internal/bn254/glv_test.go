@@ -121,6 +121,7 @@ func FuzzGLVDecompose(f *testing.F) {
 func BenchmarkScalarMulGLV(b *testing.B) {
 	base := G1Generator().ScalarMul(big.NewInt(99))
 	ks := randScalars(64, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		base.ScalarMul(ks[i%len(ks)])
@@ -132,6 +133,7 @@ func BenchmarkScalarMulGeneric(b *testing.B) {
 	defer SetGLV(prev)
 	base := G1Generator().ScalarMul(big.NewInt(99))
 	ks := randScalars(64, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		base.ScalarMul(ks[i%len(ks)])

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/big"
 
+	"dragoon/internal/limb"
 	"dragoon/internal/parallel"
 )
 
@@ -131,6 +132,10 @@ func msmG1Chunk(points []*G1, scalars []*big.Int) g1Jac {
 	}
 	if len(ps) == 0 {
 		return inf()
+	}
+	if limb.Enabled() {
+		chunk := msmG1ChunkL(ps, ss, maxBits)
+		return chunk.jacBig()
 	}
 	window := msmWindow(len(ps))
 	numWindows := (maxBits + window - 1) / window

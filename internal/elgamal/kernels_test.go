@@ -212,6 +212,7 @@ func benchEncrypt(b *testing.B, batch bool) {
 		rs[i] = new(big.Int).Rand(rng, g.Order())
 	}
 	pk.MulH(big.NewInt(1)) // warm the shared tables
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if batch {

@@ -10,18 +10,29 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+
+	"dragoon/internal/limb"
 )
 
 // Field is a prime field Z_p. Methods allocate fresh big.Ints; arguments
 // are never mutated.
 type Field struct {
 	p *big.Int
+	// lf is the Montgomery-limb backend for p, or nil when p does not fit
+	// the 4×64 kernel (see internal/limb). When present and enabled it
+	// carries the NTT butterflies and vector pointwise kernels; the scalar
+	// big.Int methods above always remain the reference semantics.
+	lf *limb.Field
 }
 
 // New returns the field Z_p. The modulus must be an odd prime (not checked
 // beyond positivity; callers pass curve orders).
 func New(p *big.Int) *Field {
-	return &Field{p: new(big.Int).Set(p)}
+	f := &Field{p: new(big.Int).Set(p)}
+	if lf, err := limb.NewField(p); err == nil {
+		f.lf = lf
+	}
+	return f
 }
 
 // Modulus returns a copy of p.

@@ -106,6 +106,9 @@ func (d *Domain) pad(a []*big.Int) []*big.Int {
 
 // FFT evaluates the polynomial with the given coefficients on the domain.
 func (d *Domain) FFT(coeffs []*big.Int) []*big.Int {
+	if d.limbActive() {
+		return d.fftLimb(coeffs)
+	}
 	a := d.pad(coeffs)
 	d.ntt(a, d.root)
 	return a
@@ -114,6 +117,9 @@ func (d *Domain) FFT(coeffs []*big.Int) []*big.Int {
 // IFFT interpolates: it maps evaluations on the domain back to
 // coefficients.
 func (d *Domain) IFFT(evals []*big.Int) []*big.Int {
+	if d.limbActive() {
+		return d.ifftLimb(evals)
+	}
 	a := d.pad(evals)
 	d.ntt(a, d.rootInv)
 	for i := range a {
@@ -124,6 +130,9 @@ func (d *Domain) IFFT(evals []*big.Int) []*big.Int {
 
 // CosetFFT evaluates the polynomial on the coset g·⟨ω⟩.
 func (d *Domain) CosetFFT(coeffs []*big.Int) []*big.Int {
+	if d.limbActive() {
+		return d.cosetFFTLimb(coeffs)
+	}
 	a := d.pad(coeffs)
 	// Scale coefficient i by g^i, then a plain FFT evaluates at g·ω^j.
 	s := d.F.One()
@@ -137,6 +146,9 @@ func (d *Domain) CosetFFT(coeffs []*big.Int) []*big.Int {
 
 // CosetIFFT interpolates from coset evaluations back to coefficients.
 func (d *Domain) CosetIFFT(evals []*big.Int) []*big.Int {
+	if d.limbActive() {
+		return d.cosetIFFTLimb(evals)
+	}
 	a := d.pad(evals)
 	d.ntt(a, d.rootInv)
 	gInv := d.F.Inv(d.coset)

@@ -1,0 +1,99 @@
+package limb
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+// FuzzFpMont differentially fuzzes the Montgomery limb backend against the
+// math/big reference over both BN254 fields. The input is an op selector
+// plus two 32-byte big-endian operands; operands are reduced mod q before
+// use, and the raw (possibly non-canonical) encodings additionally drive
+// the SetBytes32 rejection check.
+func FuzzFpMont(f *testing.F) {
+	pBytes := func(v *big.Int) []byte {
+		var b [32]byte
+		v.FillBytes(b[:])
+		return b[:]
+	}
+	zero := make([]byte, 32)
+	one := pBytes(big.NewInt(1))
+	pm1 := pBytes(new(big.Int).Sub(bn254P, big.NewInt(1)))
+	rm1 := pBytes(new(big.Int).Sub(bn254R, big.NewInt(1)))
+	pRaw := pBytes(bn254P)                  // non-canonical for fp
+	allFF := bytes.Repeat([]byte{0xff}, 32) // non-canonical for both
+	rnd := pBytes(new(big.Int).Rsh(new(big.Int).Mul(bn254P, big.NewInt(3)), 2))
+	for op := byte(0); op < 6; op++ {
+		f.Add(op, zero, one)
+		f.Add(op, pm1, pm1)
+		f.Add(op, rm1, one)
+		f.Add(op, pRaw, allFF)
+		f.Add(op, rnd, pm1)
+	}
+
+	fp := MustField(bn254P)
+	fr := MustField(bn254R)
+
+	f.Fuzz(func(t *testing.T, op byte, aRaw, bRaw []byte) {
+		if len(aRaw) != 32 || len(bRaw) != 32 {
+			return
+		}
+		fld := fp
+		if op&1 == 1 {
+			fld = fr
+		}
+		q := fld.Modulus()
+
+		aBig := new(big.Int).SetBytes(aRaw)
+		bBig := new(big.Int).SetBytes(bRaw)
+
+		// Canonicality: SetBytes32 must accept exactly the values < q.
+		var tmp Element
+		if err := fld.SetBytes32(&tmp, aRaw); (err == nil) != (aBig.Cmp(q) < 0) {
+			t.Fatalf("SetBytes32 canonicality mismatch: value<%v=%v err=%v", q, aBig.Cmp(q) < 0, err)
+		}
+
+		aBig.Mod(aBig, q)
+		bBig.Mod(bBig, q)
+		var a, b, z Element
+		fld.SetBig(&a, aBig)
+		fld.SetBig(&b, bBig)
+
+		var want *big.Int
+		switch op / 2 % 3 {
+		case 0:
+			fld.Add(&z, &a, &b)
+			want = new(big.Int).Mod(new(big.Int).Add(aBig, bBig), q)
+		case 1:
+			fld.Sub(&z, &a, &b)
+			want = new(big.Int).Mod(new(big.Int).Sub(aBig, bBig), q)
+		case 2:
+			fld.Mul(&z, &a, &b)
+			want = new(big.Int).Mod(new(big.Int).Mul(aBig, bBig), q)
+		}
+		if got := fld.ToBig(nil, &z); got.Cmp(want) != 0 {
+			t.Fatalf("op %d: got %v want %v (a=%v b=%v)", op, got, want, aBig, bBig)
+		}
+
+		// Inversion and exponentiation on operand a (bounded exponent from b's
+		// low limb keeps the fuzz iteration cheap).
+		fld.Inverse(&z, &a)
+		if aBig.Sign() == 0 {
+			if !z.IsZero() {
+				t.Fatal("Inverse(0) != 0")
+			}
+		} else {
+			want = new(big.Int).ModInverse(aBig, q)
+			if got := fld.ToBig(nil, &z); got.Cmp(want) != 0 {
+				t.Fatalf("inverse: got %v want %v (a=%v)", got, want, aBig)
+			}
+		}
+		e := new(big.Int).SetUint64(new(big.Int).SetBytes(bRaw[24:]).Uint64() & 0xffff)
+		fld.Exp(&z, a, e)
+		want = new(big.Int).Exp(aBig, e, q)
+		if got := fld.ToBig(nil, &z); got.Cmp(want) != 0 {
+			t.Fatalf("exp: got %v want %v (a=%v e=%v)", got, want, aBig, e)
+		}
+	})
+}

@@ -124,11 +124,7 @@ func (q *QAP) QuotientCoeffs(witness r1cs.Witness) ([]*big.Int, error) {
 		func() error { cC = q.Domain.CosetFFT(q.Domain.IFFT(cEv)); return nil },
 	)
 	zInv := f.Inv(q.Domain.VanishingAtCoset())
-	hC := make([]*big.Int, n)
-	_ = parallel.For(context.Background(), n, 0, func(i int) error {
-		hC[i] = f.Mul(f.Sub(f.Mul(aC[i], bC[i]), cC[i]), zInv)
-		return nil
-	})
+	hC := f.QuotientPointwise(aC, bC, cC, zInv)
 	h := q.Domain.CosetIFFT(hC)
 
 	// For a satisfying witness the top coefficient vanishes; a nonzero one
